@@ -1,0 +1,89 @@
+"""Ablation A2 — cost-model components switched off one at a time.
+
+The cost model has four terms (visualization, interaction, layout,
+expressiveness).  This ablation re-runs the COVID generation with each term's
+weight zeroed and reports how the winning interface changes — showing what
+each term contributes: dropping the interaction term stops penalizing widget
+sprawl, dropping the visualization term stops penalizing redundant charts, and
+dropping expressiveness allows interfaces that can no longer express the log.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.cost import CostModel, CostWeights, coverage_ratio
+from repro.interface import LARGE_SCREEN
+from repro.pipeline import PipelineConfig, generate_interface
+
+VARIANTS: dict[str, CostWeights] = {
+    "full cost model": CostWeights(),
+    "no visualization term": CostWeights(visualization=0.0),
+    "no interaction term": CostWeights(interaction=0.0),
+    "no layout term": CostWeights(layout=0.0),
+    "no expressiveness term": CostWeights(expressiveness=0.0),
+}
+
+
+def run_variants(covid_catalog, covid_log):
+    results = {}
+    for name, weights in VARIANTS.items():
+        result = generate_interface(
+            covid_log,
+            covid_catalog,
+            PipelineConfig(
+                method="mcts",
+                mcts_iterations=60,
+                seed=1,
+                screen=LARGE_SCREEN,
+                cost_weights=weights,
+                name=name,
+            ),
+        )
+        results[name] = result
+    return results
+
+
+def test_ablation_cost_components(benchmark, covid_catalog, covid_log):
+    results = benchmark.pedantic(
+        lambda: run_variants(covid_catalog, covid_log[:4]), rounds=1, iterations=1
+    )
+
+    reference_model = CostModel()
+    rows = []
+    for name, result in results.items():
+        full_cost = reference_model.evaluate(result.interface).total
+        rows.append(
+            [
+                name,
+                result.interface.visualization_count,
+                result.interface.widget_count,
+                result.interface.interaction_count,
+                round(result.total_cost, 2),
+                round(full_cost, 2),
+                round(coverage_ratio(result.forest), 2),
+            ]
+        )
+    print_table(
+        "Ablation A2: cost-model components (COVID log, 4 queries)",
+        [
+            "Variant",
+            "Charts",
+            "Widgets",
+            "Vis. interactions",
+            "Optimized cost",
+            "Cost under full model",
+            "Coverage",
+        ],
+        rows,
+    )
+
+    full = results["full cost model"]
+    # The full model's winner must be at least as good *under the full model*
+    # as every ablated variant's winner.
+    full_reference = reference_model.evaluate(full.interface).total
+    for name, result in results.items():
+        variant_reference = reference_model.evaluate(result.interface).total
+        assert full_reference <= variant_reference + 1e-6, name
+    # The full model never sacrifices coverage.
+    assert coverage_ratio(full.forest) == 1.0

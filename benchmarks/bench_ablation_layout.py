@@ -1,0 +1,70 @@
+"""Ablation A3 — screen-size-aware layout.
+
+"On a large screen, the interface may show multiple visualizations side by
+side, whereas a small screen may show a single visualization that can be
+changed via interactions" (Section 1).  This ablation generates interfaces for
+the same COVID log on three screen sizes and reports the layout decisions.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.interface import LARGE_SCREEN, NOTEBOOK_PANEL, SMALL_SCREEN
+from repro.pipeline import PipelineConfig, generate_interface
+
+SCREENS = {
+    "large desktop (1600x1000)": LARGE_SCREEN,
+    "notebook side panel (820x900)": NOTEBOOK_PANEL,
+    "small / narrow (600x900)": SMALL_SCREEN,
+}
+
+
+def run_screens(covid_catalog, covid_log):
+    results = {}
+    for name, screen in SCREENS.items():
+        results[name] = generate_interface(
+            covid_log,
+            covid_catalog,
+            PipelineConfig(method="mcts", mcts_iterations=60, seed=1, screen=screen, name=name),
+        )
+    return results
+
+
+def test_ablation_screen_size_layout(benchmark, covid_catalog, covid_log):
+    results = benchmark.pedantic(
+        lambda: run_screens(covid_catalog, covid_log[:4]), rounds=1, iterations=1
+    )
+
+    rows = []
+    for name, result in results.items():
+        layout = result.interface.layout
+        rows.append(
+            [
+                name,
+                result.interface.visualization_count,
+                layout.charts_per_row(),
+                "tabs" if layout.uses_tabs else "grid",
+                result.interface.widget_count + result.interface.interaction_count,
+                round(result.total_cost, 2),
+            ]
+        )
+    print_table(
+        "Ablation A3: layouts chosen per screen size (COVID log, 4 queries)",
+        ["Screen", "Charts", "Charts per row", "Layout", "Interactive components", "Cost"],
+        rows,
+    )
+
+    large = results["large desktop (1600x1000)"]
+    small = results["small / narrow (600x900)"]
+    # Large screens lay charts out side by side; they never resort to tabs.
+    assert not large.interface.layout.uses_tabs
+    # Small screens either collapse to a tabbed single-view layout or reduce
+    # the number of simultaneously shown charts.
+    assert (
+        small.interface.layout.uses_tabs
+        or small.interface.visualization_count <= large.interface.visualization_count
+    )
+    # Every variant still expresses the full query log.
+    for result in results.values():
+        assert result.forest.covers_all()

@@ -1,0 +1,76 @@
+"""Figure 1 — the SDSS region-query example rendered by Lux, Hex and PI2.
+
+(a) Lux: one static scatter per query; (b) Hex: one chart plus four manually
+configured sliders; (c) PI2: a single scatter with pan/zoom over ra/dec.
+The bench regenerates all three artifacts and checks their shapes.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.baselines import HexBaseline, LuxBaseline
+from repro.interface import ChartType, InteractionType
+from repro.pipeline import PipelineConfig, generate_interface
+
+
+def generate_all_three(sdss_catalog, sdss_log):
+    lux = LuxBaseline(catalog=sdss_catalog, execute_queries=False)
+    lux_recommendations = lux.recommend(sdss_log)
+    hex_interface = HexBaseline(sdss_catalog).parameterize(sdss_log[0])
+    pi2 = generate_interface(
+        sdss_log,
+        sdss_catalog,
+        PipelineConfig(method="mcts", mcts_iterations=60, seed=1, name="sdss"),
+    )
+    return lux_recommendations, hex_interface, pi2
+
+
+def test_figure1_sdss_interfaces(benchmark, sdss_catalog, sdss_log):
+    lux_recommendations, hex_interface, pi2 = benchmark.pedantic(
+        lambda: generate_all_three(sdss_catalog, sdss_log), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            "(a) Lux",
+            len(lux_recommendations),
+            0,
+            0,
+            "static scatter per query",
+        ],
+        [
+            "(b) Hex",
+            1,
+            hex_interface.widget_count(),
+            0,
+            "4 sliders manipulate ra/dec bounds",
+        ],
+        [
+            "(c) PI2",
+            pi2.interface.visualization_count,
+            pi2.interface.widget_count,
+            pi2.interface.interaction_count,
+            "; ".join(i.describe() for i in pi2.interface.interactions),
+        ],
+    ]
+    print_table(
+        "Figure 1: interfaces for the SDSS ra/dec region analysis",
+        ["System", "Charts", "Widgets", "Vis. interactions", "Notes"],
+        rows,
+    )
+
+    # (a) one chart per query, all static scatters.
+    assert len(lux_recommendations) == len(sdss_log)
+    assert all(r.visualization.chart_type is ChartType.SCATTER for r in lux_recommendations)
+    # (b) four parameter sliders (ra low/high, dec low/high), no interactions.
+    assert hex_interface.widget_count() == 4
+    assert hex_interface.interaction_count() == 0
+    # (c) a single scatter with a pan/zoom interaction over ra and dec.
+    assert pi2.interface.visualization_count == 1
+    assert pi2.interface.visualizations[0].chart_type is ChartType.SCATTER
+    assert pi2.interface.interaction_count == 1
+    interaction = pi2.interface.interactions[0]
+    assert interaction.interaction_type is InteractionType.PAN_ZOOM
+    assert {interaction.attribute, interaction.secondary_attribute} == {"ra", "dec"}
+    assert pi2.forest.covers_all()

@@ -1,0 +1,63 @@
+"""Figure 2 — the three example queries Q1-Q3 and their static interface.
+
+Figure 2 shows Q1-Q3 with their (simplified) ASTs and notes that a valid —
+but uninteresting — interface simply renders one static chart per query.
+The bench parses the queries, reports their AST sizes, and builds the static
+one-chart-per-query interface.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.datasets.loader import Catalog
+from repro.interface import ChartType
+from repro.pipeline import map_queries_statically
+from repro.sql import count_nodes, parse_select, tree_depth
+
+FIG2_QUERIES = [
+    "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+    "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+    "SELECT a, count(*) FROM t GROUP BY a",
+]
+
+
+def toy_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.create_table(
+        "t",
+        ["p", "a", "b"],
+        [[1, 1, 2], [1, 1, 3], [2, 2, 2], [2, 3, 1], [3, 1, 2], [3, 2, 2], [4, 3, 3]],
+    )
+    return catalog
+
+
+def build_static_interface():
+    catalog = toy_catalog()
+    asts = [parse_select(sql) for sql in FIG2_QUERIES]
+    interface = map_queries_statically(FIG2_QUERIES, catalog, name="figure2")
+    return asts, interface
+
+
+def test_figure2_static_interface(benchmark):
+    asts, interface = benchmark.pedantic(build_static_interface, rounds=1, iterations=1)
+
+    rows = []
+    for index, (sql, ast) in enumerate(zip(FIG2_QUERIES, asts), start=1):
+        vis = interface.visualizations[index - 1]
+        rows.append(
+            [f"Q{index}", sql, count_nodes(ast), tree_depth(ast), vis.chart_type.value]
+        )
+    print_table(
+        "Figure 2: example queries, their ASTs, and the static one-chart-per-query interface",
+        ["Query", "SQL", "AST nodes", "AST depth", "Chart"],
+        rows,
+    )
+
+    # A static interface: one chart per query, no interactivity at all.
+    assert interface.visualization_count == 3
+    assert interface.widget_count == 0
+    assert interface.interaction_count == 0
+    assert all(vis.chart_type is ChartType.BAR for vis in interface.visualizations)
+    # Every AST is itself a (choice-free) Difftree.
+    assert interface.forest.choice_count() == 0

@@ -1,0 +1,117 @@
+"""Figure 3 — Difftrees for Q1/Q2 and the tree-transformation alternatives.
+
+(a) an ANY node over the two whole predicates → two radio buttons,
+(b) the factored form with independent attribute / literal choices → two radio
+    lists, generalizing beyond the inputs,
+(c) the same choices mapped to a button group + slider (cheaper widgets).
+
+The bench builds all three candidates, maps and costs them, and reports the
+comparison — the factored candidates must cover the originals *and* express
+queries the unfactored one cannot.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.cost import CostModel
+from repro.difftree import (
+    build_forest,
+    choice_contexts,
+    collect_choice_nodes,
+    covers,
+    factor_common_root,
+    find_binding_for,
+)
+from repro.engine.catalog import Catalog
+from repro.mapping import MappingConfig, MappingPolicy, map_forest_to_interface
+from repro.sql import parse_select
+
+Q1 = "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p"
+Q2 = "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p"
+GENERALIZED = "SELECT p, count(*) FROM t WHERE b = 1 GROUP BY p"
+
+
+def toy_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.create_table(
+        "t",
+        ["p", "a", "b"],
+        [[1, 1, 2], [1, 1, 3], [2, 2, 2], [2, 3, 1], [3, 1, 2], [3, 2, 2], [4, 3, 3]],
+    )
+    return catalog
+
+
+def build_candidates():
+    catalog = toy_catalog()
+    model = CostModel()
+
+    forest_a = build_forest([Q1, Q2], strategy="merged")
+    tree_a = forest_a.trees[0]
+    any_node = collect_choice_nodes(tree_a)[0]
+
+    tree_b = factor_common_root(tree_a, any_node.choice_id)
+    forest_b = forest_a.replace_tree(0, tree_b)
+
+    interface_a = map_forest_to_interface(forest_a, catalog.schemas(), MappingConfig(name="fig3a"))
+    interface_b = map_forest_to_interface(forest_b, catalog.schemas(), MappingConfig(name="fig3b"))
+    # (c): same Difftree as (b) but a policy that keeps everything as widgets,
+    # matching the button-group + slider rendering of the figure.
+    interface_c = map_forest_to_interface(
+        forest_b,
+        catalog.schemas(),
+        MappingConfig(
+            name="fig3c",
+            policy=MappingPolicy(prefer_vis_interactions=False, allow_click_select=False, slider_min_options=2),
+        ),
+    )
+
+    costs = {
+        "a": model.evaluate(interface_a),
+        "b": model.evaluate(interface_b),
+        "c": model.evaluate(interface_c),
+    }
+    return forest_a, forest_b, interface_a, interface_b, interface_c, costs
+
+
+def test_figure3_tree_transformations(benchmark):
+    forest_a, forest_b, interface_a, interface_b, interface_c, costs = benchmark.pedantic(
+        build_candidates, rounds=1, iterations=1
+    )
+    q1, q2 = forest_a.queries
+    generalized = parse_select(GENERALIZED)
+
+    rows = []
+    for label, forest, interface in (
+        ("(a) ANY over predicates", forest_a, interface_a),
+        ("(b) factored operand choices", forest_b, interface_b),
+        ("(c) factored, widget-only mapping", forest_b, interface_c),
+    ):
+        tree = forest.trees[0]
+        rows.append(
+            [
+                label,
+                len(collect_choice_nodes(tree)),
+                ", ".join(w.widget_type.value for w in interface.widgets) or "-",
+                "yes" if covers(tree, [q1, q2]) else "no",
+                "yes" if find_binding_for(tree, generalized) is not None else "no",
+                round(costs[label[1]].total, 2),
+            ]
+        )
+    print_table(
+        "Figure 3: Difftree alternatives for Q1/Q2",
+        ["Candidate", "Choice nodes", "Widgets", "Covers Q1,Q2", "Expresses b=1", "Cost"],
+        rows,
+    )
+
+    # All candidates must express the input queries.
+    assert covers(forest_a.trees[0], [q1, q2])
+    assert covers(forest_b.trees[0], [q1, q2])
+    # Only the factored Difftree generalizes to the unseen query (b = 1).
+    assert find_binding_for(forest_a.trees[0], generalized) is None
+    assert find_binding_for(forest_b.trees[0], generalized) is not None
+    # The factored candidates have two independent choices; (a) has one.
+    assert len(collect_choice_nodes(forest_a.trees[0])) == 1
+    assert len(collect_choice_nodes(forest_b.trees[0])) == 2
+    kinds = sorted(c.alternative_kind for c in choice_contexts(forest_b.trees[0]))
+    assert kinds == ["column", "numeric_literal"]

@@ -1,0 +1,110 @@
+"""Figure 4 — a single Difftree covering all three queries Q1-Q3.
+
+Merging Q1-Q3 yields one tree with an ANY in the SELECT clause (project p or
+a), an OPT for the WHERE clause, and the predicate choices inside it; the
+candidate interface has one chart plus widgets for each choice.  The bench
+also compares this single-tree candidate against the two-cluster alternative
+the paper discusses (Q1/Q2 merged, Q3 static) using the cost model.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.cost import CostModel
+from repro.difftree import build_forest, choice_contexts, covers
+from repro.engine.catalog import Catalog
+from repro.mapping import MappingConfig, map_forest_to_interface
+
+FIG2_QUERIES = [
+    "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+    "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+    "SELECT a, count(*) FROM t GROUP BY a",
+]
+
+
+def toy_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.create_table(
+        "t",
+        ["p", "a", "b"],
+        [[1, 1, 2], [1, 1, 3], [2, 2, 2], [2, 3, 1], [3, 1, 2], [3, 2, 2], [4, 3, 3]],
+    )
+    return catalog
+
+
+def build_candidates():
+    catalog = toy_catalog()
+    model = CostModel()
+
+    merged_forest = build_forest(FIG2_QUERIES, strategy="merged")
+    clustered_forest = build_forest(FIG2_QUERIES, strategy="clustered")
+
+    merged_interface = map_forest_to_interface(
+        merged_forest, catalog.schemas(), MappingConfig(name="fig4-merged")
+    )
+    clustered_interface = map_forest_to_interface(
+        clustered_forest, catalog.schemas(), MappingConfig(name="fig4-clustered")
+    )
+    return (
+        merged_forest,
+        clustered_forest,
+        merged_interface,
+        clustered_interface,
+        model.evaluate(merged_interface),
+        model.evaluate(clustered_interface),
+    )
+
+
+def test_figure4_merged_difftree(benchmark):
+    (
+        merged_forest,
+        clustered_forest,
+        merged_interface,
+        clustered_interface,
+        merged_cost,
+        clustered_cost,
+    ) = benchmark.pedantic(build_candidates, rounds=1, iterations=1)
+
+    contexts = choice_contexts(merged_forest.trees[0])
+    rows = [
+        [
+            "single merged Difftree",
+            merged_forest.tree_count,
+            merged_interface.visualization_count,
+            merged_interface.widget_count,
+            round(merged_cost.total, 2),
+        ],
+        [
+            "partitioned (Q1/Q2 merged, Q3 static)",
+            clustered_forest.tree_count,
+            clustered_interface.visualization_count,
+            clustered_interface.widget_count,
+            round(clustered_cost.total, 2),
+        ],
+    ]
+    print_table(
+        "Figure 4: one Difftree for Q1-Q3 vs the partitioned alternative",
+        ["Candidate", "Trees", "Charts", "Widgets", "Cost"],
+        rows,
+    )
+    choice_rows = [
+        [c.choice_id, c.kind, c.clause, c.alternative_kind, c.target_attribute or "-"]
+        for c in contexts
+    ]
+    print_table(
+        "Figure 4: choice nodes of the merged Difftree",
+        ["Choice", "Kind", "Clause", "Alternatives", "Attribute"],
+        choice_rows,
+    )
+
+    # The merged tree covers all three queries with a single chart.
+    assert merged_forest.tree_count == 1
+    assert covers(merged_forest.trees[0], merged_forest.queries)
+    assert merged_interface.visualization_count == 1
+    # Figure 4's structure: an ANY in the SELECT clause and an OPT WHERE clause.
+    kinds_by_clause = {(c.clause, c.kind) for c in contexts}
+    assert ("select", "any") in kinds_by_clause
+    assert any(clause == "where" and kind == "opt" for clause, kind in kinds_by_clause)
+    # Both candidates express every input query; the cost model ranks them.
+    assert clustered_forest.covers_all()

@@ -1,0 +1,80 @@
+"""Figure 5 — multi-view interface: clicking a bar binds the literal choice.
+
+The Figure 5 variant of the example queries differs from Figure 3 in that Q1
+and Q2 only differ in the literal compared to attribute ``a``, and Q3 charts
+exactly that attribute.  PI2 can therefore map the literal choice to a click
+interaction on Q3's bar chart instead of a widget: clicking a bar binds the
+clicked ``a`` value into Q1/Q2's predicate and updates the other chart.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.engine.catalog import Catalog
+from repro.interface import ChartType, InteractionType
+from repro.interface.state import InterfaceState
+from repro.pipeline import PipelineConfig, generate_interface
+
+FIG5_QUERIES = [
+    "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+    "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+    "SELECT a, count(*) FROM t GROUP BY a",
+]
+
+
+def toy_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.create_table(
+        "t",
+        ["p", "a", "b"],
+        [[1, 1, 2], [1, 1, 3], [2, 2, 2], [2, 3, 1], [3, 1, 2], [3, 2, 2], [4, 3, 3]],
+    )
+    return catalog
+
+
+def build_multiview():
+    catalog = toy_catalog()
+    result = generate_interface(
+        FIG5_QUERIES,
+        catalog,
+        PipelineConfig(method="exhaustive", exhaustive_depth=2, name="figure5"),
+    )
+    state = result.start_session(catalog)
+    return catalog, result, state
+
+
+def test_figure5_multi_view_click(benchmark):
+    catalog, result, state = benchmark.pedantic(build_multiview, rounds=1, iterations=1)
+    interface = result.interface
+
+    clicks = [
+        i for i in interface.interactions if i.interaction_type is InteractionType.CLICK_SELECT
+    ]
+    assert clicks, "Figure 5 requires a click-to-select interaction"
+    click = clicks[0]
+    source_vis = interface.visualization(click.source_vis_id)
+    target_tree = click.bindings[0].tree_index
+
+    # Simulate clicking the bar for a = 3 (a value not present in the inputs):
+    before_sql = state.current_sql(target_tree)
+    state.apply_click(click.interaction_id, 3)
+    after_sql = state.current_sql(target_tree)
+    after_rows = state.data_for_tree(target_tree)
+
+    rows = [
+        ["charts", interface.visualization_count],
+        ["click interaction source", f"{click.source_vis_id} ({source_vis.chart_type.value} over '{click.attribute}')"],
+        ["query before click", before_sql],
+        ["query after clicking a=3", after_sql],
+        ["rows after click", after_rows.row_count],
+    ]
+    print_table("Figure 5: multi-view interface with cross-chart click", ["item", "value"], rows)
+
+    # The click happens on the *other* tree's bar chart over attribute a.
+    assert source_vis.chart_type is ChartType.BAR
+    assert click.attribute == "a"
+    assert source_vis.tree_index != target_tree
+    # Clicking rebinds the literal inside the other chart's query.
+    assert "a = 3" in after_sql and "a = 3" not in before_sql
+    assert result.forest.covers_all()

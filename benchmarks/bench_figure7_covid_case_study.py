@@ -1,0 +1,98 @@
+"""Figure 7 / Section 3.2 — the COVID-19 case-study walkthrough (V1, V2, V3).
+
+The analyst's session: V1 is generated from the overview + detail queries,
+V2 adds the per-state breakdown, V3 adds the region-focused query with its
+correlated subquery (plus the Northeast variant).  The bench replays the whole
+notebook workflow through the PI2 extension, prints the per-version component
+summary, and checks the behaviours the walkthrough calls out: linked date
+brushing, a structure-changing toggle, and the South/Northeast button pair.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.interface import InteractionType, LARGE_SCREEN
+from repro.notebook import NotebookSession, Pi2Extension
+from repro.pipeline import PipelineConfig
+
+
+def run_walkthrough(covid_catalog, covid_v3_log):
+    session = NotebookSession(catalog=covid_catalog)
+    session.add_cells(covid_v3_log)
+    extension = Pi2Extension(
+        session=session,
+        config=PipelineConfig(
+            method="mcts", mcts_iterations=120, seed=1, screen=LARGE_SCREEN, name="covid"
+        ),
+    )
+    ids = [cell.cell_id for cell in session.cells]
+    v1 = extension.generate_interface(cell_ids=ids[:3])   # Step 1: overview + detail ranges
+    v2 = extension.generate_interface(cell_ids=ids[:4])   # Step 2: + per-state breakdown
+    v3 = extension.generate_interface(cell_ids=ids)       # Step 3: + region focus (South/Northeast)
+    return extension, (v1, v2, v3)
+
+
+def test_figure7_covid_walkthrough(benchmark, covid_catalog, covid_v3_log):
+    extension, versions = benchmark.pedantic(
+        lambda: run_walkthrough(covid_catalog, covid_v3_log), rounds=1, iterations=1
+    )
+    v1, v2, v3 = versions
+
+    rows = []
+    for version in versions:
+        interface = version.result.interface
+        rows.append(
+            [
+                version.label,
+                len(version.query_snapshot),
+                interface.visualization_count,
+                interface.widget_count,
+                interface.interaction_count,
+                round(version.result.total_cost, 2),
+            ]
+        )
+    print_table(
+        "Figure 7: generated interface versions of the COVID case study",
+        ["Version", "Queries", "Charts", "Widgets", "Vis. interactions", "Cost"],
+        rows,
+    )
+    component_rows = []
+    for vis in v3.result.interface.visualizations:
+        component_rows.append(["chart", vis.describe()])
+    for widget in v3.result.interface.widgets:
+        component_rows.append(["widget", widget.describe()])
+    for interaction in v3.result.interface.interactions:
+        component_rows.append(["interaction", interaction.describe()])
+    print_table("Figure 7: V3 components", ["kind", "component"], component_rows)
+
+    # V1 (Step 1): overview + detail linked by a date interaction (brush) or,
+    # at minimum, an interactive date-range control.
+    v1_interface = v1.result.interface
+    assert v1_interface.visualization_count >= 1
+    assert v1_interface.interaction_count + v1_interface.widget_count >= 1
+
+    # V2 (Step 2): the per-state breakdown appears (a chart encodes state).
+    v2_interface = v2.result.interface
+    assert any("state" in vis.encoded_fields() for vis in v2_interface.visualizations)
+
+    # V3 (Step 3): region button pair, structure-changing widget (the subquery
+    # toggle), and the date interaction survives from earlier versions.
+    v3_interface = v3.result.interface
+    region_widgets = [
+        w for w in v3_interface.widgets if set(w.options or []) == {"South", "Northeast"}
+    ]
+    assert region_widgets, "V3 must offer the South/Northeast switch"
+    assert v3_interface.has_structural_widgets()
+    assert v3_interface.interaction_count >= 1
+    assert any(
+        i.interaction_type in (InteractionType.BRUSH_X, InteractionType.BRUSH_2D)
+        for i in v3_interface.interactions
+    )
+
+    # Versioning: three tabs, each with its archived query log snapshot.
+    assert [v.label for v in extension.history.versions] == ["V1", "V2", "V3"]
+    assert len(v3.query_snapshot) == len(covid_v3_log)
+    # Every version can still express the queries it was generated from.
+    for version in versions:
+        assert version.result.forest.covers_all()

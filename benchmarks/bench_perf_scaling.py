@@ -1,0 +1,78 @@
+"""Perf P1 — end-to-end generation latency vs number of input queries.
+
+The demo must generate interfaces at interactive speed while the analyst
+works.  This bench sweeps the query-log length on the COVID scenario (1 to 6
+queries) and on a synthetic widening sweep, reporting generation latency and
+candidates evaluated per log size.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_table
+
+from repro.interface import LARGE_SCREEN
+from repro.pipeline import PipelineConfig, generate_interface
+
+
+def sweep_log_sizes(covid_catalog, covid_v3_log):
+    measurements = []
+    for size in range(1, len(covid_v3_log) + 1):
+        queries = covid_v3_log[:size]
+        started = time.perf_counter()
+        result = generate_interface(
+            queries,
+            covid_catalog,
+            PipelineConfig(
+                method="mcts", mcts_iterations=60, seed=1, screen=LARGE_SCREEN, name=f"n={size}"
+            ),
+        )
+        elapsed = time.perf_counter() - started
+        measurements.append((size, elapsed, result))
+    return measurements
+
+
+def test_perf_scaling_with_log_size(benchmark, covid_catalog, covid_v3_log):
+    measurements = benchmark.pedantic(
+        lambda: sweep_log_sizes(covid_catalog, covid_v3_log), rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            size,
+            f"{elapsed * 1000:.0f} ms",
+            result.stats.evaluations,
+            result.interface.visualization_count,
+            result.interface.widget_count + result.interface.interaction_count,
+            round(result.total_cost, 2),
+        ]
+        for size, elapsed, result in measurements
+    ]
+    print_table(
+        "Perf P1: generation latency vs query-log size (COVID scenario)",
+        ["Queries", "Latency", "Candidates", "Charts", "Interactive components", "Cost"],
+        rows,
+    )
+
+    # Latency stays interactive (well under a minute even for the full log)...
+    assert all(elapsed < 30.0 for _size, elapsed, _result in measurements)
+    # ...and the interface grows monotonically richer as queries are added.
+    components = [
+        result.interface.component_count() for _size, _elapsed, result in measurements
+    ]
+    assert components == sorted(components)
+    # Larger logs require exploring more candidates.
+    assert measurements[-1][2].stats.evaluations >= measurements[0][2].stats.evaluations
+
+
+def test_perf_single_generation(benchmark, covid_catalog, covid_log):
+    """The number pytest-benchmark tracks over time: one V2-sized generation."""
+    result = benchmark(
+        lambda: generate_interface(
+            covid_log[:4],
+            covid_catalog,
+            PipelineConfig(method="greedy", screen=LARGE_SCREEN, name="covid V2"),
+        )
+    )
+    assert result.interface.visualization_count >= 1

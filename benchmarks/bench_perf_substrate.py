@@ -1,0 +1,67 @@
+"""Perf P2 — substrate throughput: parser, engine and Difftree merge.
+
+Sanity benchmarks for the layers PI2 sits on: SQL parsing throughput, query
+execution latency on the three demo datasets, and the cost of merging the
+most complex query pair of the case study (Q4 South/Northeast).  These guard
+against substrate regressions that would otherwise show up as mysterious
+slowdowns in the end-to-end benches.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.difftree import build_forest, merge_nodes, parse_query_log
+from repro.sql import parse, to_sql
+
+
+def test_perf_parser_throughput(benchmark, covid_v3_log, sdss_log, sp500_log):
+    corpus = (covid_v3_log + sdss_log + sp500_log) * 3
+
+    def parse_corpus():
+        return [parse(sql) for sql in corpus]
+
+    asts = benchmark(parse_corpus)
+    assert len(asts) == len(corpus)
+    print_table(
+        "Perf P2: parser corpus",
+        ["queries parsed", "distinct statements"],
+        [[len(corpus), len(set(corpus))]],
+    )
+
+
+def test_perf_printer_round_trip(benchmark, covid_v3_log):
+    asts = [parse(sql) for sql in covid_v3_log]
+
+    def round_trip():
+        return [parse(to_sql(ast)) for ast in asts]
+
+    reparsed = benchmark(round_trip)
+    assert reparsed == asts
+
+
+def test_perf_engine_overview_query(benchmark, covid_catalog, covid_log):
+    result = benchmark(lambda: covid_catalog.execute(covid_log[0]))
+    assert result.row_count > 100
+
+
+def test_perf_engine_complex_query(benchmark, covid_catalog, covid_log):
+    """Q4: joins plus nested correlated subqueries — the engine's worst case."""
+    result = benchmark(lambda: covid_catalog.execute(covid_log[4]))
+    assert result.row_count > 0
+
+
+def test_perf_engine_sdss_scan(benchmark, sdss_catalog, sdss_log):
+    result = benchmark(lambda: sdss_catalog.execute(sdss_log[0]))
+    assert result.row_count > 0
+
+
+def test_perf_difftree_merge_complex_pair(benchmark, covid_v3_log):
+    south, northeast = parse_query_log(covid_v3_log[4:6])
+    merged = benchmark(lambda: merge_nodes(south, northeast))
+    assert merged is not None
+
+
+def test_perf_forest_construction(benchmark, covid_v3_log):
+    forest = benchmark(lambda: build_forest(covid_v3_log, strategy="clustered"))
+    assert forest.tree_count >= 1

@@ -1,0 +1,71 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper (or
+one ablation).  Benchmarks print the rows/series they reproduce so that the
+console output can be compared side by side with the paper; the timing numbers
+come from pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    covid_query_log,
+    covid_region_variant_queries,
+    load_covid_catalog,
+    load_sdss_catalog,
+    load_sp500_catalog,
+    sdss_query_log,
+    sp500_query_log,
+)
+
+
+def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Print an aligned text table (the benchmark harness's 'figure output')."""
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    line = " | ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers))
+    separator = "-+-".join("-" * width for width in widths)
+    print(f"\n=== {title} ===")
+    print(line)
+    print(separator)
+    for row in rows:
+        print(" | ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+@pytest.fixture(scope="session")
+def covid_catalog():
+    return load_covid_catalog()
+
+
+@pytest.fixture(scope="session")
+def sdss_catalog():
+    return load_sdss_catalog()
+
+
+@pytest.fixture(scope="session")
+def sp500_catalog():
+    return load_sp500_catalog()
+
+
+@pytest.fixture(scope="session")
+def covid_log():
+    return covid_query_log()
+
+
+@pytest.fixture(scope="session")
+def covid_v3_log():
+    return covid_query_log() + [covid_region_variant_queries()[1]]
+
+
+@pytest.fixture(scope="session")
+def sdss_log():
+    return sdss_query_log()
+
+
+@pytest.fixture(scope="session")
+def sp500_log():
+    return sp500_query_log()

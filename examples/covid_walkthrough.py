@@ -1,0 +1,108 @@
+"""The Section 3.2 case study: Jane's COVID-19 travel-warning analysis.
+
+Run with::
+
+    python examples/covid_walkthrough.py
+
+Replays the paper's walkthrough inside the headless notebook integration:
+
+* Step 1 — overview + two detail date ranges → interface V1 (linked date
+  brushing between the overview and detail charts),
+* Step 2 — per-state breakdown → interface V2,
+* Step 3 — region focus with joins and a correlated subquery (South and
+  Northeast variants) → interface V3 with a structure-changing toggle and a
+  region button pair,
+
+then interacts with V3 the way the walkthrough describes and prints the
+version history the extension keeps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import LARGE_SCREEN, PipelineConfig
+from repro.datasets import covid_query_log, covid_region_variant_queries, load_covid_catalog
+from repro.interface import InteractionType, WidgetType
+from repro.notebook import NotebookSession, Pi2Extension
+
+
+def main() -> None:
+    catalog = load_covid_catalog()
+    queries = covid_query_log() + [covid_region_variant_queries()[1]]
+
+    session = NotebookSession(catalog=catalog)
+    cells = session.add_cells(queries)
+    session.run_all()
+
+    extension = Pi2Extension(
+        session=session,
+        config=PipelineConfig(
+            method="mcts", mcts_iterations=120, seed=1, screen=LARGE_SCREEN, name="covid analysis"
+        ),
+    )
+    ids = [cell.cell_id for cell in cells]
+
+    print("Step 1: overview + detail date ranges")
+    v1 = extension.generate_interface(cell_ids=ids[:3])
+    print(v1.result.interface.describe())
+
+    print("\nStep 2: drill down to the state level")
+    v2 = extension.generate_interface(cell_ids=ids[:4])
+    print(v2.result.interface.describe())
+
+    print("\nStep 3: focused region investigation (South vs Northeast)")
+    v3 = extension.generate_interface(cell_ids=ids)
+    print(v3.result.interface.describe())
+
+    print("\nVersion history:")
+    for summary in extension.version_summaries():
+        print(" ", summary)
+
+    # Interact with V3 the way Jane does.
+    state = extension.start_session()
+    interface = v3.result.interface
+
+    brushes = [
+        i for i in interface.interactions if i.interaction_type is InteractionType.BRUSH_X
+    ]
+    if brushes:
+        brush = brushes[0]
+        print(f"\nBrushing the overview to the holiday week via {brush.interaction_id} ...")
+        state.apply_brush(brush.interaction_id, "2021-12-18", "2021-12-27")
+        for tree_index in brush.tree_indices:
+            print("  detail query now:", state.current_sql(tree_index))
+
+    region_widgets = [
+        w for w in interface.widgets if set(w.options or []) == {"South", "Northeast"}
+    ]
+    if region_widgets:
+        widget = region_widgets[0]
+        index_of_northeast = widget.options.index("Northeast")
+        print(f"\nSwitching {widget.widget_id} to Northeast ...")
+        state.set_widget(widget.widget_id, index_of_northeast)
+        tree_index = widget.bindings[0].tree_index
+        data = state.data_for_tree(tree_index)
+        by_state: dict[str, int] = {}
+        if "state" in data.columns and "cases" in data.columns:
+            for row in data.to_dicts():
+                by_state[row["state"]] = by_state.get(row["state"], 0) + row["cases"]
+            worst = max(by_state, key=by_state.get)
+            print(f"  Above-average Northeast states: {sorted(by_state)}")
+            print(f"  Highest case load: {worst} -> recommend travellers avoid it")
+
+    toggles = [w for w in interface.widgets if w.widget_type is WidgetType.TOGGLE]
+    if toggles:
+        toggle = toggles[0]
+        tree_index = toggle.bindings[0].tree_index
+        state.set_widget(toggle.widget_id, False)
+        print(f"\nToggled {toggle.widget_id} off -> query structure without the subquery filter:")
+        print(" ", state.current_sql(tree_index))
+
+    output = Path(__file__).with_name("covid_v3_interface.html")
+    extension.render_html(output)
+    print(f"\nWrote {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim so that editable installs work without network access.
+
+The environment has no `wheel` package and no PyPI connectivity, so the
+PEP 517 build-isolation path cannot work.  Keeping a classic setup.py lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` route.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — a full reproduction of PI2: interactive visualization interface
+generation for SQL analysis in notebooks (SIGMOD 2022 demonstration).
+
+The package layers, bottom to top:
+
+* :mod:`repro.sql` — SQL lexer, parser, AST, printer, analyzer,
+* :mod:`repro.engine` — in-memory columnar SQL execution engine,
+* :mod:`repro.datasets` — synthetic COVID-19 / SDSS / S&P 500 demo datasets,
+* :mod:`repro.difftree` — Difftrees: merged ASTs with ANY/OPT choice nodes,
+* :mod:`repro.interface` — visualizations, widgets, interactions, layout,
+  runtime state, Vega-Lite and HTML emitters,
+* :mod:`repro.mapping` — the V/M/L interface mapping,
+* :mod:`repro.cost` — the interface cost model C(I, Q),
+* :mod:`repro.search` — MCTS / greedy / exhaustive search over Difftrees,
+* :mod:`repro.baselines` — Lux-like and Hex-like comparison systems,
+* :mod:`repro.notebook` — notebook session, query-log snapshots, versioning,
+* :mod:`repro.pipeline` — the end-to-end :func:`generate_interface` facade.
+
+Quickstart::
+
+    from repro import generate_interface
+    from repro.datasets import load_covid_catalog, covid_query_log
+
+    catalog = load_covid_catalog()
+    result = generate_interface(covid_query_log(), catalog)
+    print(result.interface.describe())
+"""
+
+from repro.cost.model import CostBreakdown, CostModel, CostWeights
+from repro.difftree.builder import DifftreeForest, build_forest
+from repro.engine.catalog import Catalog
+from repro.engine.table import QueryResult, Table
+from repro.errors import ReproError
+from repro.interface.interface import Interface
+from repro.interface.layout import LARGE_SCREEN, MEDIUM_SCREEN, SMALL_SCREEN, ScreenSize
+from repro.interface.state import InterfaceState
+from repro.pipeline import (
+    GenerationResult,
+    PipelineConfig,
+    generate_interface,
+    map_queries_statically,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostBreakdown",
+    "CostModel",
+    "CostWeights",
+    "DifftreeForest",
+    "build_forest",
+    "Catalog",
+    "QueryResult",
+    "Table",
+    "ReproError",
+    "Interface",
+    "LARGE_SCREEN",
+    "MEDIUM_SCREEN",
+    "SMALL_SCREEN",
+    "ScreenSize",
+    "InterfaceState",
+    "GenerationResult",
+    "PipelineConfig",
+    "generate_interface",
+    "map_queries_statically",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Re-implementations of the comparison systems of Table 1 (Lux, Hex)."""
+
+from repro.baselines.hex import HexBaseline, HexInterface, HexParameter
+from repro.baselines.lux import LuxBaseline, LuxRecommendation
+
+__all__ = [
+    "HexBaseline",
+    "HexInterface",
+    "HexParameter",
+    "LuxBaseline",
+    "LuxRecommendation",
+]

@@ -1,0 +1,167 @@
+"""Hex-like baseline: manually parameterized queries with input widgets.
+
+Hex (and Count) let the analyst replace literals in a query with named
+parameters and attach an input widget to each parameter by hand, then pick a
+chart for the result.  Re-implemented here to regenerate Table 1 and
+Figure 1(b): the baseline *can* produce widgets, but
+
+* each widget controls a single scalar parameter (it cannot change query
+  structure — no toggling subqueries, no switching projection attributes),
+* there are no in-visualization interactions (no brushing, no pan/zoom), and
+* every parameter/widget/chart requires an explicit manual configuration step,
+  which the baseline counts (the "zero effort" row of Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.engine.catalog import Catalog
+from repro.engine.table import QueryResult
+from repro.errors import ReproError
+from repro.difftree.builder import parse_query_log
+from repro.difftree.tree_schema import tree_profile
+from repro.interface.visualizations import Visualization
+from repro.interface.widgets import Widget, WidgetType
+from repro.mapping.vis_mapping import map_tree_to_visualization
+from repro.sql.ast_nodes import BetweenOp, BinaryOp, ColumnRef, Literal, Select, SqlNode
+from repro.sql.printer import to_sql
+from repro.sql.visitor import transform
+
+
+@dataclass
+class HexParameter:
+    """One manually created query parameter."""
+
+    name: str
+    attribute: str
+    default: Any
+    widget: Widget
+
+
+@dataclass
+class HexInterface:
+    """The artifact a Hex-style notebook produces for one parameterized query."""
+
+    query_template: str
+    parameters: list[HexParameter] = field(default_factory=list)
+    visualization: Visualization | None = None
+    manual_steps: int = 0
+
+    def widget_count(self) -> int:
+        return len(self.parameters)
+
+    def interaction_count(self) -> int:
+        return 0
+
+
+class HexBaseline:
+    """A minimal re-implementation of the Hex parameterized-query workflow.
+
+    Capabilities (Table 1): visualizations — yes; widgets — parameter only;
+    visualization interactions — none; zero effort — no (every parameter,
+    widget and chart is a manual step).
+    """
+
+    capabilities = {
+        "visualizations": True,
+        "widgets": "parameter",
+        "vis_interactions": False,
+        "zero_effort": False,
+    }
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------ #
+    # Manual workflow simulation
+    # ------------------------------------------------------------------ #
+
+    def parameterize(self, query: str) -> HexInterface:
+        """Simulate the analyst parameterizing every comparison literal.
+
+        Each literal compared against a column becomes a named parameter with
+        a slider (numeric) or dropdown (text) — the operations the user would
+        perform by hand in Hex.  The manual-step counter tallies them.
+        """
+        parsed = parse_query_log([query])[0]
+        parameters: list[HexParameter] = []
+        counter = 0
+
+        def rewrite(node: SqlNode) -> SqlNode | None:
+            nonlocal counter
+            if isinstance(node, BinaryOp) and node.op in ("=", "<", "<=", ">", ">="):
+                if isinstance(node.left, ColumnRef) and isinstance(node.right, Literal):
+                    counter += 1
+                    parameters.append(self._make_parameter(node.left.name, node.right.value, counter))
+                    return None
+            if isinstance(node, BetweenOp) and isinstance(node.expr, ColumnRef):
+                for bound, suffix in ((node.low, "low"), (node.high, "high")):
+                    if isinstance(bound, Literal):
+                        counter += 1
+                        parameters.append(
+                            self._make_parameter(f"{node.expr.name}_{suffix}", bound.value, counter)
+                        )
+                return None
+            return None
+
+        transform(parsed, rewrite)
+
+        profile = tree_profile(parsed, 0, self.catalog.schemas())
+        visualization = map_tree_to_visualization(profile, vis_id="Hex1")
+
+        # Manual steps: one per parameter created, one per widget configured,
+        # plus one to pick the chart.
+        manual_steps = 2 * len(parameters) + 1
+        return HexInterface(
+            query_template=to_sql(parsed),
+            parameters=parameters,
+            visualization=visualization,
+            manual_steps=manual_steps,
+        )
+
+    def _make_parameter(self, attribute: str, default: Any, index: int) -> HexParameter:
+        from repro.interface.widgets import ChoiceBinding
+
+        is_numeric = isinstance(default, (int, float)) and not isinstance(default, bool)
+        widget = Widget(
+            widget_id=f"HexW{index}",
+            widget_type=WidgetType.SLIDER if is_numeric else WidgetType.TEXT_INPUT,
+            label=attribute,
+            bindings=[ChoiceBinding(0, f"param_{index}")],
+            domain=(default, default) if is_numeric else None,
+            default=default,
+        )
+        return HexParameter(name=f"param_{index}", attribute=attribute, default=default, widget=widget)
+
+    # ------------------------------------------------------------------ #
+    # Execution with parameter values
+    # ------------------------------------------------------------------ #
+
+    def run(self, interface: HexInterface, values: dict[str, Any] | None = None) -> QueryResult:
+        """Execute the parameterized query with explicit parameter values.
+
+        Hex substitutes parameter values back into the SQL; we re-parse the
+        template and substitute literals in the same positions.
+        """
+        values = values or {}
+        parsed = parse_query_log([interface.query_template])[0]
+        remaining = {param.name: values.get(param.name, param.default) for param in interface.parameters}
+        names = list(remaining)
+        counter = {"index": 0}
+
+        def rewrite(node: SqlNode) -> SqlNode | None:
+            if isinstance(node, Literal) and counter["index"] < len(names):
+                # Substitution follows creation order, matching parameterize().
+                name = names[counter["index"]]
+                original_default = interface.parameters[counter["index"]].default
+                if node.value == original_default:
+                    counter["index"] += 1
+                    return Literal(remaining[name])
+            return None
+
+        substituted = transform(parsed, rewrite)
+        if not isinstance(substituted, Select):
+            raise ReproError("Hex parameter substitution did not produce a SELECT")
+        return self.catalog.execute(substituted)

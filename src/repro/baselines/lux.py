@@ -1,0 +1,80 @@
+"""Lux-like baseline: always-on static visualization recommendation.
+
+Lux (Lee et al., VLDB) recommends a static visualization whenever a notebook
+cell returns a dataframe.  Re-implemented here to regenerate Table 1 and
+Figure 1(a): for each query in the log it recommends one chart over that
+query's result — per query, independently, with no widgets, no interactions
+and no awareness of how the queries relate to each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.difftree.builder import build_forest
+from repro.difftree.tree_schema import forest_schema
+from repro.engine.catalog import Catalog
+from repro.engine.table import QueryResult
+from repro.interface.visualizations import Visualization
+from repro.mapping.vis_mapping import map_tree_to_visualization
+
+
+@dataclass
+class LuxRecommendation:
+    """The static recommendation for one query."""
+
+    query: str
+    visualization: Visualization
+    data: QueryResult | None = None
+
+
+@dataclass
+class LuxBaseline:
+    """A minimal re-implementation of Lux's recommendation behaviour.
+
+    Capabilities (Table 1): visualizations — yes; widgets — none;
+    visualization interactions — none; zero effort — yes.
+    """
+
+    catalog: Catalog
+    execute_queries: bool = True
+    recommendations: list[LuxRecommendation] = field(default_factory=list)
+
+    #: Capability flags used by the Table 1 benchmark.
+    capabilities = {
+        "visualizations": True,
+        "widgets": "none",
+        "vis_interactions": False,
+        "zero_effort": True,
+        "manual_steps": 0,
+    }
+
+    def recommend(self, queries: list[str]) -> list[LuxRecommendation]:
+        """Produce one static chart recommendation per query."""
+        forest = build_forest(queries, strategy="per_query")
+        schema = forest_schema(forest, self.catalog.schemas())
+        self.recommendations = []
+        for index, profile in enumerate(schema.profiles):
+            vis = map_tree_to_visualization(profile, vis_id=f"Lux{index + 1}")
+            data = self.catalog.execute(queries[index]) if self.execute_queries else None
+            self.recommendations.append(
+                LuxRecommendation(query=queries[index], visualization=vis, data=data)
+            )
+        return self.recommendations
+
+    # ------------------------------------------------------------------ #
+    # Capability accounting (Table 1)
+    # ------------------------------------------------------------------ #
+
+    def widget_count(self) -> int:
+        return 0
+
+    def interaction_count(self) -> int:
+        return 0
+
+    def visualization_count(self) -> int:
+        return len(self.recommendations)
+
+    def supports_interactive_analysis(self) -> bool:
+        """Lux renders static charts; continuing the analysis means editing SQL."""
+        return False

@@ -1,0 +1,89 @@
+"""Expressiveness term of the cost model.
+
+The generated interface must be able to re-express every query of the input
+log ("return the lowest cost interface I that can express all queries in Q").
+This module measures the fraction of input queries each Difftree can
+instantiate and converts misses into a large cost penalty; it also reports the
+size of the binding space as a (log-scaled) generality measure used by
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.difftree.builder import DifftreeForest
+from repro.difftree.instantiate import binding_space_size, find_binding_for
+
+#: Cost added per input query the interface cannot express.
+MISSING_QUERY_PENALTY = 10.0
+#: Cap on the binding enumeration used per coverage check.
+COVERAGE_ENUMERATION_LIMIT = 256
+#: Trees whose binding space exceeds this are counted as not covering their
+#: queries without enumerating: such tangles of choice nodes are terrible
+#: interfaces anyway, and the penalty steers the search away from them cheaply.
+BINDING_SPACE_CAP = 256
+
+
+#: Cache type used to memoize per-(tree, query) coverage checks across the many
+#: forest states a search evaluates.  Keys are (id(tree), query index); the
+#: cached tree object is stored alongside the result to keep the id stable.
+CoverageCache = dict
+
+
+def _query_covered(
+    tree, query, query_index: int, limit: int, cache: CoverageCache | None
+) -> bool:
+    if cache is not None:
+        key = (id(tree), query_index)
+        if key in cache:
+            return cache[key][1]
+    if binding_space_size(tree) > BINDING_SPACE_CAP:
+        covered = False
+    else:
+        covered = find_binding_for(tree, query, limit=limit) is not None
+    if cache is not None:
+        cache[(id(tree), query_index)] = (tree, covered)
+    return covered
+
+
+def coverage_ratio(
+    forest: DifftreeForest,
+    limit: int = COVERAGE_ENUMERATION_LIMIT,
+    cache: CoverageCache | None = None,
+) -> float:
+    """Fraction of the input query log expressible by the forest's trees."""
+    if not forest.queries:
+        return 1.0
+    covered = 0
+    for tree_index, member_indices in enumerate(forest.members):
+        tree = forest.trees[tree_index]
+        for query_index in member_indices:
+            if _query_covered(tree, forest.queries[query_index], query_index, limit, cache):
+                covered += 1
+    return covered / len(forest.queries)
+
+
+def expressiveness_cost(
+    forest: DifftreeForest,
+    limit: int = COVERAGE_ENUMERATION_LIMIT,
+    cache: CoverageCache | None = None,
+) -> float:
+    """Penalty for input queries the interface cannot re-express."""
+    ratio = coverage_ratio(forest, limit=limit, cache=cache)
+    missing = round((1.0 - ratio) * len(forest.queries))
+    return missing * MISSING_QUERY_PENALTY
+
+
+def generality_score(forest: DifftreeForest) -> float:
+    """Log-scaled size of the space of queries the interface can express.
+
+    Choice nodes generalize the input queries (a slider expresses infinitely
+    many literal values; here we count the discrete binding space).  The score
+    is informational — the cost model does not reward generality directly, but
+    the ablation benchmarks report it.
+    """
+    total = 0.0
+    for tree in forest.trees:
+        total += math.log2(max(binding_space_size(tree), 1))
+    return total

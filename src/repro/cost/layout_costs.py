@@ -1,0 +1,48 @@
+"""Layout cost: how well the interface fits the available screen.
+
+Implements the screen-size-aware part of the cost function: tabbed navigation
+costs attention, charts that had to shrink cost readability, and a widget
+panel that overflows the screen height costs scrolling.
+"""
+
+from __future__ import annotations
+
+from repro.interface.layout import Layout, WIDGET_HEIGHT
+from repro.interface.visualizations import Visualization
+from repro.interface.widgets import Widget
+
+#: Cost of switching to a tabbed layout (charts are no longer simultaneously visible).
+TABS_COST = 1.5
+#: Cost per chart beyond what fits in the first row (requires vertical scanning).
+EXTRA_ROW_CHART_COST = 0.35
+#: Cost per widget that does not fit the widget panel without scrolling.
+WIDGET_OVERFLOW_COST = 0.3
+#: Cost per chart when the layout had to shrink charts below their preferred width.
+SHRUNK_CHART_COST = 0.25
+
+
+def layout_cost(
+    layout: Layout, visualizations: list[Visualization], widgets: list[Widget]
+) -> float:
+    """Cost of one computed layout."""
+    cost = 0.0
+    if layout.uses_tabs:
+        cost += TABS_COST
+
+    per_row = max(layout.charts_per_row(), 1)
+    overflow_charts = max(0, len(visualizations) - per_row)
+    cost += overflow_charts * EXTRA_ROW_CHART_COST
+
+    panel_capacity = max(1, layout.screen.height // WIDGET_HEIGHT)
+    overflow_widgets = max(0, len(widgets) - panel_capacity)
+    cost += overflow_widgets * WIDGET_OVERFLOW_COST
+
+    for vis in visualizations:
+        try:
+            placement = layout.placement_for(vis.vis_id)
+        except Exception:  # noqa: BLE001 - unplaced charts are a modelling bug, cost heavily
+            cost += 1.0
+            continue
+        if placement.width < vis.width:
+            cost += SHRUNK_CHART_COST
+    return cost

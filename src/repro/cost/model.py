@@ -1,0 +1,192 @@
+"""The interface cost model C(I, Q).
+
+The cost of a candidate interface is a weighted sum of four terms:
+
+* **visualization cost** — number and quality of charts (tables and
+  single-column fallbacks are penalized; so are charts that stack a
+  high-cardinality nominal field on the color channel),
+* **interaction cost** — widgets plus visualization interactions, priced by
+  :mod:`repro.cost.widget_costs` (direct manipulation < simple widgets <
+  option lists < tabs),
+* **layout cost** — how well the components fit the target screen
+  (:mod:`repro.cost.layout_costs`),
+* **expressiveness cost** — a large penalty for every input query the
+  interface can no longer express (:mod:`repro.cost.expressiveness`).
+
+The search layer minimizes this cost over Difftree structures; the ablation
+benchmarks switch individual terms off to show each one's effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cost.expressiveness import expressiveness_cost
+from repro.cost.layout_costs import layout_cost
+from repro.cost.widget_costs import total_interaction_cost, total_widget_cost
+from repro.interface.interface import Interface
+from repro.interface.visualizations import Channel, ChartType
+from repro.sql.ast_nodes import Select
+
+#: Base cost per chart; keeps the model from multiplying views without benefit.
+PER_CHART_COST = 1.0
+#: Extra cost for fallback chart types.
+TABLE_CHART_COST = 1.0
+HISTOGRAM_CHART_COST = 0.4
+#: Extra cost when a chart maps a high-cardinality nominal field to color
+#: (the "visually noisy" state breakdown of walkthrough Step 3).
+NOISY_COLOR_COST = 0.5
+NOISY_COLOR_CARDINALITY = 10
+#: Extra cost for every chart whose spec duplicates an earlier chart's.
+DUPLICATE_CHART_COST = 0.8
+
+
+@dataclass(frozen=True)
+class CostWeights:
+    """Relative weights of the four cost terms."""
+
+    visualization: float = 1.0
+    interaction: float = 1.0
+    layout: float = 1.0
+    expressiveness: float = 1.0
+
+
+@dataclass
+class CostBreakdown:
+    """The evaluated cost of one candidate interface."""
+
+    visualization: float
+    interaction: float
+    layout: float
+    expressiveness: float
+    weights: CostWeights = field(default_factory=CostWeights)
+
+    @property
+    def total(self) -> float:
+        return (
+            self.weights.visualization * self.visualization
+            + self.weights.interaction * self.interaction
+            + self.weights.layout * self.layout
+            + self.weights.expressiveness * self.expressiveness
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "visualization": self.visualization,
+            "interaction": self.interaction,
+            "layout": self.layout,
+            "expressiveness": self.expressiveness,
+            "total": self.total,
+        }
+
+
+class CostModel:
+    """Evaluates C(I, Q) for candidate interfaces."""
+
+    def __init__(
+        self,
+        weights: CostWeights | None = None,
+        check_expressiveness: bool = True,
+        nominal_cardinalities: dict[str, int] | None = None,
+    ) -> None:
+        """
+        Args:
+            weights: term weights (ablations set individual terms to zero).
+            check_expressiveness: set False to skip the (comparatively slow)
+                coverage check — used by search variants that guarantee
+                coverage by construction.
+            nominal_cardinalities: optional attribute → distinct-count map so
+                the visualization term can price noisy color encodings (built
+                from the catalog by the pipeline).
+        """
+        self.weights = weights or CostWeights()
+        self.check_expressiveness = check_expressiveness
+        self.nominal_cardinalities = nominal_cardinalities or {}
+        self._coverage_cache: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Term evaluation
+    # ------------------------------------------------------------------ #
+
+    def visualization_cost(self, interface: Interface) -> float:
+        cost = 0.0
+        seen_specs: set[tuple] = set()
+        for vis in interface.visualizations:
+            cost += PER_CHART_COST
+            if vis.chart_type is ChartType.TABLE:
+                cost += TABLE_CHART_COST
+            elif vis.chart_type is ChartType.HISTOGRAM:
+                cost += HISTOGRAM_CHART_COST
+            color = vis.encoding_for(Channel.COLOR)
+            if color is not None:
+                cardinality = self.nominal_cardinalities.get(color.field, 0)
+                if cardinality > NOISY_COLOR_CARDINALITY:
+                    cost += NOISY_COLOR_COST
+            # Charts with identical specs *and* identical filtered attributes
+            # are redundant: the queries behind them differ only in values an
+            # interaction could express, so they should have been merged into
+            # one interactive chart.  An overview/detail pair (same spec, but
+            # one query unfiltered) is intentionally not penalized — that is
+            # the linked-brush idiom of the COVID walkthrough.
+            spec = (
+                vis.chart_type,
+                tuple(encoding.describe() for encoding in vis.encodings),
+                self._filter_attributes(interface, vis.tree_index),
+            )
+            if spec in seen_specs:
+                cost += DUPLICATE_CHART_COST
+            seen_specs.add(spec)
+        return cost
+
+    @staticmethod
+    def _filter_attributes(interface: Interface, tree_index: int) -> frozenset[str]:
+        """Column names referenced by comparison predicates anywhere in the tree."""
+        from repro.sql.ast_nodes import BetweenOp, BinaryOp, ColumnRef, InList, InSubquery
+
+        tree = interface.forest.trees[tree_index]
+        names: set[str] = set()
+        for node in tree.walk():
+            if isinstance(node, BinaryOp) and node.op in ("=", "<>", "<", "<=", ">", ">="):
+                for side in (node.left, node.right):
+                    if isinstance(side, ColumnRef):
+                        names.add(side.name)
+            elif isinstance(node, (BetweenOp, InList, InSubquery)) and isinstance(
+                node.expr, ColumnRef
+            ):
+                names.add(node.expr.name)
+        return frozenset(names)
+
+    def interaction_cost(self, interface: Interface) -> float:
+        return total_widget_cost(interface.widgets) + total_interaction_cost(
+            interface.interactions
+        )
+
+    def layout_cost(self, interface: Interface) -> float:
+        if interface.layout is None:
+            return 1.0
+        return layout_cost(interface.layout, interface.visualizations, interface.widgets)
+
+    def expressiveness_cost(self, interface: Interface) -> float:
+        if not self.check_expressiveness:
+            return 0.0
+        return expressiveness_cost(interface.forest, cache=self._coverage_cache)
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, interface: Interface, queries: Sequence[Select] | None = None) -> CostBreakdown:
+        """Evaluate the full cost of a candidate interface.
+
+        ``queries`` is accepted for signature compatibility with C(I, Q); the
+        forest embedded in the interface already carries the query log, which
+        is what the expressiveness term checks against.
+        """
+        return CostBreakdown(
+            visualization=self.visualization_cost(interface),
+            interaction=self.interaction_cost(interface),
+            layout=self.layout_cost(interface),
+            expressiveness=self.expressiveness_cost(interface),
+            weights=self.weights,
+        )

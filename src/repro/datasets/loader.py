@@ -1,0 +1,49 @@
+"""Convenience loaders that register the synthetic datasets in a catalog."""
+
+from __future__ import annotations
+
+from repro.datasets.covid import (
+    CovidConfig,
+    covid_query_log,
+    generate_covid_cases,
+    generate_state_regions,
+)
+from repro.datasets.sdss import SdssConfig, generate_photo_obj, sdss_query_log
+from repro.datasets.sp500 import Sp500Config, generate_prices, generate_sectors, sp500_query_log
+from repro.engine.catalog import Catalog
+
+
+def load_covid_catalog(config: CovidConfig | None = None) -> Catalog:
+    """Catalog with ``covid_cases`` and ``state_regions`` registered."""
+    catalog = Catalog()
+    catalog.register(generate_covid_cases(config))
+    catalog.register(generate_state_regions())
+    return catalog
+
+
+def load_sdss_catalog(config: SdssConfig | None = None) -> Catalog:
+    """Catalog with the ``photoobj`` object sample registered."""
+    catalog = Catalog()
+    catalog.register(generate_photo_obj(config))
+    return catalog
+
+
+def load_sp500_catalog(config: Sp500Config | None = None) -> Catalog:
+    """Catalog with ``prices`` and ``sectors`` registered."""
+    catalog = Catalog()
+    catalog.register(generate_prices(config))
+    catalog.register(generate_sectors())
+    return catalog
+
+
+def demo_scenarios() -> dict[str, tuple[Catalog, list[str]]]:
+    """All three demo scenarios: name -> (catalog, query log).
+
+    These are the datasets the demonstration prepares for participants
+    (COVID-19, SDSS and S&P 500).
+    """
+    return {
+        "covid": (load_covid_catalog(), covid_query_log()),
+        "sdss": (load_sdss_catalog(), sdss_query_log()),
+        "sp500": (load_sp500_catalog(), sp500_query_log()),
+    }

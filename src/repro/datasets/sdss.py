@@ -1,0 +1,120 @@
+"""Synthetic Sloan Digital Sky Survey (SDSS) photometric object catalog.
+
+Example 1 of the paper uses two queries from the SDSS query log that retrieve
+astronomical objects inside a celestial region defined by right-ascension
+(``ra``) and declination (``dec``) ranges.  The real catalog is hundreds of
+millions of objects; this generator produces a deterministic sample with the
+same columns the example queries touch (object id, ra, dec, magnitudes in the
+u/g/r/i/z bands, object class and redshift) and a handful of over-dense
+"cluster" regions so that panning/zooming over ra/dec shows visible structure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.engine.table import Table
+
+#: (ra center, dec center, object count weight) of synthetic galaxy clusters.
+CLUSTER_CENTERS: tuple[tuple[float, float, float], ...] = (
+    (150.0, 2.0, 0.25),
+    (185.0, 15.0, 0.2),
+    (210.0, 25.0, 0.15),
+    (120.0, 40.0, 0.1),
+)
+
+OBJECT_CLASSES: tuple[str, ...] = ("GALAXY", "STAR", "QSO")
+
+
+@dataclass(frozen=True)
+class SdssConfig:
+    """Generation parameters for the synthetic SDSS sample."""
+
+    object_count: int = 4000
+    seed: int = 42
+    ra_min: float = 100.0
+    ra_max: float = 250.0
+    dec_min: float = -5.0
+    dec_max: float = 60.0
+
+
+def generate_photo_obj(config: SdssConfig | None = None) -> Table:
+    """Generate the ``photoobj`` table of celestial objects."""
+    config = config or SdssConfig()
+    rng = random.Random(config.seed)
+    rows: list[list[object]] = []
+    cluster_weight = sum(weight for _ra, _dec, weight in CLUSTER_CENTERS)
+    for object_id in range(1, config.object_count + 1):
+        draw = rng.random()
+        if draw < cluster_weight:
+            # Pick a cluster proportionally to its weight and scatter around it.
+            threshold = 0.0
+            center = CLUSTER_CENTERS[0]
+            for candidate in CLUSTER_CENTERS:
+                threshold += candidate[2]
+                if draw < threshold:
+                    center = candidate
+                    break
+            ra = rng.gauss(center[0], 3.0)
+            dec = rng.gauss(center[1], 2.0)
+            object_class = "GALAXY" if rng.random() < 0.8 else "QSO"
+        else:
+            ra = rng.uniform(config.ra_min, config.ra_max)
+            dec = rng.uniform(config.dec_min, config.dec_max)
+            object_class = OBJECT_CLASSES[rng.randrange(len(OBJECT_CLASSES))]
+        ra = min(max(ra, config.ra_min), config.ra_max)
+        dec = min(max(dec, config.dec_min), config.dec_max)
+        base_magnitude = rng.uniform(14.0, 22.0)
+        redshift = abs(rng.gauss(0.15, 0.1)) if object_class != "STAR" else 0.0
+        rows.append(
+            [
+                object_id,
+                round(ra, 4),
+                round(dec, 4),
+                round(base_magnitude + rng.gauss(0.4, 0.1), 3),   # u band
+                round(base_magnitude + rng.gauss(0.1, 0.1), 3),   # g band
+                round(base_magnitude, 3),                          # r band
+                round(base_magnitude - rng.gauss(0.1, 0.1), 3),   # i band
+                round(base_magnitude - rng.gauss(0.2, 0.1), 3),   # z band
+                object_class,
+                round(redshift, 4),
+            ]
+        )
+    return Table(
+        name="photoobj",
+        columns=["objid", "ra", "dec", "u", "g", "r", "i", "z", "class", "redshift"],
+        rows=rows,
+    )
+
+
+def sdss_query_log() -> list[str]:
+    """The two region queries of Example 1 (Figure 1).
+
+    Both retrieve objects within an ra/dec bounding box; the second pans and
+    zooms the region, which is exactly the structural difference PI2 maps to a
+    pan/zoom interaction on a scatter plot.
+    """
+    q1 = (
+        "SELECT ra, dec, r FROM photoobj "
+        "WHERE ra BETWEEN 140.0 AND 160.0 AND dec BETWEEN -2.0 AND 6.0"
+    )
+    q2 = (
+        "SELECT ra, dec, r FROM photoobj "
+        "WHERE ra BETWEEN 175.0 AND 195.0 AND dec BETWEEN 10.0 AND 20.0"
+    )
+    return [q1, q2]
+
+
+def sdss_extended_query_log() -> list[str]:
+    """A longer SDSS session adding a class breakdown and a magnitude cut."""
+    q3 = (
+        "SELECT class, count(*) AS n FROM photoobj "
+        "WHERE ra BETWEEN 140.0 AND 160.0 AND dec BETWEEN -2.0 AND 6.0 "
+        "GROUP BY class"
+    )
+    q4 = (
+        "SELECT ra, dec, r FROM photoobj "
+        "WHERE ra BETWEEN 140.0 AND 160.0 AND dec BETWEEN -2.0 AND 6.0 AND r < 20.0"
+    )
+    return sdss_query_log() + [q3, q4]

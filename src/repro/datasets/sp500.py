@@ -1,0 +1,132 @@
+"""Synthetic S&P 500 daily price dataset.
+
+The demonstration offers an S&P 500 dataset for participants to explore.  This
+generator produces daily open/high/low/close/volume series for a basket of
+large-cap tickers using a geometric random walk with per-sector drift, plus a
+sector lookup table, so that sector-level aggregation queries have visible
+structure.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+from repro.engine.table import Table
+
+#: (ticker, sector, initial price, annualized drift, annualized volatility)
+TICKER_PROFILES: tuple[tuple[str, str, float, float, float], ...] = (
+    ("AAPL", "Technology", 150.0, 0.25, 0.30),
+    ("MSFT", "Technology", 280.0, 0.22, 0.28),
+    ("NVDA", "Technology", 220.0, 0.40, 0.45),
+    ("GOOG", "Communication", 2700.0, 0.18, 0.30),
+    ("META", "Communication", 330.0, 0.10, 0.40),
+    ("AMZN", "Consumer", 3300.0, 0.12, 0.35),
+    ("TSLA", "Consumer", 900.0, 0.35, 0.55),
+    ("JPM", "Financials", 160.0, 0.08, 0.25),
+    ("GS", "Financials", 390.0, 0.07, 0.28),
+    ("XOM", "Energy", 60.0, 0.15, 0.32),
+    ("CVX", "Energy", 110.0, 0.13, 0.30),
+    ("JNJ", "Healthcare", 165.0, 0.06, 0.18),
+    ("PFE", "Healthcare", 45.0, 0.09, 0.24),
+    ("UNH", "Healthcare", 450.0, 0.14, 0.22),
+)
+
+DEFAULT_START = date(2021, 1, 4)
+DEFAULT_TRADING_DAYS = 252
+
+
+@dataclass(frozen=True)
+class Sp500Config:
+    """Generation parameters for the synthetic S&P 500 dataset."""
+
+    start: date = DEFAULT_START
+    trading_days: int = DEFAULT_TRADING_DAYS
+    seed: int = 99
+
+
+def _trading_dates(start: date, count: int) -> list[date]:
+    dates: list[date] = []
+    current = start
+    while len(dates) < count:
+        if current.weekday() < 5:  # Monday .. Friday
+            dates.append(current)
+        current += timedelta(days=1)
+    return dates
+
+
+def generate_prices(config: Sp500Config | None = None) -> Table:
+    """Generate the ``prices(ticker, date, open, high, low, close, volume)`` table."""
+    config = config or Sp500Config()
+    rng = random.Random(config.seed)
+    dates = _trading_dates(config.start, config.trading_days)
+    rows: list[list[object]] = []
+    daily_factor = 1.0 / 252.0
+    for ticker, _sector, initial, drift, volatility in TICKER_PROFILES:
+        price = initial
+        for day in dates:
+            shock = rng.gauss(0.0, 1.0)
+            log_return = (drift - 0.5 * volatility**2) * daily_factor + volatility * math.sqrt(
+                daily_factor
+            ) * shock
+            open_price = price
+            close_price = price * math.exp(log_return)
+            high = max(open_price, close_price) * (1.0 + abs(rng.gauss(0.0, 0.004)))
+            low = min(open_price, close_price) * (1.0 - abs(rng.gauss(0.0, 0.004)))
+            volume = int(abs(rng.gauss(3_000_000, 800_000)))
+            rows.append(
+                [
+                    ticker,
+                    day.isoformat(),
+                    round(open_price, 2),
+                    round(high, 2),
+                    round(low, 2),
+                    round(close_price, 2),
+                    volume,
+                ]
+            )
+            price = close_price
+    return Table(
+        name="prices",
+        columns=["ticker", "date", "open", "high", "low", "close", "volume"],
+        rows=rows,
+    )
+
+
+def generate_sectors() -> Table:
+    """Generate the ``sectors(ticker, sector)`` lookup table."""
+    rows = [[ticker, sector] for ticker, sector, _initial, _drift, _vol in TICKER_PROFILES]
+    return Table(name="sectors", columns=["ticker", "sector"], rows=rows)
+
+
+def sp500_query_log() -> list[str]:
+    """A representative S&P 500 analysis session.
+
+    The queries mirror the COVID walkthrough's shape: an overview time series,
+    a zoomed date range, a per-sector breakdown, and a filter variant — which
+    lets the same interface-generation machinery be exercised on a second
+    domain.
+    """
+    q1 = (
+        "SELECT date, avg(close) AS avg_close FROM prices GROUP BY date ORDER BY date"
+    )
+    q2 = (
+        "SELECT date, avg(close) AS avg_close FROM prices "
+        "WHERE date BETWEEN '2021-09-01' AND '2021-12-31' "
+        "GROUP BY date ORDER BY date"
+    )
+    q3 = (
+        "SELECT p.date, s.sector, avg(p.close) AS avg_close "
+        "FROM prices p JOIN sectors s ON p.ticker = s.ticker "
+        "WHERE p.date BETWEEN '2021-09-01' AND '2021-12-31' "
+        "GROUP BY p.date, s.sector ORDER BY p.date"
+    )
+    q4 = (
+        "SELECT p.date, s.sector, avg(p.close) AS avg_close "
+        "FROM prices p JOIN sectors s ON p.ticker = s.ticker "
+        "WHERE p.date BETWEEN '2021-09-01' AND '2021-12-31' AND s.sector = 'Technology' "
+        "GROUP BY p.date, s.sector ORDER BY p.date"
+    )
+    return [q1, q2, q3, q4]

@@ -1,0 +1,180 @@
+"""Canonicalization and similarity measures over query ASTs / Difftrees.
+
+Before merging queries into a Difftree, PI2 benefits from putting ASTs into a
+canonical form so that superficial differences (redundant table qualifiers,
+alias capitalization) do not create spurious choice nodes.  This module also
+provides the structural-similarity measure the forest builder uses to decide
+which queries to cluster into the same Difftree.
+"""
+
+from __future__ import annotations
+
+from repro.sql.ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Join,
+    Select,
+    SqlNode,
+    SubqueryRef,
+    TableRef,
+)
+from repro.sql.printer import to_sql
+from repro.sql.visitor import transform
+
+
+def _single_binding_name(query: Select) -> str | None:
+    """Binding name of the FROM clause when it is a single base table, else None."""
+    from_clause = query.from_clause
+    if isinstance(from_clause, TableRef):
+        return from_clause.binding_name
+    return None
+
+
+def strip_redundant_qualifiers(query: Select) -> Select:
+    """Remove table qualifiers that refer to the only table in a simple FROM.
+
+    ``SELECT c.date FROM covid_cases c`` and ``SELECT date FROM covid_cases``
+    then merge without a spurious choice node.  Queries with joins or derived
+    tables are left untouched (the qualifier is meaningful there).
+    """
+    binding = _single_binding_name(query)
+    if binding is None:
+        return query
+
+    def rewrite(node: SqlNode) -> SqlNode | None:
+        if isinstance(node, ColumnRef) and node.table == binding:
+            return ColumnRef(name=node.name)
+        if isinstance(node, TableRef) and node.binding_name == binding and node.alias:
+            # Drop the now-unused alias so FROM clauses also compare equal.
+            return TableRef(name=node.name)
+        return None
+
+    rewritten = transform(query, rewrite)
+    assert isinstance(rewritten, Select)
+    return rewritten
+
+
+def normalize_and_chains(node: SqlNode) -> SqlNode:
+    """Rebuild every AND chain as a left-deep chain of its conjuncts.
+
+    ``(a AND b) AND (c AND d)`` and ``((a AND b) AND c) AND d`` denote the same
+    predicate; putting both into the same shape makes structural equality (and
+    therefore Difftree coverage checks) insensitive to how the user happened to
+    parenthesize their filters.
+    """
+
+    def rewrite(candidate: SqlNode) -> SqlNode | None:
+        if isinstance(candidate, BinaryOp) and candidate.op == "AND":
+            conjuncts = split_conjuncts(candidate)
+            rebuilt = join_conjuncts(conjuncts)
+            if rebuilt is not None and rebuilt != candidate:
+                return rebuilt
+        return None
+
+    return transform(node, rewrite)
+
+
+def canonicalize(query: Select) -> Select:
+    """Apply all canonicalization passes to a query AST."""
+    normalized = normalize_and_chains(strip_redundant_qualifiers(query))
+    assert isinstance(normalized, Select)
+    return normalized
+
+
+def canonical_form(node: SqlNode) -> SqlNode:
+    """Canonical shape of an arbitrary query/expression for equality checks."""
+    if isinstance(node, Select):
+        return canonicalize(node)
+    return normalize_and_chains(node)
+
+
+def tree_size(node: SqlNode) -> int:
+    """Number of nodes in the subtree."""
+    return sum(1 for _ in node.walk())
+
+
+def tree_fingerprint(node: SqlNode) -> str:
+    """A stable textual fingerprint of a tree (its rendered SQL when possible)."""
+    try:
+        return to_sql(node)
+    except Exception:  # noqa: BLE001 - choice nodes are not renderable as SQL
+        parts = []
+        for descendant in node.walk():
+            parts.append(type(descendant).__name__)
+        return "|".join(parts)
+
+
+def shared_node_count(a: SqlNode, b: SqlNode) -> int:
+    """Number of structurally identical subtrees shared by ``a`` and ``b``.
+
+    Counted over multisets of subtree fingerprints, so repeated structure is
+    credited once per occurrence.
+    """
+    def fingerprint_counts(node: SqlNode) -> dict[tuple, int]:
+        counts: dict[tuple, int] = {}
+        for descendant in node.walk():
+            key = _subtree_key(descendant)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    counts_a = fingerprint_counts(a)
+    counts_b = fingerprint_counts(b)
+    shared = 0
+    for key, count in counts_a.items():
+        shared += min(count, counts_b.get(key, 0))
+    return shared
+
+
+def _subtree_key(node: SqlNode) -> tuple:
+    return (node.label(), tuple(_subtree_key(child) for child in node.children()))
+
+
+def structural_similarity(a: SqlNode, b: SqlNode) -> float:
+    """Similarity in [0, 1]: shared subtree mass over average tree size."""
+    size_a = tree_size(a)
+    size_b = tree_size(b)
+    if size_a == 0 or size_b == 0:
+        return 0.0
+    shared = shared_node_count(a, b)
+    return min(1.0, 2.0 * shared / (size_a + size_b))
+
+
+def queries_share_source(a: Select, b: Select) -> bool:
+    """True when the two queries reference at least one common base table."""
+    tables_a = {ref.name.lower() for ref in a.find_all(TableRef)}
+    tables_b = {ref.name.lower() for ref in b.find_all(TableRef)}
+    return bool(tables_a & tables_b)
+
+
+def count_joins(query: Select) -> int:
+    """Number of join operators in the query."""
+    return len(query.find_all(Join))
+
+
+def count_subqueries(query: Select) -> int:
+    """Number of nested SELECTs (excluding the query itself)."""
+    return sum(1 for node in query.walk() if isinstance(node, Select)) - 1
+
+
+def count_derived_tables(query: Select) -> int:
+    """Number of derived tables in FROM clauses."""
+    return len(query.find_all(SubqueryRef))
+
+
+def split_conjuncts(predicate: SqlNode | None) -> list[SqlNode]:
+    """Split a predicate into its top-level AND conjuncts."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, BinaryOp) and predicate.op == "AND":
+        return split_conjuncts(predicate.left) + split_conjuncts(predicate.right)
+    return [predicate]
+
+
+def join_conjuncts(conjuncts: list[SqlNode]) -> SqlNode | None:
+    """Re-assemble a conjunct list into a left-deep AND chain."""
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        result = BinaryOp(op="AND", left=result, right=conjunct)
+    return result

@@ -1,0 +1,173 @@
+"""Tree transformation rules over Difftrees.
+
+Step 4 of the PI2 pipeline repeatedly transforms Difftrees to explore
+alternative interface structures (Figure 3 of the paper shows the canonical
+example: refactoring the shared ``=`` above an ANY node).  Each rule is a pure
+function ``tree -> new tree`` that either applies at a specific choice node or
+returns the tree unchanged when it does not apply; the search layer enumerates
+applicable (rule, node) pairs via :func:`applicable_transformations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import TransformationError
+from repro.difftree.nodes import AnyNode, ChoiceNode, OptNode, collect_choice_nodes
+from repro.sql.ast_nodes import SqlNode
+from repro.sql.visitor import transform
+
+
+# --------------------------------------------------------------------------- #
+# Rule implementations
+# --------------------------------------------------------------------------- #
+
+
+def factor_common_root(tree: SqlNode, choice_id: str) -> SqlNode:
+    """Factor the shared root of an ANY node's alternatives above the choice.
+
+    Applies when every alternative of the ANY node has the same label (same
+    node class and scalar attributes) and the same child count.  The result
+    replaces ``ANY(f(x1, y1), f(x2, y2))`` with ``f(ANY(x1, x2), ANY(y1, y2))``
+    — Figure 3(a) → 3(b).  Child positions whose subtrees are identical across
+    alternatives stay concrete instead of becoming singleton choices.
+    """
+
+    def rewrite(node: SqlNode) -> SqlNode | None:
+        if not isinstance(node, AnyNode) or node.choice_id != choice_id:
+            return None
+        return _factor_any(node)
+
+    return transform(tree, rewrite)
+
+
+def _factor_any(node: AnyNode) -> SqlNode:
+    alternatives = node.alternatives
+    if len(alternatives) < 2:
+        raise TransformationError("Cannot factor an ANY node with fewer than two alternatives")
+    first = alternatives[0]
+    if isinstance(first, ChoiceNode):
+        raise TransformationError("Cannot factor an ANY node whose alternatives are choices")
+    label = first.label()
+    child_lists = [alt.children() for alt in alternatives]
+    child_count = len(child_lists[0])
+    if any(alt.label() != label for alt in alternatives):
+        raise TransformationError("ANY alternatives do not share a common root label")
+    if any(len(children) != child_count for children in child_lists):
+        raise TransformationError("ANY alternatives do not have matching child counts")
+    if child_count == 0:
+        raise TransformationError("ANY alternatives have no children to factor over")
+
+    new_children: list[SqlNode] = []
+    for position in range(child_count):
+        column = [children[position] for children in child_lists]
+        if all(child == column[0] for child in column):
+            new_children.append(column[0])
+        else:
+            unique: list[SqlNode] = []
+            for child in column:
+                if not any(child == existing for existing in unique):
+                    unique.append(child)
+            new_children.append(AnyNode(alternatives=unique))
+    return first.with_children(new_children)
+
+
+def can_factor(node: AnyNode) -> bool:
+    """True when :func:`factor_common_root` applies to this ANY node."""
+    try:
+        _factor_any(node)
+    except TransformationError:
+        return False
+    return True
+
+
+def inline_singleton_any(tree: SqlNode) -> SqlNode:
+    """Replace ANY nodes that have a single alternative with that alternative."""
+
+    def rewrite(node: SqlNode) -> SqlNode | None:
+        if isinstance(node, AnyNode) and node.cardinality == 1:
+            return node.alternatives[0]
+        return None
+
+    return transform(tree, rewrite)
+
+
+def flatten_nested_any(tree: SqlNode) -> SqlNode:
+    """Collapse ``ANY(ANY(a, b), c)`` into ``ANY(a, b, c)``."""
+
+    def rewrite(node: SqlNode) -> SqlNode | None:
+        if not isinstance(node, AnyNode):
+            return None
+        if not any(isinstance(alt, AnyNode) for alt in node.alternatives):
+            return None
+        flattened: list[SqlNode] = []
+        for alternative in node.alternatives:
+            candidates = alternative.alternatives if isinstance(alternative, AnyNode) else [alternative]
+            for candidate in candidates:
+                if not any(candidate == existing for existing in flattened):
+                    flattened.append(candidate)
+        return AnyNode(alternatives=flattened, choice_id=node.choice_id)
+
+    return transform(tree, rewrite)
+
+
+def toggle_opt_default(tree: SqlNode, choice_id: str) -> SqlNode:
+    """Flip the default state of an OPT node (changes the initial interface view)."""
+
+    def rewrite(node: SqlNode) -> SqlNode | None:
+        if isinstance(node, OptNode) and node.choice_id == choice_id:
+            return OptNode(child=node.child, default_on=not node.default_on, choice_id=node.choice_id)
+        return None
+
+    return transform(tree, rewrite)
+
+
+def normalize_difftree(tree: SqlNode) -> SqlNode:
+    """Cleanup pass applied after merges/transformations."""
+    return inline_singleton_any(flatten_nested_any(tree))
+
+
+# --------------------------------------------------------------------------- #
+# Rule registry
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """A concrete transformation instance: a rule applied at a choice node."""
+
+    rule: str
+    choice_id: str
+    apply: Callable[[SqlNode], SqlNode]
+
+    def __call__(self, tree: SqlNode) -> SqlNode:
+        return self.apply(tree)
+
+    def describe(self) -> str:
+        return f"{self.rule}@{self.choice_id}"
+
+
+def applicable_transformations(tree: SqlNode) -> list[Transformation]:
+    """Enumerate every (rule, choice node) pair applicable to ``tree``."""
+    transformations: list[Transformation] = []
+    for node in collect_choice_nodes(tree):
+        if isinstance(node, AnyNode) and can_factor(node):
+            transformations.append(
+                Transformation(
+                    rule="factor_common_root",
+                    choice_id=node.choice_id,
+                    apply=lambda t, cid=node.choice_id: normalize_difftree(
+                        factor_common_root(t, cid)
+                    ),
+                )
+            )
+        if isinstance(node, OptNode):
+            transformations.append(
+                Transformation(
+                    rule="toggle_opt_default",
+                    choice_id=node.choice_id,
+                    apply=lambda t, cid=node.choice_id: toggle_opt_default(t, cid),
+                )
+            )
+    return transformations

@@ -1,0 +1,30 @@
+"""In-memory columnar SQL execution engine."""
+
+from repro.engine.aggregates import is_aggregate_function, make_accumulator
+from repro.engine.catalog import Catalog
+from repro.engine.csvio import load_table, save_table, table_from_csv, table_to_csv
+from repro.engine.executor import Executor
+from repro.engine.expressions import Environment, ExpressionEvaluator
+from repro.engine.functions import SCALAR_FUNCTIONS, call_scalar_function, is_scalar_function
+from repro.engine.planner import Planner
+from repro.engine.table import QueryResult, Table, result_from_table
+
+__all__ = [
+    "Catalog",
+    "Executor",
+    "Planner",
+    "QueryResult",
+    "Table",
+    "result_from_table",
+    "Environment",
+    "ExpressionEvaluator",
+    "SCALAR_FUNCTIONS",
+    "call_scalar_function",
+    "is_scalar_function",
+    "is_aggregate_function",
+    "make_accumulator",
+    "load_table",
+    "save_table",
+    "table_from_csv",
+    "table_to_csv",
+]

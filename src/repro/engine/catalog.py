@@ -1,0 +1,99 @@
+"""The catalog: a named collection of in-memory tables.
+
+The catalog is the engine's entry point — it owns the tables, exposes their
+schemas to the analyzer, and provides :meth:`Catalog.execute` to run SQL text
+or ASTs through the planner/executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import CatalogError
+from repro.engine.table import QueryResult, Table
+from repro.sql.ast_nodes import Select, SetOperation, SqlNode
+from repro.sql.parser import parse
+from repro.sql.schema import TableSchema
+
+
+class Catalog:
+    """A named collection of tables plus query execution facilities."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    # ------------------------------------------------------------------ #
+    # Table management
+    # ------------------------------------------------------------------ #
+
+    def register(self, table: Table, replace: bool = False) -> None:
+        """Register a table under its own name."""
+        key = table.name.lower()
+        if key in self._tables and not replace:
+            raise CatalogError(f"Table {table.name!r} already exists in the catalog")
+        self._tables[key] = table
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[Any]] = (),
+        replace: bool = False,
+    ) -> Table:
+        """Create and register a table from rows."""
+        table = Table(name=name, columns=columns, rows=rows)
+        self.register(table, replace=replace)
+        return table
+
+    def drop(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"Cannot drop unknown table {name!r}")
+        del self._tables[key]
+
+    def table(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"Unknown table {name!r}")
+        return self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(table.name for table in self._tables.values())
+
+    def schemas(self) -> dict[str, TableSchema]:
+        """Schemas of every registered table, keyed by table name."""
+        return {table.name: table.schema() for table in self._tables.values()}
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self, query: str | SqlNode) -> QueryResult:
+        """Execute a SQL string or parsed AST and return its result."""
+        # Imported here to avoid a circular import: the executor needs the
+        # catalog type for scans.
+        from repro.engine.executor import Executor
+
+        node = parse(query) if isinstance(query, str) else query
+        if not isinstance(node, (Select, SetOperation)):
+            raise CatalogError(f"Only SELECT queries can be executed, got {type(node).__name__}")
+        return Executor(self).execute(node)
+
+    def explain(self, query: str | SqlNode) -> str:
+        """Return a textual logical plan for the query (for debugging/tests)."""
+        from repro.engine.planner import Planner
+
+        node = parse(query) if isinstance(query, str) else query
+        if not isinstance(node, (Select, SetOperation)):
+            raise CatalogError(f"Only SELECT queries can be planned, got {type(node).__name__}")
+        plan = Planner(self.schemas()).plan(node)
+        return plan.pretty()
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_table(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Catalog(tables={self.table_names()})"

@@ -1,0 +1,81 @@
+"""CSV import/export for in-memory tables.
+
+The demo datasets can be persisted to disk and reloaded, which the examples
+use to show a realistic load-analyze-visualize loop.  Values are round-tripped
+through a light type sniffing pass (int → float → ISO date → text).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any
+
+from repro.errors import DatasetError
+from repro.engine.table import Table
+
+
+def _parse_value(text: str) -> Any:
+    """Sniff a CSV cell into int/float/bool/None/str."""
+    if text == "":
+        return None
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def table_to_csv(table: Table) -> str:
+    """Serialize a table to CSV text (header row + data rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(table.column_names)
+    for row in table.rows():
+        writer.writerow([_format_value(value) for value in row])
+    return buffer.getvalue()
+
+
+def table_from_csv(name: str, text: str) -> Table:
+    """Parse CSV text into a table; the first row is the header."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration as exc:
+        raise DatasetError("CSV input is empty; expected a header row") from exc
+    rows = [[_parse_value(cell) for cell in row] for row in reader if row]
+    return Table(name=name, columns=header, rows=rows)
+
+
+def save_table(table: Table, path: str | Path) -> Path:
+    """Write a table to a CSV file and return the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(table_to_csv(table), encoding="utf-8")
+    return target
+
+
+def load_table(name: str, path: str | Path) -> Table:
+    """Load a table from a CSV file."""
+    source = Path(path)
+    if not source.exists():
+        raise DatasetError(f"CSV file {source} does not exist")
+    return table_from_csv(name, source.read_text(encoding="utf-8"))

@@ -1,0 +1,389 @@
+"""Expression evaluation over row environments.
+
+The executor materializes each row as an :class:`Environment` binding table
+aliases to column values.  The :class:`ExpressionEvaluator` walks expression
+ASTs against an environment, with hooks for
+
+* correlated subqueries (via a parent environment chain),
+* aggregate values precomputed by the GROUP BY operator,
+* SELECT-list aliases referenced from ORDER BY / HAVING.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from repro.errors import ExecutionError
+from repro.engine.functions import call_scalar_function, is_scalar_function
+from repro.sql.ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    Case,
+    Cast,
+    ColumnRef,
+    Exists,
+    FunctionCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Literal,
+    Parameter,
+    ScalarSubquery,
+    Select,
+    SqlNode,
+    Star,
+    UnaryOp,
+)
+from repro.sql.printer import to_sql
+
+
+class Environment:
+    """One row's visible bindings during evaluation.
+
+    Attributes:
+        bindings: table binding name -> {column name -> value}.
+        aliases: SELECT output aliases available to ORDER BY / HAVING.
+        parent: enclosing query's environment (for correlated subqueries).
+    """
+
+    def __init__(
+        self,
+        bindings: dict[str, dict[str, Any]] | None = None,
+        parent: "Environment | None" = None,
+    ) -> None:
+        self.bindings: dict[str, dict[str, Any]] = bindings or {}
+        self.aliases: dict[str, Any] = {}
+        self.parent = parent
+
+    def bind(self, binding_name: str, values: dict[str, Any]) -> None:
+        self.bindings[binding_name] = values
+
+    def child(self) -> "Environment":
+        """A fresh environment whose unresolved names fall through to this one."""
+        return Environment(parent=self)
+
+    def merged_with(self, other: "Environment") -> "Environment":
+        """A new environment containing both rows' bindings (used by joins)."""
+        merged = Environment(parent=self.parent)
+        merged.bindings = {**self.bindings, **other.bindings}
+        return merged
+
+    def resolve(self, column: ColumnRef) -> Any:
+        """Resolve a column reference to its value.
+
+        Raises ExecutionError when the column is unknown in this environment
+        chain or is ambiguous within one level.
+        """
+        found: list[Any] = []
+        for binding_name, values in self.bindings.items():
+            if column.table and column.table != binding_name:
+                continue
+            if column.name in values:
+                found.append(values[column.name])
+        if len(found) == 1:
+            return found[0]
+        if len(found) > 1:
+            raise ExecutionError(f"Ambiguous column reference {column.qualified_name!r}")
+        if not column.table and column.name in self.aliases:
+            return self.aliases[column.name]
+        if self.parent is not None:
+            return self.parent.resolve(column)
+        raise ExecutionError(f"Unknown column {column.qualified_name!r}")
+
+    def first_binding(self) -> dict[str, Any]:
+        """Values of the first binding (used by ``SELECT *`` expansion)."""
+        for values in self.bindings.values():
+            return values
+        return {}
+
+    def all_values(self) -> list[tuple[str, str, Any]]:
+        """Every (binding, column, value) triple — used by Star expansion."""
+        triples = []
+        for binding_name, values in self.bindings.items():
+            for column_name, value in values.items():
+                triples.append((binding_name, column_name, value))
+        return triples
+
+
+def like_to_regex(pattern: str) -> re.Pattern[str]:
+    """Convert a SQL LIKE pattern to an anchored regular expression."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def sql_equal(left: Any, right: Any) -> bool | None:
+    """SQL equality with NULL propagation."""
+    if left is None or right is None:
+        return None
+    return left == right
+
+
+def sql_compare(op: str, left: Any, right: Any) -> bool | None:
+    """Evaluate a comparison operator with NULL propagation."""
+    if left is None or right is None:
+        return None
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ExecutionError(f"Unknown comparison operator {op!r}")
+
+
+class ExpressionEvaluator:
+    """Evaluates expression ASTs against an :class:`Environment`.
+
+    Args:
+        subquery_executor: callback ``(select, env) -> QueryResult`` used to run
+            nested subqueries with the current environment as correlation
+            context.  May be None for expression contexts that cannot contain
+            subqueries (the evaluator then raises on encountering one).
+        aggregate_values: precomputed aggregate results for the current group,
+            keyed by the canonical SQL text of the aggregate call.
+        parameters: values for named/positional query parameters.
+    """
+
+    def __init__(
+        self,
+        subquery_executor: Callable[[Select, Environment], Any] | None = None,
+        aggregate_values: dict[str, Any] | None = None,
+        parameters: dict[str, Any] | None = None,
+    ) -> None:
+        self._subquery_executor = subquery_executor
+        self._aggregate_values = aggregate_values or {}
+        self._parameters = parameters or {}
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, node: SqlNode, env: Environment) -> Any:
+        if self._aggregate_values:
+            key = to_sql(node)
+            if key in self._aggregate_values:
+                return self._aggregate_values[key]
+
+        if isinstance(node, Literal):
+            return node.value
+        if isinstance(node, ColumnRef):
+            return env.resolve(node)
+        if isinstance(node, Parameter):
+            if node.name not in self._parameters:
+                raise ExecutionError(f"Missing value for parameter :{node.name}")
+            return self._parameters[node.name]
+        if isinstance(node, Star):
+            raise ExecutionError("'*' is only valid inside count(*) or a SELECT list")
+        if isinstance(node, UnaryOp):
+            return self._evaluate_unary(node, env)
+        if isinstance(node, BinaryOp):
+            return self._evaluate_binary(node, env)
+        if isinstance(node, BetweenOp):
+            return self._evaluate_between(node, env)
+        if isinstance(node, InList):
+            return self._evaluate_in_list(node, env)
+        if isinstance(node, InSubquery):
+            return self._evaluate_in_subquery(node, env)
+        if isinstance(node, Exists):
+            return self._evaluate_exists(node, env)
+        if isinstance(node, ScalarSubquery):
+            return self._evaluate_scalar_subquery(node, env)
+        if isinstance(node, IsNull):
+            value = self.evaluate(node.expr, env)
+            return (value is not None) if node.negated else (value is None)
+        if isinstance(node, FunctionCall):
+            return self._evaluate_function(node, env)
+        if isinstance(node, Cast):
+            return self._evaluate_cast(node, env)
+        if isinstance(node, Case):
+            return self._evaluate_case(node, env)
+        raise ExecutionError(f"Cannot evaluate expression node {type(node).__name__}")
+
+    def is_truthy(self, node: SqlNode, env: Environment) -> bool:
+        """Evaluate a predicate: NULL counts as false (SQL three-valued logic)."""
+        value = self.evaluate(node, env)
+        return bool(value) if value is not None else False
+
+    # ------------------------------------------------------------------ #
+    # Operators
+    # ------------------------------------------------------------------ #
+
+    def _evaluate_unary(self, node: UnaryOp, env: Environment) -> Any:
+        value = self.evaluate(node.operand, env)
+        if node.op == "NOT":
+            if value is None:
+                return None
+            return not bool(value)
+        if value is None:
+            return None
+        if node.op == "-":
+            return -value
+        if node.op == "+":
+            return +value
+        raise ExecutionError(f"Unknown unary operator {node.op!r}")
+
+    def _evaluate_binary(self, node: BinaryOp, env: Environment) -> Any:
+        op = node.op
+        if op == "AND":
+            left = self.evaluate(node.left, env)
+            if left is not None and not left:
+                return False
+            right = self.evaluate(node.right, env)
+            if right is not None and not right:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if op == "OR":
+            left = self.evaluate(node.left, env)
+            if left is not None and left:
+                return True
+            right = self.evaluate(node.right, env)
+            if right is not None and right:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+
+        left = self.evaluate(node.left, env)
+        right = self.evaluate(node.right, env)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return sql_compare(op, left, right)
+        if op == "LIKE":
+            if left is None or right is None:
+                return None
+            return bool(like_to_regex(str(right)).match(str(left)))
+        if op == "||":
+            if left is None or right is None:
+                return None
+            return str(left) + str(right)
+        if left is None or right is None:
+            return None
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if right == 0:
+                    return None
+                if isinstance(left, int) and isinstance(right, int):
+                    return left / right
+                return left / right
+            if op == "%":
+                if right == 0:
+                    return None
+                return left % right
+        except TypeError as exc:
+            raise ExecutionError(
+                f"Type error evaluating {left!r} {op} {right!r}: {exc}"
+            ) from exc
+        raise ExecutionError(f"Unknown binary operator {op!r}")
+
+    def _evaluate_between(self, node: BetweenOp, env: Environment) -> Any:
+        value = self.evaluate(node.expr, env)
+        low = self.evaluate(node.low, env)
+        high = self.evaluate(node.high, env)
+        if value is None or low is None or high is None:
+            return None
+        result = low <= value <= high
+        return not result if node.negated else result
+
+    def _evaluate_in_list(self, node: InList, env: Environment) -> Any:
+        value = self.evaluate(node.expr, env)
+        if value is None:
+            return None
+        items = [self.evaluate(item, env) for item in node.items]
+        found = any(item is not None and item == value for item in items)
+        if not found and any(item is None for item in items):
+            return None
+        return not found if node.negated else found
+
+    def _run_subquery(self, query: Select, env: Environment) -> Any:
+        if self._subquery_executor is None:
+            raise ExecutionError("Subqueries are not allowed in this context")
+        return self._subquery_executor(query, env)
+
+    def _evaluate_in_subquery(self, node: InSubquery, env: Environment) -> Any:
+        value = self.evaluate(node.expr, env)
+        if value is None:
+            return None
+        result = self._run_subquery(node.query, env)
+        values = [row[0] for row in result.rows]
+        found = any(item is not None and item == value for item in values)
+        if not found and any(item is None for item in values):
+            return None
+        return not found if node.negated else found
+
+    def _evaluate_exists(self, node: Exists, env: Environment) -> Any:
+        result = self._run_subquery(node.query, env)
+        found = result.row_count > 0
+        return not found if node.negated else found
+
+    def _evaluate_scalar_subquery(self, node: ScalarSubquery, env: Environment) -> Any:
+        result = self._run_subquery(node.query, env)
+        if result.row_count == 0:
+            return None
+        if len(result.columns) != 1:
+            raise ExecutionError("Scalar subquery must return exactly one column")
+        if result.row_count > 1:
+            raise ExecutionError("Scalar subquery returned more than one row")
+        return result.rows[0][0]
+
+    def _evaluate_function(self, node: FunctionCall, env: Environment) -> Any:
+        name = node.lower_name
+        if is_scalar_function(name):
+            args = [self.evaluate(arg, env) for arg in node.args]
+            return call_scalar_function(name, args)
+        # Aggregates must have been precomputed by the GROUP BY operator.
+        key = to_sql(node)
+        if key in self._aggregate_values:
+            return self._aggregate_values[key]
+        raise ExecutionError(
+            f"Aggregate or unknown function {node.name!r} used outside of an "
+            f"aggregation context"
+        )
+
+    def _evaluate_cast(self, node: Cast, env: Environment) -> Any:
+        value = self.evaluate(node.expr, env)
+        if value is None:
+            return None
+        target = node.target_type
+        try:
+            if target in ("int", "integer", "bigint"):
+                return int(float(value))
+            if target in ("float", "real", "double"):
+                return float(value)
+            if target in ("text", "varchar", "char", "string"):
+                return str(value)
+            if target in ("boolean", "bool"):
+                return bool(value)
+            if target == "date":
+                return str(value)[:10]
+        except (TypeError, ValueError) as exc:
+            raise ExecutionError(f"Cannot cast {value!r} to {target}: {exc}") from exc
+        raise ExecutionError(f"Unknown cast target type {target!r}")
+
+    def _evaluate_case(self, node: Case, env: Environment) -> Any:
+        for arm in node.whens:
+            if self.is_truthy(arm.condition, env):
+                return self.evaluate(arm.result, env)
+        if node.else_result is not None:
+            return self.evaluate(node.else_result, env)
+        return None

@@ -1,0 +1,146 @@
+"""Scalar SQL functions available to the expression evaluator.
+
+All functions follow SQL NULL semantics: when any required argument is NULL
+the result is NULL (except for functions such as ``coalesce`` whose purpose is
+to handle NULLs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.errors import ExecutionError
+
+
+def _null_safe(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap a function so that any NULL argument yields NULL."""
+
+    def wrapper(*args: Any) -> Any:
+        if any(arg is None for arg in args):
+            return None
+        return fn(*args)
+
+    return wrapper
+
+
+def _substr(value: str, start: int, length: int | None = None) -> str:
+    # SQL substr is 1-based; negative start counts from the end.
+    text = str(value)
+    if start > 0:
+        begin = start - 1
+    elif start < 0:
+        begin = max(len(text) + start, 0)
+    else:
+        begin = 0
+    if length is None:
+        return text[begin:]
+    if length < 0:
+        return ""
+    return text[begin : begin + length]
+
+
+def _round(value: float, digits: int = 0) -> float:
+    result = round(float(value) + 0.0, int(digits))
+    return result
+
+
+def _strftime(fmt: str, value: str) -> str:
+    """Minimal strftime over ISO date strings (enough for %Y, %m, %d, %Y-%m)."""
+    if len(value) < 10:
+        raise ExecutionError(f"strftime expects an ISO date string, got {value!r}")
+    year, month, day = value[:4], value[5:7], value[8:10]
+    return (
+        fmt.replace("%Y", year)
+        .replace("%m", month)
+        .replace("%d", day)
+    )
+
+
+def _date_trunc(unit: str, value: str) -> str:
+    """Truncate an ISO date string to 'year' or 'month' granularity."""
+    unit = unit.lower()
+    if unit == "year":
+        return f"{value[:4]}-01-01"
+    if unit == "month":
+        return f"{value[:7]}-01"
+    if unit == "day":
+        return value[:10]
+    raise ExecutionError(f"Unsupported date_trunc unit {unit!r}")
+
+
+def _coalesce(*args: Any) -> Any:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _nullif(first: Any, second: Any) -> Any:
+    if first == second:
+        return None
+    return first
+
+
+def _left(value: str, count: int) -> str:
+    return str(value)[: max(int(count), 0)]
+
+
+def _right(value: str, count: int) -> str:
+    count = max(int(count), 0)
+    return str(value)[-count:] if count else ""
+
+
+#: Registry of scalar functions: lowercase name -> callable.
+SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "abs": _null_safe(lambda x: abs(x)),
+    "round": _null_safe(_round),
+    "floor": _null_safe(lambda x: math.floor(x)),
+    "ceil": _null_safe(lambda x: math.ceil(x)),
+    "ceiling": _null_safe(lambda x: math.ceil(x)),
+    "sqrt": _null_safe(lambda x: math.sqrt(x)),
+    "ln": _null_safe(lambda x: math.log(x)),
+    "log": _null_safe(lambda x: math.log10(x)),
+    "exp": _null_safe(lambda x: math.exp(x)),
+    "power": _null_safe(lambda x, y: math.pow(x, y)),
+    "pow": _null_safe(lambda x, y: math.pow(x, y)),
+    "mod": _null_safe(lambda x, y: x % y),
+    "sign": _null_safe(lambda x: (x > 0) - (x < 0)),
+    "lower": _null_safe(lambda s: str(s).lower()),
+    "upper": _null_safe(lambda s: str(s).upper()),
+    "length": _null_safe(lambda s: len(str(s))),
+    "trim": _null_safe(lambda s: str(s).strip()),
+    "ltrim": _null_safe(lambda s: str(s).lstrip()),
+    "rtrim": _null_safe(lambda s: str(s).rstrip()),
+    "substr": _null_safe(_substr),
+    "substring": _null_safe(_substr),
+    "replace": _null_safe(lambda s, old, new: str(s).replace(str(old), str(new))),
+    "concat": lambda *args: "".join(str(a) for a in args if a is not None),
+    "left": _null_safe(_left),
+    "right": _null_safe(_right),
+    "coalesce": _coalesce,
+    "nullif": _nullif,
+    "ifnull": lambda a, b: b if a is None else a,
+    "strftime": _null_safe(_strftime),
+    "date": _null_safe(lambda s: str(s)[:10]),
+    "date_trunc": _null_safe(_date_trunc),
+    "year": _null_safe(lambda s: int(str(s)[:4])),
+    "month": _null_safe(lambda s: int(str(s)[5:7])),
+    "day": _null_safe(lambda s: int(str(s)[8:10])),
+}
+
+
+def call_scalar_function(name: str, args: list[Any]) -> Any:
+    """Invoke a scalar function by (case-insensitive) name."""
+    fn = SCALAR_FUNCTIONS.get(name.lower())
+    if fn is None:
+        raise ExecutionError(f"Unknown scalar function {name!r}")
+    try:
+        return fn(*args)
+    except (TypeError, ValueError, ZeroDivisionError) as exc:
+        raise ExecutionError(f"Error evaluating {name}({args!r}): {exc}") from exc
+
+
+def is_scalar_function(name: str) -> bool:
+    """Return True when ``name`` names a registered scalar function."""
+    return name.lower() in SCALAR_FUNCTIONS

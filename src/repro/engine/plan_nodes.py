@@ -1,0 +1,193 @@
+"""Logical plan nodes.
+
+The planner lowers a SELECT AST to a tree of these nodes.  The plan mirrors
+the execution order the executor follows (FROM → WHERE → GROUP BY/HAVING →
+SELECT → DISTINCT → ORDER BY → LIMIT) and is primarily used for inspection —
+``Catalog.explain`` renders it, and tests assert on plan shapes — while the
+executor interprets the analyzed AST directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.sql.ast_nodes import OrderItem, SelectItem, SqlNode
+from repro.sql.printer import to_sql
+
+
+@dataclass
+class PlanNode:
+    """Base class of logical plan operators."""
+
+    def children(self) -> list["PlanNode"]:
+        return []
+
+    def description(self) -> str:
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0) -> str:
+        """Render the plan subtree as an indented text block."""
+        lines = ["  " * indent + self.description()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def walk(self) -> Iterator["PlanNode"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Scan of a base table (or CTE materialization)."""
+
+    table_name: str
+    binding_name: str
+
+    def description(self) -> str:
+        alias = f" AS {self.binding_name}" if self.binding_name != self.table_name else ""
+        return f"Scan({self.table_name}{alias})"
+
+
+@dataclass
+class DerivedScanNode(PlanNode):
+    """Scan of a derived table ``(SELECT ...) AS alias``."""
+
+    alias: str
+    input: PlanNode = field(default=None)  # type: ignore[assignment]
+
+    def children(self) -> list[PlanNode]:
+        return [self.input] if self.input is not None else []
+
+    def description(self) -> str:
+        return f"DerivedScan({self.alias})"
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """Join of two plan subtrees."""
+
+    left: PlanNode
+    right: PlanNode
+    join_type: str = "INNER"
+    condition: SqlNode | None = None
+    using: list[str] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def description(self) -> str:
+        if self.condition is not None:
+            return f"Join({self.join_type}, on={to_sql(self.condition)})"
+        if self.using:
+            return f"Join({self.join_type}, using={self.using})"
+        return f"Join({self.join_type})"
+
+
+@dataclass
+class FilterNode(PlanNode):
+    """WHERE or HAVING filter."""
+
+    input: PlanNode
+    predicate: SqlNode
+    phase: str = "where"
+
+    def children(self) -> list[PlanNode]:
+        return [self.input]
+
+    def description(self) -> str:
+        return f"Filter[{self.phase}]({to_sql(self.predicate)})"
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    """GROUP BY aggregation (or a single implicit group)."""
+
+    input: PlanNode
+    group_by: list[SqlNode] = field(default_factory=list)
+    aggregates: list[SqlNode] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.input]
+
+    def description(self) -> str:
+        groups = ", ".join(to_sql(expr) for expr in self.group_by) or "<all rows>"
+        aggs = ", ".join(to_sql(expr) for expr in self.aggregates)
+        return f"Aggregate(group_by=[{groups}], aggregates=[{aggs}])"
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """SELECT-list projection."""
+
+    input: PlanNode
+    items: list[SelectItem] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.input]
+
+    def description(self) -> str:
+        rendered = ", ".join(
+            to_sql(item.expr) + (f" AS {item.alias}" if item.alias else "") for item in self.items
+        )
+        return f"Project({rendered})"
+
+
+@dataclass
+class DistinctNode(PlanNode):
+    """SELECT DISTINCT de-duplication."""
+
+    input: PlanNode
+
+    def children(self) -> list[PlanNode]:
+        return [self.input]
+
+
+@dataclass
+class SortNode(PlanNode):
+    """ORDER BY."""
+
+    input: PlanNode
+    order_by: list[OrderItem] = field(default_factory=list)
+
+    def children(self) -> list[PlanNode]:
+        return [self.input]
+
+    def description(self) -> str:
+        keys = ", ".join(
+            to_sql(item.expr) + (" DESC" if item.descending else "") for item in self.order_by
+        )
+        return f"Sort({keys})"
+
+
+@dataclass
+class LimitNode(PlanNode):
+    """LIMIT / OFFSET."""
+
+    input: PlanNode
+    limit: int | None = None
+    offset: int | None = None
+
+    def children(self) -> list[PlanNode]:
+        return [self.input]
+
+    def description(self) -> str:
+        return f"Limit(limit={self.limit}, offset={self.offset})"
+
+
+@dataclass
+class SetOpNode(PlanNode):
+    """UNION / INTERSECT / EXCEPT."""
+
+    op: str
+    left: PlanNode
+    right: PlanNode
+    all: bool = False
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def description(self) -> str:
+        return f"SetOp({self.op}{' ALL' if self.all else ''})"

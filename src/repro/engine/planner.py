@@ -1,0 +1,97 @@
+"""Lowers SELECT ASTs to logical plans.
+
+The plans are used by ``Catalog.explain`` and by tests that assert on query
+structure; the executor interprets the AST directly but follows the same
+operator ordering the planner encodes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EngineError
+from repro.engine.plan_nodes import (
+    AggregateNode,
+    DerivedScanNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SetOpNode,
+    SortNode,
+)
+from repro.sql.ast_nodes import (
+    Join,
+    Select,
+    SetOperation,
+    SqlNode,
+    SubqueryRef,
+    TableRef,
+    contains_aggregate,
+)
+from repro.sql.schema import TableSchema
+
+
+class Planner:
+    """Builds a logical plan tree from a SELECT or set-operation AST."""
+
+    def __init__(self, schemas: dict[str, TableSchema] | None = None) -> None:
+        self._schemas = schemas or {}
+
+    def plan(self, node: SqlNode) -> PlanNode:
+        if isinstance(node, SetOperation):
+            return SetOpNode(
+                op=node.op,
+                left=self.plan(node.left),
+                right=self.plan(node.right),
+                all=node.all,
+            )
+        if isinstance(node, Select):
+            return self._plan_select(node)
+        raise EngineError(f"Cannot plan node of type {type(node).__name__}")
+
+    def _plan_select(self, query: Select) -> PlanNode:
+        plan = self._plan_from(query.from_clause)
+
+        if query.where is not None:
+            plan = FilterNode(input=plan, predicate=query.where, phase="where")
+
+        aggregates = [
+            item.expr for item in query.select_items if contains_aggregate(item.expr)
+        ]
+        if query.having is not None and contains_aggregate(query.having):
+            aggregates.append(query.having)
+        if query.group_by or aggregates:
+            plan = AggregateNode(input=plan, group_by=list(query.group_by), aggregates=aggregates)
+
+        if query.having is not None:
+            plan = FilterNode(input=plan, predicate=query.having, phase="having")
+
+        plan = ProjectNode(input=plan, items=list(query.select_items))
+
+        if query.distinct:
+            plan = DistinctNode(input=plan)
+        if query.order_by:
+            plan = SortNode(input=plan, order_by=list(query.order_by))
+        if query.limit is not None or query.offset is not None:
+            plan = LimitNode(input=plan, limit=query.limit, offset=query.offset)
+        return plan
+
+    def _plan_from(self, node: SqlNode | None) -> PlanNode:
+        if node is None:
+            # SELECT without FROM: a single empty-row scan.
+            return ScanNode(table_name="<dual>", binding_name="<dual>")
+        if isinstance(node, TableRef):
+            return ScanNode(table_name=node.name, binding_name=node.binding_name)
+        if isinstance(node, SubqueryRef):
+            return DerivedScanNode(alias=node.alias, input=self.plan(node.query))
+        if isinstance(node, Join):
+            return JoinNode(
+                left=self._plan_from(node.left),
+                right=self._plan_from(node.right),
+                join_type=node.join_type,
+                condition=node.condition,
+                using=list(node.using),
+            )
+        raise EngineError(f"Unsupported FROM item {type(node).__name__}")

@@ -1,0 +1,224 @@
+"""Column-oriented in-memory table and query-result containers.
+
+The engine stores each table as a list of named columns (plain Python lists),
+which keeps scans, projections and aggregation cache-friendly and makes schema
+inference trivial.  Query results reuse the same representation plus the
+inferred :class:`~repro.sql.schema.ResultSchema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import CatalogError, EngineError
+from repro.sql.schema import AttributeRole, ColumnSchema, DataType, ResultSchema, TableSchema
+
+
+def infer_column_type(values: Iterable[Any]) -> DataType:
+    """Infer the least-upper-bound storage type of a column's values."""
+    inferred = DataType.NULL
+    for value in values:
+        inferred = DataType.unify(inferred, DataType.of_value(value))
+    return inferred
+
+
+def infer_column_role(data_type: DataType, values: Sequence[Any]) -> AttributeRole:
+    """Infer the visualization role of a column from type and cardinality."""
+    non_null = [value for value in values if value is not None]
+    distinct_count = len(set(non_null)) if non_null else 0
+    return AttributeRole.from_data_type(data_type, distinct_count)
+
+
+class Table:
+    """An in-memory, column-oriented relational table.
+
+    Args:
+        name: Table name used in the catalog and in FROM clauses.
+        columns: Ordered column names.
+        rows: Row tuples/lists; every row must have ``len(columns)`` values.
+        schema: Optional explicit schema; inferred from the data otherwise.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[Any]] = (),
+        schema: TableSchema | None = None,
+    ) -> None:
+        self.name = name
+        self.column_names = list(columns)
+        if len(set(self.column_names)) != len(self.column_names):
+            raise CatalogError(f"Duplicate column names in table {name!r}")
+        self._columns: dict[str, list[Any]] = {column: [] for column in self.column_names}
+        for row in rows:
+            self.append(row)
+        self._explicit_schema = schema
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_rows(cls, name: str, columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> "Table":
+        return cls(name=name, columns=columns, rows=rows)
+
+    @classmethod
+    def from_dicts(cls, name: str, records: Sequence[dict[str, Any]]) -> "Table":
+        """Build a table from a list of records (dicts sharing the same keys)."""
+        if not records:
+            raise EngineError("from_dicts requires at least one record to infer columns")
+        columns = list(records[0].keys())
+        rows = [[record.get(column) for column in columns] for record in records]
+        return cls(name=name, columns=columns, rows=rows)
+
+    @classmethod
+    def from_columns(cls, name: str, columns: dict[str, Sequence[Any]]) -> "Table":
+        """Build a table directly from named column sequences."""
+        names = list(columns.keys())
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise EngineError(f"Column lengths differ in table {name!r}: {sorted(lengths)}")
+        table = cls(name=name, columns=names)
+        table._columns = {column: list(values) for column, values in columns.items()}
+        return table
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def append(self, row: Sequence[Any]) -> None:
+        """Append one row."""
+        if len(row) != len(self.column_names):
+            raise EngineError(
+                f"Row width {len(row)} does not match table {self.name!r} "
+                f"width {len(self.column_names)}"
+            )
+        for column, value in zip(self.column_names, row):
+            self._columns[column].append(value)
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.append(row)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def row_count(self) -> int:
+        if not self.column_names:
+            return 0
+        return len(self._columns[self.column_names[0]])
+
+    def column(self, name: str) -> list[Any]:
+        """Return the values of one column."""
+        if name not in self._columns:
+            raise CatalogError(f"Table {self.name!r} has no column {name!r}")
+        return self._columns[name]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate over rows as tuples."""
+        columns = [self._columns[name] for name in self.column_names]
+        for values in zip(*columns) if columns else iter(()):
+            yield values
+
+    def row(self, index: int) -> tuple[Any, ...]:
+        """Return one row by position."""
+        if index < 0 or index >= self.row_count:
+            raise EngineError(f"Row index {index} out of range for table {self.name!r}")
+        return tuple(self._columns[name][index] for name in self.column_names)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Materialize rows as dictionaries."""
+        return [dict(zip(self.column_names, row)) for row in self.rows()]
+
+    def schema(self) -> TableSchema:
+        """Return the (explicit or inferred) table schema."""
+        if self._explicit_schema is not None:
+            return self._explicit_schema
+        columns = []
+        for name in self.column_names:
+            values = self._columns[name]
+            data_type = infer_column_type(values)
+            role = infer_column_role(data_type, values)
+            columns.append(ColumnSchema(name=name, data_type=data_type, role=role))
+        return TableSchema(name=self.name, columns=tuple(columns))
+
+    def distinct_values(self, column: str) -> list[Any]:
+        """Distinct non-null values of a column, sorted when orderable."""
+        values = {value for value in self.column(column) if value is not None}
+        try:
+            return sorted(values)
+        except TypeError:
+            return sorted(values, key=repr)
+
+    def value_range(self, column: str) -> tuple[Any, Any] | None:
+        """(min, max) of a column's non-null values, or None when empty."""
+        values = [value for value in self.column(column) if value is not None]
+        if not values:
+            return None
+        return min(values), max(values)
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, columns={self.column_names}, rows={self.row_count})"
+
+
+@dataclass
+class QueryResult:
+    """The materialized result of executing a query.
+
+    Attributes:
+        columns: Output column names, in SELECT order.
+        rows: Result rows as tuples.
+        schema: The inferred result schema (types and visualization roles).
+    """
+
+    columns: list[str]
+    rows: list[tuple[Any, ...]]
+    schema: ResultSchema
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def column_values(self, name: str) -> list[Any]:
+        """All values of one output column."""
+        if name not in self.columns:
+            raise EngineError(f"Result has no column {name!r}")
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def to_table(self, name: str = "result") -> Table:
+        """Convert the result into a Table (used for chart data binding)."""
+        return Table(name=name, columns=self.columns, rows=self.rows, schema=None)
+
+    def first(self) -> tuple[Any, ...] | None:
+        return self.rows[0] if self.rows else None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+
+def result_from_table(table: Table) -> QueryResult:
+    """Wrap a full table scan as a QueryResult."""
+    schema = table.schema()
+    return QueryResult(
+        columns=list(table.column_names),
+        rows=list(table.rows()),
+        schema=ResultSchema(columns=schema.columns),
+    )

@@ -1,0 +1,94 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Each layer of the library raises a subclass of :class:`ReproError` so that
+callers can catch either a precise error (``SqlParseError``) or anything the
+library raises (``ReproError``) without ever needing a bare ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SqlError(ReproError):
+    """Base class for errors raised by the SQL front-end (``repro.sql``)."""
+
+
+class SqlLexError(SqlError):
+    """Raised when the lexer encounters a character sequence it cannot tokenize."""
+
+    def __init__(self, message: str, position: int, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class SqlParseError(SqlError):
+    """Raised when the parser cannot build an AST from the token stream."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" (line {line}, column {column})"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SqlAnalysisError(SqlError):
+    """Raised when semantic analysis fails (unknown column, ambiguous name, ...)."""
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the execution engine (``repro.engine``)."""
+
+
+class CatalogError(EngineError):
+    """Raised for unknown or duplicate tables/columns in the catalog."""
+
+
+class ExecutionError(EngineError):
+    """Raised when a query cannot be executed (type mismatch, bad aggregate, ...)."""
+
+
+class DifftreeError(ReproError):
+    """Base class for errors raised while building or transforming Difftrees."""
+
+
+class MergeError(DifftreeError):
+    """Raised when a set of query ASTs cannot be merged into one Difftree."""
+
+
+class TransformationError(DifftreeError):
+    """Raised when a tree transformation rule is applied to an incompatible node."""
+
+
+class BindingError(DifftreeError):
+    """Raised when a choice-node binding cannot instantiate a concrete query."""
+
+
+class InterfaceError(ReproError):
+    """Base class for errors raised by the interface model (``repro.interface``)."""
+
+
+class MappingError(ReproError):
+    """Raised when Difftrees cannot be mapped onto an interface."""
+
+
+class LayoutError(InterfaceError):
+    """Raised when an interface cannot be laid out within the screen constraints."""
+
+
+class SearchError(ReproError):
+    """Raised by the search layer (MCTS / greedy / exhaustive)."""
+
+
+class NotebookError(ReproError):
+    """Raised by the notebook-session integration layer."""
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic dataset cannot be generated or loaded."""

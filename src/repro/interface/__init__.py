@@ -1,0 +1,67 @@
+"""Interface model: visualizations, widgets, interactions, layout, runtime state."""
+
+from repro.interface.interactions import InteractionType, VisInteraction
+from repro.interface.interface import Interface
+from repro.interface.layout import (
+    LARGE_SCREEN,
+    MEDIUM_SCREEN,
+    NOTEBOOK_PANEL,
+    SMALL_SCREEN,
+    Layout,
+    LayoutKind,
+    LayoutNode,
+    PlacedComponent,
+    ScreenSize,
+    compute_layout,
+)
+from repro.interface.state import EventRecord, InterfaceState
+from repro.interface.vegalite import chart_spec, interface_spec, to_json
+from repro.interface.visualizations import (
+    Channel,
+    ChartType,
+    Encoding,
+    Visualization,
+    mark_for_roles,
+)
+from repro.interface.widgets import (
+    ChoiceBinding,
+    Widget,
+    WidgetType,
+    default_widget_for_cardinality,
+    make_widget,
+)
+from repro.interface.html import render_chart_svg, render_interface_html, save_interface_html
+
+__all__ = [
+    "InteractionType",
+    "VisInteraction",
+    "Interface",
+    "LARGE_SCREEN",
+    "MEDIUM_SCREEN",
+    "NOTEBOOK_PANEL",
+    "SMALL_SCREEN",
+    "Layout",
+    "LayoutKind",
+    "LayoutNode",
+    "PlacedComponent",
+    "ScreenSize",
+    "compute_layout",
+    "EventRecord",
+    "InterfaceState",
+    "chart_spec",
+    "interface_spec",
+    "to_json",
+    "Channel",
+    "ChartType",
+    "Encoding",
+    "Visualization",
+    "mark_for_roles",
+    "ChoiceBinding",
+    "Widget",
+    "WidgetType",
+    "default_widget_for_cardinality",
+    "make_widget",
+    "render_chart_svg",
+    "render_interface_html",
+    "save_interface_html",
+]

@@ -1,0 +1,254 @@
+"""Self-contained HTML rendering of generated interfaces.
+
+The JupyterLab extension renders interfaces in a side panel; in this headless
+reproduction the equivalent artifact is a standalone HTML document containing
+
+* one inline-SVG chart per visualization (bar / line / area / scatter drawn by
+  a small renderer with no external dependencies),
+* a widget panel listing every widget with its options/domain,
+* the archived query log (the collapsible "Query Log" section of the demo UI),
+* the full Vega-Lite spec embedded as JSON for tools that can render it.
+
+The goal is inspectability: examples and tests write these files so a human
+can open them and see the same interfaces the paper's figures show.
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.engine.table import QueryResult
+from repro.interface.interface import Interface
+from repro.interface.vegalite import interface_spec
+from repro.interface.visualizations import Channel, ChartType, Visualization
+from repro.sql.printer import format_sql
+from repro.sql.ast_nodes import SqlNode
+
+_SVG_WIDTH = 420
+_SVG_HEIGHT = 260
+_MARGIN = 40
+
+
+def _escape(text: str) -> str:
+    return html_escape.escape(str(text), quote=True)
+
+
+def _numeric(values: Sequence[Any]) -> list[float]:
+    numeric = []
+    for value in values:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            numeric.append(float(value))
+    return numeric
+
+
+def _scale(value: float, low: float, high: float, out_low: float, out_high: float) -> float:
+    if high == low:
+        return (out_low + out_high) / 2.0
+    ratio = (value - low) / (high - low)
+    return out_low + ratio * (out_high - out_low)
+
+
+def _x_positions(count: int) -> list[float]:
+    usable = _SVG_WIDTH - 2 * _MARGIN
+    if count <= 1:
+        return [_MARGIN + usable / 2.0]
+    step = usable / (count - 1)
+    return [_MARGIN + i * step for i in range(count)]
+
+
+def render_chart_svg(vis: Visualization, data: QueryResult) -> str:
+    """Render one chart to an inline SVG string."""
+    x_field = vis.field_for(Channel.X)
+    y_field = vis.field_for(Channel.Y)
+    parts = [
+        f'<svg width="{_SVG_WIDTH}" height="{_SVG_HEIGHT}" '
+        f'viewBox="0 0 {_SVG_WIDTH} {_SVG_HEIGHT}" role="img" '
+        f'aria-label="{_escape(vis.title or vis.vis_id)}">'
+    ]
+    parts.append(
+        f'<rect x="0" y="0" width="{_SVG_WIDTH}" height="{_SVG_HEIGHT}" '
+        f'fill="#fdfdfd" stroke="#cccccc"/>'
+    )
+    parts.append(
+        f'<text x="{_SVG_WIDTH / 2}" y="18" text-anchor="middle" font-size="13" '
+        f'font-family="sans-serif">{_escape(vis.title or vis.vis_id)}</text>'
+    )
+
+    if x_field is None or y_field is None or x_field not in data.columns or y_field not in data.columns:
+        parts.append(
+            f'<text x="{_SVG_WIDTH / 2}" y="{_SVG_HEIGHT / 2}" text-anchor="middle" '
+            f'font-size="12" font-family="sans-serif">{data.row_count} rows</text>'
+        )
+        parts.append("</svg>")
+        return "".join(parts)
+
+    # Cap the number of marks so the SVG stays small for big results.
+    rows = data.to_dicts()[:400]
+    y_values = _numeric([row.get(y_field) for row in rows])
+    if not y_values:
+        y_values = [0.0, 1.0]
+    y_low, y_high = min(y_values + [0.0]), max(y_values)
+    baseline = _SVG_HEIGHT - _MARGIN
+
+    if vis.chart_type in (ChartType.BAR, ChartType.HISTOGRAM):
+        positions = _x_positions(len(rows))
+        bar_width = max(2.0, (_SVG_WIDTH - 2 * _MARGIN) / max(len(rows), 1) * 0.8)
+        for row, x_pos in zip(rows, positions):
+            value = row.get(y_field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            top = _scale(float(value), y_low, y_high, baseline, _MARGIN)
+            parts.append(
+                f'<rect x="{x_pos - bar_width / 2:.1f}" y="{top:.1f}" width="{bar_width:.1f}" '
+                f'height="{max(baseline - top, 0):.1f}" fill="#4c78a8"/>'
+            )
+    elif vis.chart_type in (ChartType.LINE, ChartType.AREA):
+        positions = _x_positions(len(rows))
+        points = []
+        for row, x_pos in zip(rows, positions):
+            value = row.get(y_field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            y_pos = _scale(float(value), y_low, y_high, baseline, _MARGIN)
+            points.append(f"{x_pos:.1f},{y_pos:.1f}")
+        if points:
+            parts.append(
+                f'<polyline points="{" ".join(points)}" fill="none" stroke="#4c78a8" stroke-width="1.5"/>'
+            )
+    elif vis.chart_type is ChartType.SCATTER:
+        x_values = _numeric([row.get(x_field) for row in rows])
+        x_low = min(x_values) if x_values else 0.0
+        x_high = max(x_values) if x_values else 1.0
+        for row in rows:
+            x_value, y_value = row.get(x_field), row.get(y_field)
+            if not isinstance(x_value, (int, float)) or not isinstance(y_value, (int, float)):
+                continue
+            x_pos = _scale(float(x_value), x_low, x_high, _MARGIN, _SVG_WIDTH - _MARGIN)
+            y_pos = _scale(float(y_value), y_low, y_high, baseline, _MARGIN)
+            parts.append(f'<circle cx="{x_pos:.1f}" cy="{y_pos:.1f}" r="2" fill="#4c78a8" opacity="0.6"/>')
+    else:
+        parts.append(
+            f'<text x="{_SVG_WIDTH / 2}" y="{_SVG_HEIGHT / 2}" text-anchor="middle" '
+            f'font-size="12" font-family="sans-serif">{data.row_count} rows × {len(data.columns)} cols</text>'
+        )
+
+    # Axes.
+    parts.append(
+        f'<line x1="{_MARGIN}" y1="{baseline}" x2="{_SVG_WIDTH - _MARGIN}" y2="{baseline}" stroke="#888"/>'
+    )
+    parts.append(f'<line x1="{_MARGIN}" y1="{_MARGIN}" x2="{_MARGIN}" y2="{baseline}" stroke="#888"/>')
+    parts.append(
+        f'<text x="{_SVG_WIDTH / 2}" y="{_SVG_HEIGHT - 8}" text-anchor="middle" font-size="11" '
+        f'font-family="sans-serif">{_escape(x_field)}</text>'
+    )
+    parts.append(
+        f'<text x="12" y="{_SVG_HEIGHT / 2}" text-anchor="middle" font-size="11" '
+        f'font-family="sans-serif" transform="rotate(-90 12 {_SVG_HEIGHT / 2})">{_escape(y_field)}</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _widget_html(interface: Interface) -> str:
+    if not interface.widgets:
+        return ""
+    items = []
+    for widget in interface.widgets:
+        detail = ""
+        if widget.is_discrete():
+            detail = " | ".join(_escape(option) for option in widget.options)
+        elif widget.is_continuous() and widget.domain:
+            detail = f"{_escape(widget.domain[0])} … {_escape(widget.domain[1])}"
+        items.append(
+            f'<li><strong>{_escape(widget.label)}</strong> '
+            f"<em>({widget.widget_type.value})</em> {detail}</li>"
+        )
+    return f'<div class="widgets"><h3>Widgets</h3><ul>{"".join(items)}</ul></div>'
+
+
+def _interaction_html(interface: Interface) -> str:
+    if not interface.interactions:
+        return ""
+    items = [
+        f"<li>{_escape(interaction.describe())}</li>" for interaction in interface.interactions
+    ]
+    return (
+        f'<div class="interactions"><h3>Visualization interactions</h3>'
+        f'<ul>{"".join(items)}</ul></div>'
+    )
+
+
+def _query_log_html(queries: Sequence[SqlNode]) -> str:
+    blocks = []
+    for index, query in enumerate(queries, start=1):
+        blocks.append(f"<details><summary>Q{index}</summary><pre>{_escape(format_sql(query))}</pre></details>")
+    return f'<div class="query-log"><h3>Query Log</h3>{"".join(blocks)}</div>'
+
+
+def render_interface_html(
+    interface: Interface,
+    data: dict[str, QueryResult] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render the whole interface as a standalone HTML document."""
+    data = data or {}
+    chart_blocks = []
+    for vis in interface.visualizations:
+        result = data.get(vis.vis_id)
+        if result is not None:
+            chart_blocks.append(
+                f'<figure class="chart">{render_chart_svg(vis, result)}'
+                f"<figcaption>{_escape(vis.describe())}</figcaption></figure>"
+            )
+        else:
+            chart_blocks.append(
+                f'<figure class="chart"><figcaption>{_escape(vis.describe())}</figcaption></figure>'
+            )
+    spec_json = json.dumps(interface_spec(interface, data), indent=2, default=str)
+    page_title = title or f"PI2 generated interface: {interface.name}"
+    layout_note = ""
+    if interface.layout is not None:
+        layout_note = f"<pre class='layout'>{_escape(interface.layout.describe())}</pre>"
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8"/>
+<title>{_escape(page_title)}</title>
+<style>
+body {{ font-family: sans-serif; margin: 24px; color: #222; }}
+.charts {{ display: flex; flex-wrap: wrap; gap: 16px; }}
+figure.chart {{ margin: 0; border: 1px solid #ddd; padding: 8px; }}
+figcaption {{ font-size: 11px; color: #555; max-width: 420px; }}
+.widgets, .interactions, .query-log {{ margin-top: 16px; }}
+pre {{ background: #f6f6f6; padding: 8px; overflow-x: auto; }}
+</style>
+</head>
+<body>
+<h1>{_escape(page_title)}</h1>
+<div class="charts">{"".join(chart_blocks)}</div>
+{_widget_html(interface)}
+{_interaction_html(interface)}
+{_query_log_html(interface.forest.queries)}
+<h3>Layout</h3>
+{layout_note}
+<h3>Vega-Lite specification</h3>
+<pre class="spec">{_escape(spec_json)}</pre>
+</body>
+</html>
+"""
+
+
+def save_interface_html(
+    interface: Interface,
+    path: str | Path,
+    data: dict[str, QueryResult] | None = None,
+    title: str | None = None,
+) -> Path:
+    """Write the interface HTML document to ``path`` and return it."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_interface_html(interface, data, title), encoding="utf-8")
+    return target

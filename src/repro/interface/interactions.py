@@ -1,0 +1,87 @@
+"""In-visualization interactions.
+
+Visualization interactions are the component class that distinguishes PI2 from
+parameter-widget tools (Table 1): gestures performed *on a chart* that rebind
+choice nodes — possibly of a different chart's Difftree.  The paper's examples:
+
+* brushing the overview timeline (G1) configures the date range of the detail
+  charts (G2, G3/G4) — :attr:`InteractionType.BRUSH_X`,
+* panning / zooming the SDSS scatter plot manipulates the ra/dec BETWEEN
+  ranges — :attr:`InteractionType.PAN_ZOOM`,
+* clicking a bar of Q3's chart binds the clicked value of ``a`` into Q1/Q2's
+  predicate (Figure 5) — :attr:`InteractionType.CLICK_SELECT`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import InterfaceError
+from repro.interface.widgets import ChoiceBinding
+
+
+class InteractionType(Enum):
+    """Supported in-visualization interaction types."""
+
+    BRUSH_X = "brush_x"
+    BRUSH_2D = "brush_2d"
+    PAN_ZOOM = "pan_zoom"
+    CLICK_SELECT = "click_select"
+    HOVER_FILTER = "hover_filter"
+
+
+@dataclass
+class VisInteraction:
+    """One visualization interaction of the generated interface.
+
+    Attributes:
+        interaction_id: Stable identifier (``I1``, ``I2``, ...).
+        interaction_type: The gesture.
+        source_vis_id: The chart on which the gesture is performed.
+        attribute: The data attribute the gesture ranges over (e.g. ``date``).
+        secondary_attribute: Second attribute for 2-D gestures (e.g. ``dec``).
+        bindings: Choice nodes rebound by the gesture; they may belong to a
+            different tree than the source chart (linked views).
+        target_vis_ids: Charts whose queries are reconfigured by the gesture.
+    """
+
+    interaction_id: str
+    interaction_type: InteractionType
+    source_vis_id: str
+    attribute: str
+    secondary_attribute: str | None = None
+    bindings: list[ChoiceBinding] = field(default_factory=list)
+    target_vis_ids: list[str] = field(default_factory=list)
+
+    def validate(self) -> None:
+        if not self.bindings:
+            raise InterfaceError(
+                f"Interaction {self.interaction_id} is not bound to any choice node"
+            )
+        if self.interaction_type is InteractionType.BRUSH_2D and not self.secondary_attribute:
+            raise InterfaceError(
+                f"2-D brush {self.interaction_id} requires a secondary attribute"
+            )
+
+    @property
+    def choice_ids(self) -> list[str]:
+        return [binding.choice_id for binding in self.bindings]
+
+    @property
+    def tree_indices(self) -> list[int]:
+        return sorted({binding.tree_index for binding in self.bindings})
+
+    def is_linked(self) -> bool:
+        """True when the gesture's source chart differs from its target charts."""
+        return any(target != self.source_vis_id for target in self.target_vis_ids)
+
+    def describe(self) -> str:
+        targets = ", ".join(self.target_vis_ids) or self.source_vis_id
+        attribute = self.attribute
+        if self.secondary_attribute:
+            attribute = f"{self.attribute}/{self.secondary_attribute}"
+        return (
+            f"{self.interaction_id}: {self.interaction_type.value} on {self.source_vis_id} "
+            f"over {attribute} -> {targets}"
+        )

@@ -1,0 +1,207 @@
+"""Layout model and screen-size-aware layout engine.
+
+PI2 "takes the available screen size into account in order to select a good
+layout for the interface — on a large screen, the interface may show multiple
+visualizations side by side, whereas a small screen may show a single
+visualization that can be changed via interactions" (Section 1).  The layout
+engine implements that behaviour: given the visualizations, widgets and a
+:class:`ScreenSize`, it packs charts into rows when they fit and falls back to
+a tabbed layout when they do not, always reserving a side panel for widgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+from repro.errors import LayoutError
+from repro.interface.visualizations import Visualization
+from repro.interface.widgets import Widget
+
+
+@dataclass(frozen=True)
+class ScreenSize:
+    """Available screen real estate in pixels."""
+
+    width: int = 1280
+    height: int = 800
+
+    def is_small(self) -> bool:
+        return self.width < 700 or self.height < 500
+
+
+#: Common screen presets used by examples and benchmarks.
+LARGE_SCREEN = ScreenSize(1600, 1000)
+MEDIUM_SCREEN = ScreenSize(1280, 800)
+SMALL_SCREEN = ScreenSize(600, 900)
+NOTEBOOK_PANEL = ScreenSize(820, 900)
+
+
+class LayoutKind(Enum):
+    """Kinds of layout containers."""
+
+    ROW = "row"
+    COLUMN = "column"
+    TABS = "tabs"
+    COMPONENT = "component"
+
+
+@dataclass
+class LayoutNode:
+    """One node of the layout tree: a container or a single component slot."""
+
+    kind: LayoutKind
+    component_id: str | None = None
+    children: list["LayoutNode"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["LayoutNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def component_ids(self) -> list[str]:
+        return [node.component_id for node in self.walk() if node.component_id is not None]
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if self.kind is LayoutKind.COMPONENT:
+            return f"{pad}- {self.component_id}"
+        lines = [f"{pad}{self.kind.value}:"]
+        lines.extend(child.describe(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PlacedComponent:
+    """Resolved pixel placement of one component."""
+
+    component_id: str
+    x: int
+    y: int
+    width: int
+    height: int
+
+
+@dataclass
+class Layout:
+    """The layout of a generated interface."""
+
+    screen: ScreenSize
+    root: LayoutNode
+    placements: list[PlacedComponent] = field(default_factory=list)
+    uses_tabs: bool = False
+
+    def placement_for(self, component_id: str) -> PlacedComponent:
+        for placement in self.placements:
+            if placement.component_id == component_id:
+                return placement
+        raise LayoutError(f"No placement for component {component_id!r}")
+
+    def charts_per_row(self) -> int:
+        """Number of chart slots in the widest row of the layout."""
+        widest = 0
+        for node in self.root.walk():
+            if node.kind is LayoutKind.ROW:
+                count = sum(1 for child in node.children if child.kind is LayoutKind.COMPONENT)
+                widest = max(widest, count)
+        return widest
+
+    def describe(self) -> str:
+        return self.root.describe()
+
+
+#: Width reserved for the widget side panel when widgets are present.
+WIDGET_PANEL_WIDTH = 220
+#: Margin between charts.
+CHART_MARGIN = 16
+#: Minimum readable chart width; below this charts get stacked or tabbed.
+MIN_CHART_WIDTH = 320
+#: Vertical space reserved per widget in the side panel.
+WIDGET_HEIGHT = 64
+
+
+def compute_layout(
+    visualizations: list[Visualization],
+    widgets: list[Widget],
+    screen: ScreenSize = MEDIUM_SCREEN,
+) -> Layout:
+    """Lay the interface out for the given screen size.
+
+    Charts are placed left-to-right in rows; when even a single chart per row
+    would be narrower than :data:`MIN_CHART_WIDTH`, the layout collapses into
+    a tabbed single-chart view (the paper's small-screen behaviour).  Widgets
+    occupy a fixed side panel on wide screens and a top strip on small ones.
+    """
+    if not visualizations:
+        raise LayoutError("Cannot lay out an interface without visualizations")
+
+    widget_panel = WIDGET_PANEL_WIDTH if widgets and not screen.is_small() else 0
+    available_width = screen.width - widget_panel
+    per_chart = visualizations[0].width + CHART_MARGIN
+    charts_per_row = max(1, available_width // per_chart)
+    chart_width = min(visualizations[0].width, available_width - CHART_MARGIN)
+
+    use_tabs = screen.is_small() and len(visualizations) > 1 or chart_width < MIN_CHART_WIDTH
+    placements: list[PlacedComponent] = []
+
+    widget_nodes = [LayoutNode(LayoutKind.COMPONENT, widget.widget_id) for widget in widgets]
+
+    if use_tabs:
+        chart_nodes = [
+            LayoutNode(LayoutKind.COMPONENT, vis.vis_id) for vis in visualizations
+        ]
+        tabs = LayoutNode(LayoutKind.TABS, children=chart_nodes)
+        children = ([LayoutNode(LayoutKind.ROW, children=widget_nodes)] if widget_nodes else []) + [tabs]
+        root = LayoutNode(LayoutKind.COLUMN, children=children)
+        width = max(MIN_CHART_WIDTH, screen.width - 2 * CHART_MARGIN)
+        y_offset = WIDGET_HEIGHT if widget_nodes else 0
+        for vis in visualizations:
+            placements.append(
+                PlacedComponent(vis.vis_id, CHART_MARGIN, y_offset, width, vis.height)
+            )
+        for index, widget in enumerate(widgets):
+            placements.append(
+                PlacedComponent(widget.widget_id, CHART_MARGIN + index * 180, 0, 170, WIDGET_HEIGHT)
+            )
+        return Layout(screen=screen, root=root, placements=placements, uses_tabs=True)
+
+    # Multi-view grid layout.
+    rows: list[LayoutNode] = []
+    current_row: list[LayoutNode] = []
+    x = 0
+    y = 0
+    row_height = 0
+    for index, vis in enumerate(visualizations):
+        if current_row and len(current_row) >= charts_per_row:
+            rows.append(LayoutNode(LayoutKind.ROW, children=current_row))
+            current_row = []
+            x = 0
+            y += row_height + CHART_MARGIN
+            row_height = 0
+        current_row.append(LayoutNode(LayoutKind.COMPONENT, vis.vis_id))
+        placements.append(PlacedComponent(vis.vis_id, x, y, min(vis.width, chart_width), vis.height))
+        x += min(vis.width, chart_width) + CHART_MARGIN
+        row_height = max(row_height, vis.height)
+    if current_row:
+        rows.append(LayoutNode(LayoutKind.ROW, children=current_row))
+
+    chart_column = LayoutNode(LayoutKind.COLUMN, children=rows)
+    if widget_nodes:
+        widget_column = LayoutNode(LayoutKind.COLUMN, children=widget_nodes)
+        root = LayoutNode(LayoutKind.ROW, children=[chart_column, widget_column])
+        panel_x = screen.width - WIDGET_PANEL_WIDTH
+        for index, widget in enumerate(widgets):
+            placements.append(
+                PlacedComponent(
+                    widget.widget_id, panel_x, index * WIDGET_HEIGHT, WIDGET_PANEL_WIDTH - CHART_MARGIN, WIDGET_HEIGHT
+                )
+            )
+    else:
+        root = chart_column
+    return Layout(screen=screen, root=root, placements=placements, uses_tabs=False)

@@ -1,0 +1,189 @@
+"""Compile interfaces to Vega-Lite specifications.
+
+The JupyterLab extension renders PI2 interfaces with Vega-Lite; this module
+produces equivalent specification dictionaries without requiring the Vega
+runtime (they are plain JSON-serializable dicts that a notebook front-end, or
+the bundled HTML emitter, can render).  Interactions compile to Vega-Lite
+``params``/selection entries; widgets compile to input-bound params.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.engine.table import QueryResult
+from repro.interface.interactions import InteractionType, VisInteraction
+from repro.interface.interface import Interface
+from repro.interface.visualizations import Channel, ChartType, Visualization
+from repro.interface.widgets import Widget, WidgetType
+from repro.sql.schema import AttributeRole
+
+VEGA_LITE_SCHEMA = "https://vega.github.io/schema/vega-lite/v5.json"
+
+_MARKS: dict[ChartType, str] = {
+    ChartType.BAR: "bar",
+    ChartType.LINE: "line",
+    ChartType.AREA: "area",
+    ChartType.SCATTER: "point",
+    ChartType.HISTOGRAM: "bar",
+    ChartType.TABLE: "text",
+    ChartType.SINGLE_VALUE: "text",
+}
+
+_TYPES: dict[AttributeRole, str] = {
+    AttributeRole.QUANTITATIVE: "quantitative",
+    AttributeRole.ORDINAL: "ordinal",
+    AttributeRole.NOMINAL: "nominal",
+    AttributeRole.TEMPORAL: "temporal",
+}
+
+
+def encoding_spec(vis: Visualization) -> dict[str, Any]:
+    """The ``encoding`` block of one chart."""
+    encoding: dict[str, Any] = {}
+    for item in vis.encodings:
+        channel_spec: dict[str, Any] = {
+            "field": item.field,
+            "type": _TYPES[item.role],
+        }
+        if item.aggregate:
+            channel_spec["aggregate"] = item.aggregate
+        encoding[item.channel.value] = channel_spec
+    return encoding
+
+
+def interaction_params(vis: Visualization, interactions: list[VisInteraction]) -> list[dict[str, Any]]:
+    """Vega-Lite ``params`` entries for the interactions sourced on this chart."""
+    params: list[dict[str, Any]] = []
+    for interaction in interactions:
+        if interaction.source_vis_id != vis.vis_id:
+            continue
+        if interaction.interaction_type is InteractionType.BRUSH_X:
+            params.append(
+                {
+                    "name": interaction.interaction_id,
+                    "select": {"type": "interval", "encodings": ["x"]},
+                }
+            )
+        elif interaction.interaction_type is InteractionType.BRUSH_2D:
+            params.append(
+                {
+                    "name": interaction.interaction_id,
+                    "select": {"type": "interval", "encodings": ["x", "y"]},
+                }
+            )
+        elif interaction.interaction_type is InteractionType.PAN_ZOOM:
+            params.append(
+                {
+                    "name": interaction.interaction_id,
+                    "select": {"type": "interval", "encodings": ["x", "y"]},
+                    "bind": "scales",
+                }
+            )
+        elif interaction.interaction_type is InteractionType.CLICK_SELECT:
+            params.append(
+                {
+                    "name": interaction.interaction_id,
+                    "select": {"type": "point", "fields": [interaction.attribute]},
+                }
+            )
+        elif interaction.interaction_type is InteractionType.HOVER_FILTER:
+            params.append(
+                {
+                    "name": interaction.interaction_id,
+                    "select": {"type": "point", "on": "mouseover", "fields": [interaction.attribute]},
+                }
+            )
+    return params
+
+
+def widget_params(widgets: list[Widget]) -> list[dict[str, Any]]:
+    """Vega-Lite input-bound ``params`` entries for the interface's widgets."""
+    params: list[dict[str, Any]] = []
+    for widget in widgets:
+        param: dict[str, Any] = {"name": widget.widget_id}
+        if widget.widget_type in (WidgetType.RADIO, WidgetType.BUTTON_GROUP, WidgetType.TABS):
+            param["bind"] = {"input": "radio", "options": widget.options, "name": widget.label}
+            param["value"] = widget.options[0] if widget.options else None
+        elif widget.widget_type is WidgetType.DROPDOWN:
+            param["bind"] = {"input": "select", "options": widget.options, "name": widget.label}
+            param["value"] = widget.options[0] if widget.options else None
+        elif widget.widget_type in (WidgetType.SLIDER, WidgetType.RANGE_SLIDER):
+            low, high = widget.domain if widget.domain else (0, 1)
+            param["bind"] = {"input": "range", "min": low, "max": high, "name": widget.label}
+            param["value"] = widget.default if widget.default is not None else low
+        elif widget.widget_type in (WidgetType.TOGGLE, WidgetType.CHECKBOX):
+            param["bind"] = {"input": "checkbox", "name": widget.label}
+            param["value"] = bool(widget.default)
+        elif widget.widget_type is WidgetType.DATE_RANGE:
+            low, high = widget.domain if widget.domain else ("", "")
+            param["bind"] = {"input": "range", "min": str(low), "max": str(high), "name": widget.label}
+        else:
+            param["bind"] = {"input": "text", "name": widget.label}
+        params.append(param)
+    return params
+
+
+def chart_spec(
+    vis: Visualization,
+    data: QueryResult | None = None,
+    interactions: list[VisInteraction] | None = None,
+) -> dict[str, Any]:
+    """A complete single-chart Vega-Lite spec (with inline data when given)."""
+    spec: dict[str, Any] = {
+        "$schema": VEGA_LITE_SCHEMA,
+        "title": vis.title or vis.vis_id,
+        "width": vis.width,
+        "height": vis.height,
+        "mark": {"type": _MARKS[vis.chart_type], "tooltip": True},
+        "encoding": encoding_spec(vis),
+    }
+    params = interaction_params(vis, interactions or [])
+    if params:
+        spec["params"] = params
+    if data is not None:
+        spec["data"] = {"values": data.to_dicts()}
+    else:
+        spec["data"] = {"name": vis.vis_id}
+    return spec
+
+
+def interface_spec(
+    interface: Interface, data: dict[str, QueryResult] | None = None
+) -> dict[str, Any]:
+    """A multi-view Vega-Lite spec for the whole interface.
+
+    Charts are concatenated following the layout (horizontal within a row,
+    vertical across rows); widgets appear as top-level input-bound params.
+    """
+    data = data or {}
+    charts = [
+        chart_spec(vis, data.get(vis.vis_id), interface.interactions)
+        for vis in interface.visualizations
+    ]
+    spec: dict[str, Any] = {
+        "$schema": VEGA_LITE_SCHEMA,
+        "title": interface.name,
+    }
+    params = widget_params(interface.widgets)
+    if params:
+        spec["params"] = params
+
+    layout = interface.layout
+    if layout is not None and layout.uses_tabs:
+        # Tabs have no native Vega-Lite construct; emit a vconcat plus a note.
+        spec["vconcat"] = charts
+        spec["usermeta"] = {"layout": "tabs"}
+    elif layout is not None and layout.charts_per_row() > 1:
+        per_row = layout.charts_per_row()
+        rows = [charts[i : i + per_row] for i in range(0, len(charts), per_row)]
+        spec["vconcat"] = [{"hconcat": row} for row in rows]
+    else:
+        spec["vconcat"] = charts
+    return spec
+
+
+def to_json(spec: dict[str, Any], indent: int = 2) -> str:
+    """Serialize a spec to JSON text."""
+    return json.dumps(spec, indent=indent, default=str)

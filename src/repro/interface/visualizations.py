@@ -1,0 +1,128 @@
+"""Visualization model: chart types and visual encodings.
+
+A :class:`Visualization` binds one Difftree's query result to a chart via a
+set of :class:`Encoding` channels (x, y, color, ...).  Chart choice follows
+standard visualization best practice (the paper cites Bertin's semiology and
+"current best practices"): temporal x + quantitative y → line chart, nominal x
++ quantitative y → bar chart, two quantitative axes → scatter plot, and so on.
+The mapping layer (``repro.mapping.vis_mapping``) owns those rules; this
+module only defines the model objects they produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import InterfaceError
+from repro.sql.schema import AttributeRole
+
+
+class ChartType(Enum):
+    """Supported chart types."""
+
+    BAR = "bar"
+    LINE = "line"
+    AREA = "area"
+    SCATTER = "scatter"
+    HISTOGRAM = "histogram"
+    TABLE = "table"
+    SINGLE_VALUE = "single_value"
+
+
+class Channel(Enum):
+    """Visual encoding channels."""
+
+    X = "x"
+    Y = "y"
+    COLOR = "color"
+    SIZE = "size"
+    SHAPE = "shape"
+    DETAIL = "detail"
+    COLUMN = "column"
+    ROW = "row"
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """One field-to-channel assignment."""
+
+    channel: Channel
+    field: str
+    role: AttributeRole
+    aggregate: str | None = None
+
+    def describe(self) -> str:
+        suffix = f" ({self.aggregate})" if self.aggregate else ""
+        return f"{self.channel.value} -> {self.field}{suffix} [{self.role.value}]"
+
+
+@dataclass
+class Visualization:
+    """One chart of the generated interface.
+
+    Attributes:
+        vis_id: Stable identifier (``G1``, ``G2``, ... in the paper's figures).
+        chart_type: The mark type.
+        encodings: Channel assignments.
+        tree_index: Index of the Difftree (within the forest) whose query
+            feeds this chart.
+        title: Human-readable caption.
+        width / height: Preferred pixel size, used by the layout engine.
+    """
+
+    vis_id: str
+    chart_type: ChartType
+    encodings: list[Encoding] = field(default_factory=list)
+    tree_index: int = 0
+    title: str = ""
+    width: int = 420
+    height: int = 280
+
+    def encoding_for(self, channel: Channel) -> Encoding | None:
+        for encoding in self.encodings:
+            if encoding.channel is channel:
+                return encoding
+        return None
+
+    def field_for(self, channel: Channel) -> str | None:
+        encoding = self.encoding_for(channel)
+        return encoding.field if encoding else None
+
+    def encoded_fields(self) -> list[str]:
+        return [encoding.field for encoding in self.encodings]
+
+    def has_channel(self, channel: Channel) -> bool:
+        return self.encoding_for(channel) is not None
+
+    def validate(self) -> None:
+        """Raise InterfaceError when the encoding set is structurally invalid."""
+        if self.chart_type in (ChartType.BAR, ChartType.LINE, ChartType.AREA, ChartType.SCATTER):
+            if not self.has_channel(Channel.X) or not self.has_channel(Channel.Y):
+                raise InterfaceError(
+                    f"{self.chart_type.value} chart {self.vis_id} requires both x and y encodings"
+                )
+        channels = [encoding.channel for encoding in self.encodings]
+        if len(channels) != len(set(channels)):
+            raise InterfaceError(f"Chart {self.vis_id} assigns a channel twice")
+
+    def describe(self) -> str:
+        parts = ", ".join(encoding.describe() for encoding in self.encodings)
+        return f"{self.vis_id}: {self.chart_type.value} ({parts})"
+
+
+def mark_for_roles(x_role: AttributeRole, y_role: AttributeRole) -> ChartType:
+    """Default chart type for an (x role, y role) pair.
+
+    These are the classic effectiveness rules: temporal → line, nominal /
+    ordinal → bar, quantitative × quantitative → scatter.
+    """
+    if x_role is AttributeRole.TEMPORAL and y_role is AttributeRole.QUANTITATIVE:
+        return ChartType.LINE
+    if x_role in (AttributeRole.NOMINAL, AttributeRole.ORDINAL) and y_role is AttributeRole.QUANTITATIVE:
+        return ChartType.BAR
+    if x_role is AttributeRole.QUANTITATIVE and y_role is AttributeRole.QUANTITATIVE:
+        return ChartType.SCATTER
+    if y_role in (AttributeRole.NOMINAL, AttributeRole.ORDINAL) and x_role is AttributeRole.QUANTITATIVE:
+        return ChartType.BAR
+    return ChartType.TABLE

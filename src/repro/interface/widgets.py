@@ -1,0 +1,152 @@
+"""Widget model.
+
+Widgets are the interface components that choice nodes map to when they are
+not mapped to in-visualization interactions: radio buttons, dropdowns,
+sliders, range sliders, toggles, button groups and tabs.  One widget may drive
+*several* choice nodes at once (``linked_choices``) — e.g. the region button
+pair of the COVID case study sets the same ``'South'``/``'Northeast'`` literal
+in three places of the query simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Sequence
+
+from repro.errors import InterfaceError
+
+
+class WidgetType(Enum):
+    """Supported widget types."""
+
+    RADIO = "radio"
+    DROPDOWN = "dropdown"
+    SLIDER = "slider"
+    RANGE_SLIDER = "range_slider"
+    TOGGLE = "toggle"
+    BUTTON_GROUP = "button_group"
+    TABS = "tabs"
+    CHECKBOX = "checkbox"
+    TEXT_INPUT = "text_input"
+    DATE_RANGE = "date_range"
+
+
+#: Widget types that present a discrete set of options.
+DISCRETE_WIDGETS = frozenset(
+    {WidgetType.RADIO, WidgetType.DROPDOWN, WidgetType.BUTTON_GROUP, WidgetType.TABS}
+)
+
+#: Widget types that select from a continuous domain.
+CONTINUOUS_WIDGETS = frozenset({WidgetType.SLIDER, WidgetType.RANGE_SLIDER, WidgetType.DATE_RANGE})
+
+#: Widget types that toggle a boolean state.
+BOOLEAN_WIDGETS = frozenset({WidgetType.TOGGLE, WidgetType.CHECKBOX})
+
+
+@dataclass(frozen=True)
+class ChoiceBinding:
+    """Binds a widget to one choice node of one Difftree."""
+
+    tree_index: int
+    choice_id: str
+
+
+@dataclass
+class Widget:
+    """One widget of the generated interface.
+
+    Attributes:
+        widget_id: Stable identifier (``W1``, ``W2``, ...).
+        widget_type: Which control this is.
+        label: Human-readable label derived from the controlled attribute.
+        bindings: The choice nodes this widget drives (all receive the same
+            selection).
+        options: Display options for discrete widgets (parallel to the choice
+            node's alternatives).
+        domain: (low, high) numeric or date domain for continuous widgets.
+        default: Initial value (option index, (low, high) pair, or bool).
+    """
+
+    widget_id: str
+    widget_type: WidgetType
+    label: str
+    bindings: list[ChoiceBinding] = field(default_factory=list)
+    options: list[Any] = field(default_factory=list)
+    domain: tuple[Any, Any] | None = None
+    default: Any = None
+
+    def validate(self) -> None:
+        """Raise InterfaceError for structurally invalid widget configurations."""
+        if not self.bindings:
+            raise InterfaceError(f"Widget {self.widget_id} is not bound to any choice node")
+        if self.widget_type in DISCRETE_WIDGETS and len(self.options) < 2:
+            raise InterfaceError(
+                f"{self.widget_type.value} widget {self.widget_id} needs at least two options"
+            )
+        if self.widget_type in CONTINUOUS_WIDGETS and self.domain is None:
+            raise InterfaceError(
+                f"{self.widget_type.value} widget {self.widget_id} needs a domain"
+            )
+
+    @property
+    def choice_ids(self) -> list[str]:
+        return [binding.choice_id for binding in self.bindings]
+
+    @property
+    def tree_indices(self) -> list[int]:
+        return sorted({binding.tree_index for binding in self.bindings})
+
+    def is_discrete(self) -> bool:
+        return self.widget_type in DISCRETE_WIDGETS
+
+    def is_continuous(self) -> bool:
+        return self.widget_type in CONTINUOUS_WIDGETS
+
+    def is_boolean(self) -> bool:
+        return self.widget_type in BOOLEAN_WIDGETS
+
+    def describe(self) -> str:
+        if self.is_discrete():
+            detail = f"options={self.options}"
+        elif self.is_continuous():
+            detail = f"domain={self.domain}"
+        else:
+            detail = f"default={self.default}"
+        return f"{self.widget_id}: {self.widget_type.value} [{self.label}] {detail}"
+
+
+def default_widget_for_cardinality(cardinality: int) -> WidgetType:
+    """The conventional discrete widget for a given number of options.
+
+    A couple of options read best as radio buttons or a button group; larger
+    option sets collapse into a dropdown to save space.
+    """
+    if cardinality <= 2:
+        return WidgetType.BUTTON_GROUP
+    if cardinality <= 5:
+        return WidgetType.RADIO
+    return WidgetType.DROPDOWN
+
+
+def make_widget(
+    widget_id: str,
+    widget_type: WidgetType,
+    label: str,
+    bindings: Sequence[ChoiceBinding],
+    options: Sequence[Any] = (),
+    domain: tuple[Any, Any] | None = None,
+    default: Any = None,
+) -> Widget:
+    """Construct and validate a widget."""
+    widget = Widget(
+        widget_id=widget_id,
+        widget_type=widget_type,
+        label=label,
+        bindings=list(bindings),
+        options=list(options),
+        domain=domain,
+        default=default,
+    )
+    widget.validate()
+    return widget

@@ -1,0 +1,39 @@
+"""Interface mapping: V (visualizations), M (interactions), L (layout)."""
+
+from repro.mapping.attributes import (
+    find_own_vis,
+    find_vis_displaying,
+    group_linked_choices,
+    humanize,
+    literal_domain,
+    option_labels,
+    widget_label,
+)
+from repro.mapping.interaction_mapping import (
+    InteractionMapper,
+    InteractionMappingResult,
+    MappingPolicy,
+)
+from repro.mapping.layout_mapping import map_layout, order_visualizations, size_visualizations
+from repro.mapping.schema_matching import MappingConfig, map_forest_to_interface
+from repro.mapping.vis_mapping import map_forest_to_visualizations, map_tree_to_visualization
+
+__all__ = [
+    "find_own_vis",
+    "find_vis_displaying",
+    "group_linked_choices",
+    "humanize",
+    "literal_domain",
+    "option_labels",
+    "widget_label",
+    "InteractionMapper",
+    "InteractionMappingResult",
+    "MappingPolicy",
+    "map_layout",
+    "order_visualizations",
+    "size_visualizations",
+    "MappingConfig",
+    "map_forest_to_interface",
+    "map_forest_to_visualizations",
+    "map_tree_to_visualization",
+]

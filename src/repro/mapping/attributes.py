@@ -1,0 +1,130 @@
+"""Shared helpers for the mapping layer.
+
+Small utilities for labelling widgets, summarizing choice alternatives and
+locating which visualization displays a given data attribute — the glue that
+lets the interaction mapper decide between a widget and a linked
+visualization interaction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.difftree.nodes import AnyNode, ChoiceNode, OptNode, choice_node_by_id
+from repro.difftree.tree_schema import ChoiceContext
+from repro.interface.visualizations import Channel, Visualization
+from repro.sql.ast_nodes import SqlNode
+from repro.sql.printer import to_sql
+
+
+def humanize(name: str) -> str:
+    """Turn an attribute/SQL-ish identifier into a readable label."""
+    return name.replace("_", " ").strip().capitalize()
+
+
+def widget_label(context: ChoiceContext) -> str:
+    """A human-readable label for the widget controlling ``context``."""
+    if context.target_attribute:
+        return humanize(context.target_attribute)
+    if context.kind == "opt":
+        if context.alternative_kind == "subquery":
+            return "Subquery filter"
+        if context.alternative_kind == "predicate":
+            return "Filter"
+        if context.alternative_kind in ("select_item", "column"):
+            return "Show attribute"
+        return "Optional clause"
+    if context.alternative_kind == "column":
+        return "Attribute"
+    if context.alternative_kind == "select_item":
+        return "Measure"
+    if context.alternative_kind == "query":
+        return "Query"
+    if context.alternative_kind == "predicate":
+        return "Condition"
+    return "Choice"
+
+
+def option_labels(tree: SqlNode, context: ChoiceContext) -> list[str]:
+    """Display labels for the alternatives of an ANY choice (SQL snippets)."""
+    node = choice_node_by_id(tree, context.choice_id)
+    if isinstance(node, OptNode):
+        return ["on", "off"]
+    assert isinstance(node, AnyNode)
+    labels = []
+    for alternative in node.alternatives:
+        try:
+            labels.append(to_sql(alternative))
+        except Exception:  # noqa: BLE001 - nested choice nodes are not SQL-renderable
+            labels.append(type(alternative).__name__)
+    return labels
+
+
+def literal_domain(values: Sequence[Any]) -> tuple[Any, Any] | None:
+    """The (min, max) domain spanned by a set of literal values, when orderable."""
+    cleaned = [value for value in values if value is not None]
+    if not cleaned:
+        return None
+    try:
+        return min(cleaned), max(cleaned)
+    except TypeError:
+        return None
+
+
+def find_vis_displaying(
+    visualizations: Sequence[Visualization],
+    attribute: str,
+    exclude_tree: int | None = None,
+    channels: Sequence[Channel] = (Channel.X, Channel.Y, Channel.COLOR),
+) -> Visualization | None:
+    """The first visualization that shows ``attribute`` on one of ``channels``.
+
+    ``exclude_tree`` lets the caller look for a *different* tree's chart, which
+    is what linked interactions (brushing G1 to configure G2) need.
+    """
+    for vis in visualizations:
+        if exclude_tree is not None and vis.tree_index == exclude_tree:
+            continue
+        for channel in channels:
+            if vis.field_for(channel) == attribute:
+                return vis
+    return None
+
+
+def find_own_vis(
+    visualizations: Sequence[Visualization], tree_index: int
+) -> Visualization | None:
+    """The visualization fed by the given tree, if any."""
+    for vis in visualizations:
+        if vis.tree_index == tree_index:
+            return vis
+    return None
+
+
+def group_linked_choices(contexts: Sequence[ChoiceContext]) -> list[list[ChoiceContext]]:
+    """Group choices of one tree that should be driven by a single component.
+
+    Choices are linked when they constrain the same attribute with the same
+    alternative values (the repeated ``'South'``/``'Northeast'`` literals of
+    the COVID Q4 query), so a single pair of buttons updates all of them.
+    Range members are never linked this way — they pair up with their
+    low/high partner instead.
+    """
+    groups: dict[tuple, list[ChoiceContext]] = {}
+    ordered_keys: list[tuple] = []
+    for context in contexts:
+        if context.is_range_member:
+            key = ("__range__", context.choice_id)
+        elif context.literal_values and context.target_attribute:
+            key = (
+                context.target_attribute,
+                context.alternative_kind,
+                tuple(context.literal_values),
+            )
+        else:
+            key = ("__solo__", context.choice_id)
+        if key not in groups:
+            groups[key] = []
+            ordered_keys.append(key)
+        groups[key].append(context)
+    return [groups[key] for key in ordered_keys]

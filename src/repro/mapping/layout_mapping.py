@@ -1,0 +1,58 @@
+"""Layout mapping L: Difftree structures + screen size → layouts.
+
+A thin policy layer over the layout engine: it orders charts (overview charts
+before detail charts, matching the walkthrough's G1/G2/G3 ordering), sizes
+them according to how many need to share the screen, and delegates the actual
+packing to :func:`repro.interface.layout.compute_layout`.
+"""
+
+from __future__ import annotations
+
+from repro.difftree.tree_schema import ForestSchema
+from repro.interface.layout import Layout, ScreenSize, compute_layout
+from repro.interface.visualizations import Visualization
+from repro.interface.widgets import Widget
+
+
+def order_visualizations(
+    visualizations: list[Visualization], schema: ForestSchema
+) -> list[Visualization]:
+    """Order charts for display: unfiltered overview charts first.
+
+    The COVID walkthrough lays the overall timeline (G1) before the detail and
+    breakdown views; we approximate "overview-ness" by the absence of filter
+    columns in the chart's underlying query.
+    """
+    def sort_key(vis: Visualization) -> tuple:
+        profile = schema.profiles[vis.tree_index]
+        filter_count = len(profile.query_profile.filter_columns)
+        choice_count = len(profile.choices)
+        return (filter_count, choice_count, vis.tree_index)
+
+    return sorted(visualizations, key=sort_key)
+
+
+def size_visualizations(
+    visualizations: list[Visualization], screen: ScreenSize
+) -> list[Visualization]:
+    """Shrink preferred chart sizes when many charts must share a small screen."""
+    if len(visualizations) <= 2 or screen.width >= 1400:
+        return visualizations
+    scale = 0.8 if len(visualizations) <= 4 else 0.65
+    for vis in visualizations:
+        vis.width = int(vis.width * scale)
+        vis.height = int(vis.height * scale)
+    return visualizations
+
+
+def map_layout(
+    visualizations: list[Visualization],
+    widgets: list[Widget],
+    schema: ForestSchema,
+    screen: ScreenSize,
+) -> tuple[list[Visualization], Layout]:
+    """Order + size the charts and compute the final layout."""
+    ordered = order_visualizations(visualizations, schema)
+    sized = size_visualizations(ordered, screen)
+    layout = compute_layout(sized, widgets, screen)
+    return sized, layout

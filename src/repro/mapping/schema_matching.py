@@ -1,0 +1,65 @@
+"""The interface mapping step: Difftree forest → candidate Interface.
+
+This orchestrates the three sub-mappings of ``I = (V, M, L)``:
+
+* ``V`` — :mod:`repro.mapping.vis_mapping` maps each Difftree's result schema
+  to a chart,
+* ``M`` — :mod:`repro.mapping.interaction_mapping` maps each choice node to a
+  widget or a visualization interaction,
+* ``L`` — :mod:`repro.mapping.layout_mapping` lays the components out for the
+  target screen,
+
+mirroring the schema-matching formulation of Section 2: the Difftree side's
+schema comes from :mod:`repro.difftree.tree_schema`, the interface side's
+"schema" is the set of component types with their compatibility rules encoded
+in the mappers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.difftree.builder import DifftreeForest
+from repro.difftree.tree_schema import ForestSchema, forest_schema
+from repro.interface.interface import Interface
+from repro.interface.layout import MEDIUM_SCREEN, ScreenSize
+from repro.mapping.interaction_mapping import InteractionMapper, MappingPolicy
+from repro.mapping.layout_mapping import map_layout
+from repro.mapping.vis_mapping import map_forest_to_visualizations
+from repro.sql.schema import TableSchema
+
+
+@dataclass
+class MappingConfig:
+    """Configuration of the interface mapping step."""
+
+    screen: ScreenSize = MEDIUM_SCREEN
+    policy: MappingPolicy | None = None
+    name: str = "interface"
+
+
+def map_forest_to_interface(
+    forest: DifftreeForest,
+    table_schemas: dict[str, TableSchema],
+    config: MappingConfig | None = None,
+    profile_cache: dict | None = None,
+) -> Interface:
+    """Map a Difftree forest to a complete candidate interface."""
+    config = config or MappingConfig()
+    schema = forest_schema(forest, table_schemas, profile_cache=profile_cache)
+
+    visualizations = map_forest_to_visualizations(schema.profiles)
+    mapper = InteractionMapper(policy=config.policy)
+    mapping = mapper.map_forest(forest, schema, visualizations)
+    ordered, layout = map_layout(visualizations, mapping.widgets, schema, config.screen)
+
+    interface = Interface(
+        forest=forest,
+        visualizations=ordered,
+        widgets=mapping.widgets,
+        interactions=mapping.interactions,
+        layout=layout,
+        name=config.name,
+    )
+    interface.validate()
+    return interface

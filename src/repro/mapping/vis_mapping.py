@@ -1,0 +1,141 @@
+"""Visualization mapping V: Difftree results → charts.
+
+For each Difftree, the mapper inspects the result schema of its default
+instantiation (column names, data types and visualization roles from the
+analyzer) and assigns encodings using standard effectiveness ordering:
+
+* x — a temporal dimension if present, else the first dimension, else the
+  first quantitative column,
+* y — the first aggregate/measure column not already used,
+* color — a remaining low-cardinality dimension (the per-state breakdown of
+  the COVID walkthrough gets ``color -> state``).
+
+The chart type then follows from the (x role, y role) pair; queries with no
+obvious encodable pair fall back to a table view.
+"""
+
+from __future__ import annotations
+
+from repro.difftree.tree_schema import TreeProfile
+from repro.errors import MappingError
+from repro.interface.visualizations import Channel, ChartType, Encoding, Visualization, mark_for_roles
+from repro.mapping.attributes import humanize
+from repro.sql.schema import AttributeRole, ColumnSchema
+
+
+def _pick_x(columns: list[ColumnSchema], profile: TreeProfile) -> ColumnSchema | None:
+    dimensions = [col for col in columns if col.resolved_role() is not AttributeRole.QUANTITATIVE]
+    temporal = [col for col in dimensions if col.resolved_role() is AttributeRole.TEMPORAL]
+    if temporal:
+        return temporal[0]
+    group_names = set(profile.query_profile.group_by_columns)
+    grouped_dimensions = [col for col in dimensions if col.name in group_names]
+    if grouped_dimensions:
+        return grouped_dimensions[0]
+    if dimensions:
+        return dimensions[0]
+    quantitative = [col for col in columns if col.resolved_role() is AttributeRole.QUANTITATIVE]
+    if quantitative:
+        return quantitative[0]
+    return None
+
+
+def _pick_y(columns: list[ColumnSchema], x: ColumnSchema, profile: TreeProfile) -> ColumnSchema | None:
+    aggregates = set(profile.query_profile.aggregate_columns)
+    candidates = [col for col in columns if col.name != x.name]
+    aggregate_columns = [
+        col
+        for col in candidates
+        if col.name in aggregates and col.resolved_role() is AttributeRole.QUANTITATIVE
+    ]
+    if aggregate_columns:
+        return aggregate_columns[0]
+    quantitative = [col for col in candidates if col.resolved_role() is AttributeRole.QUANTITATIVE]
+    if quantitative:
+        return quantitative[0]
+    if candidates:
+        return candidates[0]
+    return None
+
+
+def _pick_color(columns: list[ColumnSchema], used: set[str]) -> ColumnSchema | None:
+    remaining = [
+        col
+        for col in columns
+        if col.name not in used
+        and col.resolved_role() in (AttributeRole.NOMINAL, AttributeRole.ORDINAL)
+    ]
+    if remaining:
+        return remaining[0]
+    return None
+
+
+def map_tree_to_visualization(
+    profile: TreeProfile,
+    vis_id: str,
+    title: str | None = None,
+) -> Visualization:
+    """Map one Difftree profile to a visualization."""
+    columns = list(profile.query_profile.result_schema.columns)
+    if not columns:
+        raise MappingError(f"Tree {profile.tree_index} produces no result columns")
+
+    x = _pick_x(columns, profile)
+    if x is None:
+        return Visualization(
+            vis_id=vis_id,
+            chart_type=ChartType.TABLE,
+            encodings=[],
+            tree_index=profile.tree_index,
+            title=title or "Result table",
+        )
+    y = _pick_y(columns, x, profile)
+    if y is None:
+        # Single-column result: histogram of that column.
+        return Visualization(
+            vis_id=vis_id,
+            chart_type=ChartType.HISTOGRAM,
+            encodings=[Encoding(Channel.X, x.name, x.resolved_role())],
+            tree_index=profile.tree_index,
+            title=title or humanize(x.name),
+        )
+
+    x_role = x.resolved_role()
+    y_role = y.resolved_role()
+    chart_type = mark_for_roles(x_role, y_role)
+    encodings = [
+        Encoding(Channel.X, x.name, x_role),
+        Encoding(Channel.Y, y.name, y_role),
+    ]
+    color = _pick_color(columns, {x.name, y.name})
+    if color is not None:
+        encodings.append(Encoding(Channel.COLOR, color.name, color.resolved_role()))
+
+    if chart_type is ChartType.SCATTER and color is None and len(columns) > 2:
+        size_candidates = [
+            col
+            for col in columns
+            if col.name not in (x.name, y.name)
+            and col.resolved_role() is AttributeRole.QUANTITATIVE
+        ]
+        if size_candidates:
+            encodings.append(
+                Encoding(Channel.SIZE, size_candidates[0].name, AttributeRole.QUANTITATIVE)
+            )
+
+    chart_title = title or f"{humanize(y.name)} by {humanize(x.name)}"
+    return Visualization(
+        vis_id=vis_id,
+        chart_type=chart_type,
+        encodings=encodings,
+        tree_index=profile.tree_index,
+        title=chart_title,
+    )
+
+
+def map_forest_to_visualizations(profiles: list[TreeProfile]) -> list[Visualization]:
+    """Map every tree of a forest to a chart, numbering them G1, G2, ..."""
+    visualizations = []
+    for index, profile in enumerate(profiles, start=1):
+        visualizations.append(map_tree_to_visualization(profile, vis_id=f"G{index}"))
+    return visualizations

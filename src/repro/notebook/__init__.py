@@ -1,0 +1,17 @@
+"""Headless notebook integration: cells, sessions, versioning, the PI2 extension."""
+
+from repro.notebook.cell import Cell
+from repro.notebook.export import export_notebook, session_to_notebook
+from repro.notebook.extension import Pi2Extension
+from repro.notebook.session import NotebookSession
+from repro.notebook.versioning import InterfaceVersion, VersionHistory
+
+__all__ = [
+    "Cell",
+    "export_notebook",
+    "session_to_notebook",
+    "Pi2Extension",
+    "NotebookSession",
+    "InterfaceVersion",
+    "VersionHistory",
+]

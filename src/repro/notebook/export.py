@@ -1,0 +1,136 @@
+"""Export a notebook session (and its generated interfaces) to a .ipynb file.
+
+The demonstration runs inside JupyterLab; this reproduction is headless, but
+analyses built with :class:`~repro.notebook.session.NotebookSession` can be
+exported to a standard notebook document so they can be opened in Jupyter:
+
+* one code cell per SQL cell (as ``%%sql``-style source with the result row
+  count recorded in the cell output),
+* one markdown + code cell pair per generated interface version, embedding the
+  Vega-Lite specification as a ``application/vnd.vegalite.v5+json`` output so
+  notebook front-ends that bundle Vega render it natively.
+
+The export is plain JSON in nbformat 4; no Jupyter installation is required.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.interface.vegalite import interface_spec
+from repro.notebook.session import NotebookSession
+from repro.notebook.versioning import VersionHistory
+
+NBFORMAT_MAJOR = 4
+NBFORMAT_MINOR = 5
+VEGALITE_MIME = "application/vnd.vegalite.v5+json"
+
+
+def _code_cell(source: str, outputs: list[dict[str, Any]] | None = None) -> dict[str, Any]:
+    return {
+        "cell_type": "code",
+        "execution_count": None,
+        "metadata": {},
+        "source": source,
+        "outputs": outputs or [],
+    }
+
+
+def _markdown_cell(source: str) -> dict[str, Any]:
+    return {"cell_type": "markdown", "metadata": {}, "source": source}
+
+
+def _sql_cell(cell) -> dict[str, Any]:
+    outputs: list[dict[str, Any]] = []
+    if cell.last_result is not None:
+        preview_rows = cell.last_result.rows[:5]
+        text = "\n".join(
+            [
+                f"{cell.last_result.row_count} rows x {len(cell.last_result.columns)} columns",
+                ", ".join(cell.last_result.columns),
+                *(str(row) for row in preview_rows),
+            ]
+        )
+        outputs.append(
+            {
+                "output_type": "execute_result",
+                "execution_count": cell.execution_count,
+                "metadata": {},
+                "data": {"text/plain": text},
+            }
+        )
+    marker = "[x]" if cell.selected else "[ ]"
+    source = f"%%sql  # {marker} {cell.cell_id}\n{cell.source}"
+    return _code_cell(source, outputs)
+
+
+def _interface_cells(version, catalog) -> list[dict[str, Any]]:
+    interface = version.result.interface
+    summary = version.summary()
+    header = _markdown_cell(
+        f"## Generated interface {version.label}\n\n"
+        f"- charts: {interface.visualization_count}\n"
+        f"- widgets: {interface.widget_count}\n"
+        f"- visualization interactions: {interface.interaction_count}\n"
+        f"- cost: {summary['cost']}\n\n"
+        "Archived query log:\n\n"
+        + "\n".join(f"```sql\n{sql}\n```" for sql in version.query_snapshot)
+    )
+    data = None
+    if catalog is not None:
+        state = version.result.start_session(catalog)
+        data = state.refresh_all()
+    spec = interface_spec(interface, data)
+    vega_output = {
+        "output_type": "display_data",
+        "metadata": {},
+        "data": {
+            VEGALITE_MIME: spec,
+            "text/plain": interface.describe(),
+        },
+    }
+    code = _code_cell(
+        f"# PI2-generated interface {version.label} (spec embedded as a rich output)\n"
+        f"interface_{version.label.lower()}",
+        [vega_output],
+    )
+    return [header, code]
+
+
+def session_to_notebook(
+    session: NotebookSession,
+    history: VersionHistory | None = None,
+    title: str = "PI2 analysis",
+) -> dict[str, Any]:
+    """Build the nbformat-4 JSON document for a session (+ optional versions)."""
+    cells: list[dict[str, Any]] = [_markdown_cell(f"# {title}")]
+    for cell in session.cells:
+        cells.append(_sql_cell(cell))
+    if history is not None:
+        for version in history.versions:
+            cells.extend(_interface_cells(version, session.catalog))
+    return {
+        "nbformat": NBFORMAT_MAJOR,
+        "nbformat_minor": NBFORMAT_MINOR,
+        "metadata": {
+            "kernelspec": {"name": "xsql", "display_name": "SQL (xeus-sql style)", "language": "sql"},
+            "pi2": {"generated_versions": len(history.versions) if history else 0},
+        },
+        "cells": cells,
+    }
+
+
+def export_notebook(
+    session: NotebookSession,
+    path: str | Path,
+    history: VersionHistory | None = None,
+    title: str = "PI2 analysis",
+) -> Path:
+    """Write the session (and generated interface versions) to ``path`` as .ipynb."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    document = session_to_notebook(session, history=history, title=title)
+    target.write_text(json.dumps(document, indent=1, default=str), encoding="utf-8")
+    return target

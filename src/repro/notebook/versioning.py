@@ -1,0 +1,109 @@
+"""Interface version history.
+
+"To adapt to edits and ensure reproducibility, our integration tracks
+interface versions in the version tabs at the top of the Generated Interfaces
+panel and archives the input query logs in the Query Log collapsible section
+for each version" (Section 3.1).  Each :class:`InterfaceVersion` therefore
+snapshots the exact query texts used for generation; the history supports
+reverting to (or forking from) any previous version.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import NotebookError
+from repro.pipeline import GenerationResult
+
+_VERSION_COUNTER = itertools.count(1)
+
+
+@dataclass
+class InterfaceVersion:
+    """One generated interface plus the query-log snapshot that produced it."""
+
+    version_id: str
+    label: str
+    query_snapshot: list[str]
+    cell_snapshot: list[dict[str, Any]]
+    result: GenerationResult
+    parent_version: str | None = None
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "version": self.label,
+            "queries": list(self.query_snapshot),
+            "visualizations": self.result.interface.visualization_count,
+            "widgets": self.result.interface.widget_count,
+            "interactions": self.result.interface.interaction_count,
+            "cost": round(self.result.total_cost, 3),
+            "parent": self.parent_version,
+        }
+
+
+class VersionHistory:
+    """Ordered history of generated interface versions (the version tabs)."""
+
+    def __init__(self) -> None:
+        self._versions: list[InterfaceVersion] = []
+        self._active_index: int | None = None
+
+    def add(
+        self,
+        result: GenerationResult,
+        query_snapshot: list[str],
+        cell_snapshot: list[dict[str, Any]] | None = None,
+    ) -> InterfaceVersion:
+        """Record a newly generated interface as the next version."""
+        number = next(_VERSION_COUNTER)
+        parent = self.active.version_id if self._versions and self._active_index is not None else None
+        version = InterfaceVersion(
+            version_id=f"v{number}",
+            label=f"V{len(self._versions) + 1}",
+            query_snapshot=list(query_snapshot),
+            cell_snapshot=list(cell_snapshot or []),
+            result=result,
+            parent_version=parent,
+        )
+        self._versions.append(version)
+        self._active_index = len(self._versions) - 1
+        return version
+
+    # ------------------------------------------------------------------ #
+    # Navigation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def versions(self) -> list[InterfaceVersion]:
+        return list(self._versions)
+
+    @property
+    def active(self) -> InterfaceVersion:
+        if self._active_index is None or not self._versions:
+            raise NotebookError("No interface has been generated yet")
+        return self._versions[self._active_index]
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def get(self, label: str) -> InterfaceVersion:
+        for version in self._versions:
+            if version.label == label or version.version_id == label:
+                return version
+        raise NotebookError(f"No interface version {label!r}")
+
+    def switch_to(self, label: str) -> InterfaceVersion:
+        """Activate a previous version (the user clicks its tab)."""
+        version = self.get(label)
+        self._active_index = self._versions.index(version)
+        return version
+
+    def revert_to(self, label: str) -> InterfaceVersion:
+        """Fully revert: drop every version generated after ``label``."""
+        version = self.get(label)
+        index = self._versions.index(version)
+        self._versions = self._versions[: index + 1]
+        self._active_index = index
+        return version

@@ -1,0 +1,20 @@
+"""Search strategies over Difftree forests: MCTS, greedy, exhaustive."""
+
+from repro.search.exhaustive import exhaustive_search
+from repro.search.greedy import greedy_search
+from repro.search.mcts import DEFAULT_EXPLORATION, MctsNode, MctsSearcher, mcts_search
+from repro.search.space import Action, Evaluation, SearchResult, SearchSpace, SearchStats
+
+__all__ = [
+    "exhaustive_search",
+    "greedy_search",
+    "DEFAULT_EXPLORATION",
+    "MctsNode",
+    "MctsSearcher",
+    "mcts_search",
+    "Action",
+    "Evaluation",
+    "SearchResult",
+    "SearchSpace",
+    "SearchStats",
+]

@@ -1,0 +1,207 @@
+"""The search space over Difftree forests.
+
+A search *state* is a :class:`~repro.difftree.builder.DifftreeForest`.  The
+actions available in a state are
+
+* ``merge(i, j)`` — merge two trees of the forest into one (reduces chart
+  count, introduces choice nodes),
+* every applicable tree transformation from
+  :mod:`repro.difftree.transformations` (factoring shared structure above an
+  ANY node, flipping an OPT default).
+
+Evaluating a state maps the forest to a candidate interface (the mapping step)
+and scores it with the cost model; evaluations are memoized by forest
+signature, so the different search strategies can be compared on the number of
+*distinct* candidates they explore.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cost.model import CostBreakdown, CostModel
+from repro.difftree.builder import DifftreeForest, build_forest
+from repro.difftree.canonical import queries_share_source, structural_similarity
+from repro.difftree.transformations import applicable_transformations
+from repro.errors import SearchError
+from repro.interface.interface import Interface
+from repro.mapping.schema_matching import MappingConfig, map_forest_to_interface
+from repro.sql.schema import TableSchema
+
+
+@dataclass(frozen=True)
+class Action:
+    """One applicable state transition."""
+
+    kind: str  # "merge" | "transform"
+    description: str
+    apply: Callable[[DifftreeForest], DifftreeForest] = field(compare=False)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.description
+
+
+@dataclass
+class Evaluation:
+    """The mapped interface and its cost for one state."""
+
+    interface: Interface
+    cost: CostBreakdown
+
+    @property
+    def total_cost(self) -> float:
+        return self.cost.total
+
+
+@dataclass
+class SearchStats:
+    """Bookkeeping shared by all search strategies."""
+
+    evaluations: int = 0
+    cache_hits: int = 0
+    states_expanded: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class SearchResult:
+    """The outcome of a search run."""
+
+    interface: Interface
+    cost: CostBreakdown
+    forest: DifftreeForest
+    stats: SearchStats
+    strategy: str = ""
+    action_trace: list[str] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> float:
+        return self.cost.total
+
+
+class SearchSpace:
+    """Action enumeration and cached evaluation over Difftree forests."""
+
+    def __init__(
+        self,
+        queries: Sequence[str],
+        table_schemas: dict[str, TableSchema],
+        mapping_config: MappingConfig | None = None,
+        cost_model: CostModel | None = None,
+        initial_strategy: str = "per_query",
+    ) -> None:
+        if not queries:
+            raise SearchError("Cannot search over an empty query log")
+        self.table_schemas = table_schemas
+        self.mapping_config = mapping_config or MappingConfig()
+        self.cost_model = cost_model or CostModel()
+        self.initial_state = build_forest(queries, strategy=initial_strategy)
+        self._cache: dict[tuple, Evaluation] = {}
+        self._profile_cache: dict = {}
+        self._transformation_cache: dict = {}
+        self._pair_similarity: dict[tuple[int, int], float] = {}
+        self.stats = SearchStats()
+        self.min_merge_similarity = 0.3
+        self._precompute_similarities()
+
+    def _precompute_similarities(self) -> None:
+        queries = self.initial_state.queries
+        self._pair_shares_source: dict[tuple[int, int], bool] = {}
+        for i in range(len(queries)):
+            for j in range(i + 1, len(queries)):
+                self._pair_similarity[(i, j)] = structural_similarity(queries[i], queries[j])
+                self._pair_shares_source[(i, j)] = queries_share_source(queries[i], queries[j])
+
+    def _members_similar(self, members_a: list[int], members_b: list[int]) -> bool:
+        """True when some query pair across the two trees is similar enough to merge."""
+        best = 0.0
+        for i in members_a:
+            for j in members_b:
+                key = (min(i, j), max(i, j))
+                best = max(best, self._pair_similarity.get(key, 0.0))
+        return best >= self.min_merge_similarity
+
+    # ------------------------------------------------------------------ #
+    # Actions
+    # ------------------------------------------------------------------ #
+
+    def actions(self, forest: DifftreeForest) -> list[Action]:
+        """All actions applicable in the given state."""
+        actions: list[Action] = []
+        for first in range(forest.tree_count):
+            for second in range(first + 1, forest.tree_count):
+                first_members = forest.members[first]
+                second_members = forest.members[second]
+                key = (min(first_members[0], second_members[0]), max(first_members[0], second_members[0]))
+                if not self._pair_shares_source.get(key, True):
+                    continue
+                if not self._members_similar(first_members, second_members):
+                    continue
+                actions.append(
+                    Action(
+                        kind="merge",
+                        description=f"merge(t{first}, t{second})",
+                        apply=lambda f, i=first, j=second: f.merge_trees(i, j),
+                    )
+                )
+        for tree_index, tree in enumerate(forest.trees):
+            for transformation in self._transformations_for(tree):
+                actions.append(
+                    Action(
+                        kind="transform",
+                        description=f"t{tree_index}:{transformation.describe()}",
+                        apply=lambda f, idx=tree_index, tr=transformation: f.replace_tree(
+                            idx, tr(f.trees[idx])
+                        ),
+                    )
+                )
+        return actions
+
+    def apply(self, forest: DifftreeForest, action: Action) -> DifftreeForest:
+        return action.apply(forest)
+
+    def _transformations_for(self, tree):
+        """Applicable transformations of one tree, cached by tree identity."""
+        key = id(tree)
+        cached = self._transformation_cache.get(key)
+        if cached is not None and cached[0] is tree:
+            return cached[1]
+        transformations = applicable_transformations(tree)
+        self._transformation_cache[key] = (tree, transformations)
+        return transformations
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, forest: DifftreeForest) -> Evaluation:
+        """Map the forest to an interface and cost it (memoized)."""
+        key = forest.signature()
+        if key in self._cache:
+            self.stats.cache_hits += 1
+            return self._cache[key]
+        started = time.perf_counter()
+        interface = map_forest_to_interface(
+            forest, self.table_schemas, self.mapping_config, profile_cache=self._profile_cache
+        )
+        cost = self.cost_model.evaluate(interface, forest.queries)
+        evaluation = Evaluation(interface=interface, cost=cost)
+        self._cache[key] = evaluation
+        self.stats.evaluations += 1
+        self.stats.elapsed_seconds += time.perf_counter() - started
+        return evaluation
+
+    def result(
+        self, forest: DifftreeForest, strategy: str, action_trace: list[str] | None = None
+    ) -> SearchResult:
+        evaluation = self.evaluate(forest)
+        return SearchResult(
+            interface=evaluation.interface,
+            cost=evaluation.cost,
+            forest=forest,
+            stats=self.stats,
+            strategy=strategy,
+            action_trace=action_trace or [],
+        )

@@ -1,0 +1,343 @@
+"""Semantic analysis of SELECT statements.
+
+Given a query AST and the catalog of table schemas, the analyzer
+
+* resolves column references to the tables that provide them,
+* infers the result schema (column names, types, visualization roles),
+* classifies the query shape (grouped aggregation, plain projection, ...),
+
+which the Difftree/mapping layers use to choose chart encodings and to decide
+which attributes a choice node controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SqlAnalysisError
+from repro.sql.ast_nodes import (
+    AGGREGATE_FUNCTIONS,
+    BinaryOp,
+    Case,
+    Cast,
+    ColumnRef,
+    FunctionCall,
+    Join,
+    Literal,
+    Select,
+    SelectItem,
+    SqlNode,
+    Star,
+    SubqueryRef,
+    TableRef,
+    contains_aggregate,
+)
+from repro.sql.schema import AttributeRole, ColumnSchema, DataType, ResultSchema, TableSchema
+
+
+@dataclass
+class ScopeEntry:
+    """One table binding visible to a query scope."""
+
+    binding_name: str
+    schema: TableSchema
+
+
+@dataclass
+class Scope:
+    """Name resolution scope: the tables bound in a query's FROM clause."""
+
+    entries: list[ScopeEntry] = field(default_factory=list)
+    parent: "Scope | None" = None
+
+    def add(self, binding_name: str, schema: TableSchema) -> None:
+        self.entries.append(ScopeEntry(binding_name, schema))
+
+    def resolve(self, column: ColumnRef) -> ColumnSchema:
+        """Resolve a column reference, searching outer scopes for correlation."""
+        matches: list[ColumnSchema] = []
+        for entry in self.entries:
+            if column.table and column.table != entry.binding_name:
+                continue
+            if entry.schema.has_column(column.name):
+                matches.append(entry.schema.column(column.name))
+        if len(matches) == 1:
+            return matches[0]
+        if len(matches) > 1:
+            raise SqlAnalysisError(f"Ambiguous column reference {column.qualified_name!r}")
+        if self.parent is not None:
+            return self.parent.resolve(column)
+        raise SqlAnalysisError(f"Unknown column {column.qualified_name!r}")
+
+    def all_columns(self) -> list[tuple[str, ColumnSchema]]:
+        result: list[tuple[str, ColumnSchema]] = []
+        for entry in self.entries:
+            for column in entry.schema.columns:
+                result.append((entry.binding_name, column))
+        return result
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Summary of an analyzed query used by the mapping layer.
+
+    Attributes:
+        result_schema: inferred output schema.
+        group_by_columns: output names of GROUP BY expressions that also appear
+            in the SELECT list.
+        aggregate_columns: output names of aggregate expressions.
+        measure_columns: quantitative output columns (aggregates included).
+        dimension_columns: nominal/ordinal/temporal output columns.
+        filter_columns: columns referenced by WHERE/HAVING predicates.
+        is_aggregation: True when the query groups or aggregates.
+        has_subquery: True when a subquery appears anywhere in the statement.
+        has_join: True when the FROM clause contains a join.
+        source_tables: base table names referenced anywhere in the statement.
+    """
+
+    result_schema: ResultSchema
+    group_by_columns: tuple[str, ...]
+    aggregate_columns: tuple[str, ...]
+    measure_columns: tuple[str, ...]
+    dimension_columns: tuple[str, ...]
+    filter_columns: tuple[str, ...]
+    is_aggregation: bool
+    has_subquery: bool
+    has_join: bool
+    source_tables: tuple[str, ...]
+
+
+class Analyzer:
+    """Performs name resolution and result-schema inference for SELECTs."""
+
+    def __init__(self, tables: dict[str, TableSchema]) -> None:
+        self._tables = {name.lower(): schema for name, schema in tables.items()}
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def analyze(self, query: Select) -> QueryProfile:
+        """Analyze a SELECT statement against the catalog."""
+        scope = self._build_scope(query, parent=None)
+        result_schema = self._infer_result_schema(query, scope)
+
+        group_names: list[str] = []
+        for expr in query.group_by:
+            name = self._expression_name(expr)
+            if name in result_schema.column_names():
+                group_names.append(name)
+
+        aggregate_names = [
+            item.output_name()
+            for item in query.select_items
+            if contains_aggregate(item.expr)
+        ]
+
+        measures: list[str] = []
+        dimensions: list[str] = []
+        for column in result_schema.columns:
+            if column.resolved_role() is AttributeRole.QUANTITATIVE:
+                measures.append(column.name)
+            else:
+                dimensions.append(column.name)
+
+        filter_columns = tuple(
+            sorted(
+                {
+                    ref.name
+                    for clause in (query.where, query.having)
+                    if clause is not None
+                    for ref in clause.find_all(ColumnRef)
+                }
+            )
+        )
+
+        has_subquery = any(
+            isinstance(node, Select) and node is not query for node in query.walk()
+        )
+        has_join = any(isinstance(node, Join) for node in query.walk())
+        source_tables = tuple(
+            sorted({ref.name for ref in query.find_all(TableRef)})
+        )
+
+        return QueryProfile(
+            result_schema=result_schema,
+            group_by_columns=tuple(group_names),
+            aggregate_columns=tuple(aggregate_names),
+            measure_columns=tuple(measures),
+            dimension_columns=tuple(dimensions),
+            filter_columns=filter_columns,
+            is_aggregation=bool(query.group_by) or bool(aggregate_names),
+            has_subquery=has_subquery,
+            has_join=has_join,
+            source_tables=source_tables,
+        )
+
+    def result_schema(self, query: Select) -> ResultSchema:
+        """Infer only the result schema of ``query``."""
+        scope = self._build_scope(query, parent=None)
+        return self._infer_result_schema(query, scope)
+
+    # ------------------------------------------------------------------ #
+    # Scope construction
+    # ------------------------------------------------------------------ #
+
+    def _lookup_table(self, name: str) -> TableSchema:
+        schema = self._tables.get(name.lower())
+        if schema is None:
+            raise SqlAnalysisError(f"Unknown table {name!r}")
+        return schema
+
+    def _build_scope(self, query: Select, parent: Scope | None) -> Scope:
+        scope = Scope(parent=parent)
+        cte_schemas: dict[str, TableSchema] = {}
+        for cte in query.ctes:
+            cte_scope = self._build_scope(cte.query, parent=parent)
+            cte_result = self._infer_result_schema(cte.query, cte_scope)
+            columns = cte_result.columns
+            if cte.columns:
+                if len(cte.columns) != len(columns):
+                    raise SqlAnalysisError(
+                        f"CTE {cte.name!r} declares {len(cte.columns)} columns "
+                        f"but its query produces {len(columns)}"
+                    )
+                columns = tuple(
+                    ColumnSchema(name, col.data_type, col.role)
+                    for name, col in zip(cte.columns, columns)
+                )
+            cte_schemas[cte.name.lower()] = TableSchema(name=cte.name, columns=columns)
+
+        if query.from_clause is not None:
+            self._bind_from(query.from_clause, scope, cte_schemas, parent)
+        return scope
+
+    def _bind_from(
+        self,
+        node: SqlNode,
+        scope: Scope,
+        cte_schemas: dict[str, TableSchema],
+        parent: Scope | None,
+    ) -> None:
+        if isinstance(node, TableRef):
+            schema = cte_schemas.get(node.name.lower())
+            if schema is None:
+                schema = self._lookup_table(node.name)
+            scope.add(node.binding_name, schema)
+        elif isinstance(node, SubqueryRef):
+            sub_scope = self._build_scope(node.query, parent=parent)
+            sub_schema = self._infer_result_schema(node.query, sub_scope)
+            scope.add(node.alias, TableSchema(name=node.alias, columns=sub_schema.columns))
+        elif isinstance(node, Join):
+            self._bind_from(node.left, scope, cte_schemas, parent)
+            self._bind_from(node.right, scope, cte_schemas, parent)
+        else:
+            raise SqlAnalysisError(f"Unsupported FROM clause item {type(node).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Result schema inference
+    # ------------------------------------------------------------------ #
+
+    def _infer_result_schema(self, query: Select, scope: Scope) -> ResultSchema:
+        columns: list[ColumnSchema] = []
+        for item in query.select_items:
+            if isinstance(item.expr, Star):
+                columns.extend(self._expand_star(item.expr, scope))
+                continue
+            name = item.output_name()
+            data_type, role = self._infer_expression_type(item.expr, scope)
+            columns.append(ColumnSchema(name=name, data_type=data_type, role=role))
+        return ResultSchema(columns=tuple(columns))
+
+    def _expand_star(self, star: Star, scope: Scope) -> list[ColumnSchema]:
+        expanded: list[ColumnSchema] = []
+        for binding_name, column in scope.all_columns():
+            if star.table and star.table != binding_name:
+                continue
+            expanded.append(column)
+        if not expanded:
+            raise SqlAnalysisError("SELECT * with an empty or unknown FROM clause")
+        return expanded
+
+    def _infer_expression_type(
+        self, expr: SqlNode, scope: Scope
+    ) -> tuple[DataType, AttributeRole | None]:
+        if isinstance(expr, Literal):
+            data_type = DataType.of_value(expr.value)
+            return data_type, AttributeRole.from_data_type(data_type)
+        if isinstance(expr, ColumnRef):
+            column = scope.resolve(expr)
+            return column.data_type, column.resolved_role()
+        if isinstance(expr, Cast):
+            mapping = {
+                "int": DataType.INTEGER,
+                "integer": DataType.INTEGER,
+                "bigint": DataType.INTEGER,
+                "float": DataType.FLOAT,
+                "real": DataType.FLOAT,
+                "double": DataType.FLOAT,
+                "text": DataType.TEXT,
+                "varchar": DataType.TEXT,
+                "date": DataType.DATE,
+                "boolean": DataType.BOOLEAN,
+            }
+            data_type = mapping.get(expr.target_type, DataType.TEXT)
+            return data_type, AttributeRole.from_data_type(data_type)
+        if isinstance(expr, FunctionCall):
+            return self._infer_function_type(expr, scope)
+        if isinstance(expr, BinaryOp):
+            if expr.op in ("=", "<>", "<", "<=", ">", ">=", "AND", "OR", "LIKE"):
+                return DataType.BOOLEAN, AttributeRole.NOMINAL
+            left_type, _ = self._infer_expression_type(expr.left, scope)
+            right_type, _ = self._infer_expression_type(expr.right, scope)
+            if expr.op == "||":
+                return DataType.TEXT, AttributeRole.NOMINAL
+            unified = DataType.unify(left_type, right_type)
+            if expr.op == "/" and unified is DataType.INTEGER:
+                unified = DataType.FLOAT
+            return unified, AttributeRole.from_data_type(unified)
+        if isinstance(expr, Case):
+            for arm in expr.whens:
+                data_type, role = self._infer_expression_type(arm.result, scope)
+                if data_type is not DataType.NULL:
+                    return data_type, role
+            if expr.else_result is not None:
+                return self._infer_expression_type(expr.else_result, scope)
+            return DataType.NULL, None
+        # Subqueries, parameters and anything else default to float/quantitative
+        # which is the safest role for chart mapping of computed expressions.
+        return DataType.FLOAT, AttributeRole.QUANTITATIVE
+
+    def _infer_function_type(
+        self, call: FunctionCall, scope: Scope
+    ) -> tuple[DataType, AttributeRole | None]:
+        name = call.lower_name
+        if name == "count":
+            return DataType.INTEGER, AttributeRole.QUANTITATIVE
+        if name in ("sum", "avg", "stddev", "variance", "median"):
+            return DataType.FLOAT, AttributeRole.QUANTITATIVE
+        if name in ("min", "max"):
+            if call.args and not isinstance(call.args[0], Star):
+                return self._infer_expression_type(call.args[0], scope)
+            return DataType.FLOAT, AttributeRole.QUANTITATIVE
+        if name in ("lower", "upper", "substr", "substring", "trim", "concat", "strftime", "left", "right"):
+            return DataType.TEXT, AttributeRole.NOMINAL
+        if name in ("abs", "round", "sqrt", "ln", "log", "exp", "power", "floor", "ceil"):
+            return DataType.FLOAT, AttributeRole.QUANTITATIVE
+        if name in ("date", "date_trunc"):
+            return DataType.DATE, AttributeRole.TEMPORAL
+        if name == "length":
+            return DataType.INTEGER, AttributeRole.QUANTITATIVE
+        if name in AGGREGATE_FUNCTIONS:
+            return DataType.FLOAT, AttributeRole.QUANTITATIVE
+        return DataType.FLOAT, AttributeRole.QUANTITATIVE
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _expression_name(expr: SqlNode) -> str:
+        if isinstance(expr, ColumnRef):
+            return expr.name
+        return SelectItem(expr=expr).output_name()

@@ -1,0 +1,225 @@
+"""A hand-written SQL lexer.
+
+The lexer converts a SQL string into a list of :class:`~repro.sql.tokens.Token`
+objects.  It supports:
+
+* single-quoted string literals with ``''`` escaping,
+* double-quoted identifiers,
+* integer and floating point literals (including scientific notation),
+* line comments (``-- ...``) and block comments (``/* ... */``),
+* named parameters (``:name``) and positional parameters (``?``),
+* the operator set required by the PI2 query workloads.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlLexError
+from repro.sql.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+
+class Lexer:
+    """Tokenizes a SQL string.
+
+    Usage::
+
+        tokens = Lexer("SELECT a FROM t").tokenize()
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Return the full token list, terminated by an EOF token."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.type is TokenType.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------ #
+    # Internal machinery
+    # ------------------------------------------------------------------ #
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self.text):
+            return ""
+        return self.text[index]
+
+    def _advance(self, count: int = 1) -> str:
+        consumed = self.text[self._pos : self._pos + count]
+        for ch in consumed:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return consumed
+
+    def _error(self, message: str) -> SqlLexError:
+        return SqlLexError(message, self._pos, self._line, self._column)
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self._pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._pos < len(self.text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("Unterminated block comment")
+            else:
+                return
+
+    def _make_token(self, token_type: TokenType, value: str, position: int, line: int, column: int) -> Token:
+        return Token(token_type, value, position, line, column)
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        position, line, column = self._pos, self._line, self._column
+        if self._pos >= len(self.text):
+            return self._make_token(TokenType.EOF, "", position, line, column)
+
+        ch = self._peek()
+
+        if ch == "'":
+            return self._lex_string(position, line, column)
+        if ch == '"':
+            return self._lex_quoted_identifier(position, line, column)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(position, line, column)
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(position, line, column)
+        if ch == ":" and (self._peek(1).isalpha() or self._peek(1) == "_"):
+            return self._lex_parameter(position, line, column)
+        if ch == "?":
+            self._advance()
+            return self._make_token(TokenType.PARAMETER, "?", position, line, column)
+        if ch == ",":
+            self._advance()
+            return self._make_token(TokenType.COMMA, ",", position, line, column)
+        if ch == ".":
+            self._advance()
+            return self._make_token(TokenType.DOT, ".", position, line, column)
+        if ch == "(":
+            self._advance()
+            return self._make_token(TokenType.LPAREN, "(", position, line, column)
+        if ch == ")":
+            self._advance()
+            return self._make_token(TokenType.RPAREN, ")", position, line, column)
+        if ch == ";":
+            self._advance()
+            return self._make_token(TokenType.SEMICOLON, ";", position, line, column)
+
+        for op in MULTI_CHAR_OPERATORS:
+            if self.text.startswith(op, self._pos):
+                self._advance(len(op))
+                return self._make_token(TokenType.OPERATOR, op, position, line, column)
+        if ch in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return self._make_token(TokenType.OPERATOR, ch, position, line, column)
+
+        raise self._error(f"Unexpected character {ch!r}")
+
+    def _lex_string(self, position: int, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            if self._pos >= len(self.text):
+                raise self._error("Unterminated string literal")
+            ch = self._peek()
+            if ch == "'":
+                if self._peek(1) == "'":
+                    parts.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            parts.append(ch)
+            self._advance()
+        return self._make_token(TokenType.STRING, "".join(parts), position, line, column)
+
+    def _lex_quoted_identifier(self, position: int, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            if self._pos >= len(self.text):
+                raise self._error("Unterminated quoted identifier")
+            ch = self._peek()
+            if ch == '"':
+                if self._peek(1) == '"':
+                    parts.append('"')
+                    self._advance(2)
+                    continue
+                self._advance()
+                break
+            parts.append(ch)
+            self._advance()
+        return self._make_token(TokenType.QUOTED_IDENTIFIER, "".join(parts), position, line, column)
+
+    def _lex_number(self, position: int, line: int, column: int) -> Token:
+        start = self._pos
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit() or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.text[start : self._pos]
+        token_type = TokenType.FLOAT if is_float else TokenType.INTEGER
+        return self._make_token(token_type, text, position, line, column)
+
+    def _lex_word(self, position: int, line: int, column: int) -> Token:
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        word = self.text[start : self._pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return self._make_token(TokenType.KEYWORD, upper, position, line, column)
+        return self._make_token(TokenType.IDENTIFIER, word, position, line, column)
+
+    def _lex_parameter(self, position: int, line: int, column: int) -> Token:
+        self._advance()  # ':'
+        start = self._pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        name = self.text[start : self._pos]
+        if not name:
+            raise self._error("Empty parameter name after ':'")
+        return self._make_token(TokenType.PARAMETER, name, position, line, column)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convenience wrapper: tokenize ``text`` and return the token list."""
+    return Lexer(text).tokenize()

@@ -1,0 +1,571 @@
+"""Recursive-descent parser for the SQL dialect used by the PI2 reproduction.
+
+The grammar covers the query shapes that appear in the paper's workloads:
+projection lists with aliases and aggregates, FROM with joins and derived
+tables, WHERE with boolean/comparison/BETWEEN/IN/LIKE/EXISTS predicates and
+correlated subqueries, GROUP BY / HAVING, ORDER BY, LIMIT/OFFSET, CTEs and set
+operations (UNION / INTERSECT / EXCEPT).
+
+Only read-only ``SELECT`` statements are supported — PI2 operates on analysis
+query logs, which are selects by construction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlParseError
+from repro.sql.ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    Case,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    CommonTableExpr,
+    Exists,
+    FunctionCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Join,
+    Literal,
+    OrderItem,
+    Parameter,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    SetOperation,
+    SqlNode,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenType
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.sql.ast_nodes.Select` AST."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------ #
+    # Token helpers
+    # ------------------------------------------------------------------ #
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> SqlParseError:
+        token = self._peek()
+        return SqlParseError(f"{message}, found {token}", token.line, token.column)
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(*names):
+            raise self._error(f"Expected keyword {' or '.join(names)}")
+        return self._advance()
+
+    def _expect(self, token_type: TokenType) -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            raise self._error(f"Expected {token_type.name}")
+        return self._advance()
+
+    def _accept_keyword(self, *names: str) -> bool:
+        if self._peek().is_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _accept(self, token_type: TokenType) -> bool:
+        if self._peek().type is token_type:
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+
+    def parse_statement(self) -> SqlNode:
+        """Parse a single statement (SELECT, possibly with CTEs/set ops)."""
+        node = self._parse_query_expression()
+        self._accept(TokenType.SEMICOLON)
+        if self._peek().type is not TokenType.EOF:
+            raise self._error("Unexpected trailing input")
+        return node
+
+    def parse_statements(self) -> list[SqlNode]:
+        """Parse a semicolon-separated list of statements."""
+        statements: list[SqlNode] = []
+        while self._peek().type is not TokenType.EOF:
+            statements.append(self._parse_query_expression())
+            while self._accept(TokenType.SEMICOLON):
+                pass
+        return statements
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def _parse_query_expression(self) -> SqlNode:
+        ctes: list[CommonTableExpr] = []
+        if self._accept_keyword("WITH"):
+            ctes = self._parse_cte_list()
+        node = self._parse_set_operation()
+        if ctes:
+            if isinstance(node, Select):
+                node = Select(
+                    select_items=node.select_items,
+                    from_clause=node.from_clause,
+                    where=node.where,
+                    group_by=node.group_by,
+                    having=node.having,
+                    order_by=node.order_by,
+                    limit=node.limit,
+                    offset=node.offset,
+                    distinct=node.distinct,
+                    ctes=ctes,
+                )
+            else:
+                raise self._error("WITH clause must precede a SELECT statement")
+        return node
+
+    def _parse_cte_list(self) -> list[CommonTableExpr]:
+        ctes: list[CommonTableExpr] = []
+        while True:
+            name = self._parse_identifier("CTE name")
+            columns: list[str] = []
+            if self._accept(TokenType.LPAREN):
+                while True:
+                    columns.append(self._parse_identifier("CTE column"))
+                    if not self._accept(TokenType.COMMA):
+                        break
+                self._expect(TokenType.RPAREN)
+            self._expect_keyword("AS")
+            self._expect(TokenType.LPAREN)
+            query = self._parse_set_operation()
+            self._expect(TokenType.RPAREN)
+            if not isinstance(query, Select):
+                raise self._error("CTE body must be a SELECT")
+            ctes.append(CommonTableExpr(name=name, query=query, columns=columns))
+            if not self._accept(TokenType.COMMA):
+                return ctes
+
+    def _parse_set_operation(self) -> SqlNode:
+        left = self._parse_select()
+        while self._peek().is_keyword("UNION", "INTERSECT", "EXCEPT"):
+            op = self._advance().value
+            is_all = self._accept_keyword("ALL")
+            self._accept_keyword("DISTINCT")
+            right = self._parse_select()
+            left = SetOperation(op=op, left=left, right=right, all=is_all)
+        return left
+
+    def _parse_select(self) -> Select:
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self._accept_keyword("ALL")
+
+        select_items = [self._parse_select_item()]
+        while self._accept(TokenType.COMMA):
+            select_items.append(self._parse_select_item())
+
+        from_clause: SqlNode | None = None
+        if self._accept_keyword("FROM"):
+            from_clause = self._parse_from()
+
+        where: SqlNode | None = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expression()
+
+        group_by: list[SqlNode] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._parse_expression())
+            while self._accept(TokenType.COMMA):
+                group_by.append(self._parse_expression())
+
+        having: SqlNode | None = None
+        if self._accept_keyword("HAVING"):
+            having = self._parse_expression()
+
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self._accept(TokenType.COMMA):
+                order_by.append(self._parse_order_item())
+
+        limit: int | None = None
+        offset: int | None = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._parse_int_literal("LIMIT")
+            if self._accept_keyword("OFFSET"):
+                offset = self._parse_int_literal("OFFSET")
+        elif self._accept_keyword("OFFSET"):
+            offset = self._parse_int_literal("OFFSET")
+
+        return Select(
+            select_items=select_items,
+            from_clause=from_clause,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_int_literal(self, context: str) -> int:
+        token = self._peek()
+        if token.type is not TokenType.INTEGER:
+            raise self._error(f"{context} requires an integer literal")
+        self._advance()
+        return int(token.value)
+
+    def _parse_select_item(self) -> SelectItem:
+        if self._peek().is_operator("*"):
+            self._advance()
+            return SelectItem(expr=Star())
+        expr = self._parse_expression()
+        alias: str | None = None
+        if self._accept_keyword("AS"):
+            alias = self._parse_identifier("alias")
+        elif self._peek().type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            alias = self._advance().value
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expression()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        nulls_last = True
+        if self._accept_keyword("NULLS"):
+            if self._accept_keyword("FIRST"):
+                nulls_last = False
+            else:
+                self._expect_keyword("LAST")
+        return OrderItem(expr=expr, descending=descending, nulls_last=nulls_last)
+
+    def _parse_identifier(self, context: str) -> str:
+        token = self._peek()
+        if token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            self._advance()
+            return token.value
+        raise self._error(f"Expected {context}")
+
+    # ------------------------------------------------------------------ #
+    # FROM clause
+    # ------------------------------------------------------------------ #
+
+    def _parse_from(self) -> SqlNode:
+        left = self._parse_table_factor()
+        while True:
+            join_type = self._parse_join_type()
+            if join_type is None:
+                if self._accept(TokenType.COMMA):
+                    right = self._parse_table_factor()
+                    left = Join(left=left, right=right, join_type="CROSS")
+                    continue
+                return left
+            right = self._parse_table_factor()
+            condition: SqlNode | None = None
+            using: list[str] = []
+            if join_type != "CROSS":
+                if self._accept_keyword("ON"):
+                    condition = self._parse_expression()
+                elif self._accept_keyword("USING"):
+                    self._expect(TokenType.LPAREN)
+                    while True:
+                        using.append(self._parse_identifier("USING column"))
+                        if not self._accept(TokenType.COMMA):
+                            break
+                    self._expect(TokenType.RPAREN)
+            left = Join(left=left, right=right, join_type=join_type, condition=condition, using=using)
+
+    def _parse_join_type(self) -> str | None:
+        if self._accept_keyword("CROSS"):
+            self._expect_keyword("JOIN")
+            return "CROSS"
+        if self._accept_keyword("INNER"):
+            self._expect_keyword("JOIN")
+            return "INNER"
+        for direction in ("LEFT", "RIGHT", "FULL"):
+            if self._accept_keyword(direction):
+                self._accept_keyword("OUTER")
+                self._expect_keyword("JOIN")
+                return direction
+        if self._accept_keyword("JOIN"):
+            return "INNER"
+        return None
+
+    def _parse_table_factor(self) -> SqlNode:
+        if self._accept(TokenType.LPAREN):
+            query = self._parse_set_operation()
+            self._expect(TokenType.RPAREN)
+            self._accept_keyword("AS")
+            alias = self._parse_identifier("derived table alias")
+            if not isinstance(query, Select):
+                raise self._error("Derived tables must wrap a SELECT")
+            return SubqueryRef(query=query, alias=alias)
+        name = self._parse_identifier("table name")
+        alias: str | None = None
+        if self._accept_keyword("AS"):
+            alias = self._parse_identifier("table alias")
+        elif self._peek().type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            alias = self._advance().value
+        return TableRef(name=name, alias=alias)
+
+    # ------------------------------------------------------------------ #
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------ #
+
+    def _parse_expression(self) -> SqlNode:
+        return self._parse_or()
+
+    def _parse_or(self) -> SqlNode:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            right = self._parse_and()
+            left = BinaryOp(op="OR", left=left, right=right)
+        return left
+
+    def _parse_and(self) -> SqlNode:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            right = self._parse_not()
+            left = BinaryOp(op="AND", left=left, right=right)
+        return left
+
+    def _parse_not(self) -> SqlNode:
+        if self._accept_keyword("NOT"):
+            return UnaryOp(op="NOT", operand=self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> SqlNode:
+        left = self._parse_comparison()
+        negated = False
+        if self._peek().is_keyword("NOT") and self._peek(1).is_keyword("BETWEEN", "IN", "LIKE"):
+            self._advance()
+            negated = True
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_comparison()
+            self._expect_keyword("AND")
+            high = self._parse_comparison()
+            return BetweenOp(expr=left, low=low, high=high, negated=negated)
+        if self._accept_keyword("IN"):
+            return self._parse_in(left, negated)
+        if self._accept_keyword("LIKE"):
+            pattern = self._parse_comparison()
+            node: SqlNode = BinaryOp(op="LIKE", left=left, right=pattern)
+            if negated:
+                node = UnaryOp(op="NOT", operand=node)
+            return node
+        if self._accept_keyword("IS"):
+            is_negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return IsNull(expr=left, negated=is_negated)
+        return left
+
+    def _parse_in(self, left: SqlNode, negated: bool) -> SqlNode:
+        self._expect(TokenType.LPAREN)
+        if self._peek().is_keyword("SELECT", "WITH"):
+            query = self._parse_query_expression()
+            self._expect(TokenType.RPAREN)
+            if not isinstance(query, Select):
+                raise self._error("IN subquery must be a SELECT")
+            return InSubquery(expr=left, query=query, negated=negated)
+        items = [self._parse_expression()]
+        while self._accept(TokenType.COMMA):
+            items.append(self._parse_expression())
+        self._expect(TokenType.RPAREN)
+        return InList(expr=left, items=items, negated=negated)
+
+    def _parse_comparison(self) -> SqlNode:
+        left = self._parse_additive()
+        while self._peek().is_operator("=", "<>", "!=", "<", "<=", ">", ">="):
+            op = self._advance().value
+            if op == "!=":
+                op = "<>"
+            right = self._parse_additive()
+            left = BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_additive(self) -> SqlNode:
+        left = self._parse_multiplicative()
+        while self._peek().is_operator("+", "-", "||"):
+            op = self._advance().value
+            right = self._parse_multiplicative()
+            left = BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_multiplicative(self) -> SqlNode:
+        left = self._parse_unary()
+        while self._peek().is_operator("*", "/", "%"):
+            op = self._advance().value
+            right = self._parse_unary()
+            left = BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> SqlNode:
+        if self._peek().is_operator("-", "+"):
+            op = self._advance().value
+            operand = self._parse_unary()
+            # Fold signed numeric literals so that "-2.0" is a single Literal
+            # node; Difftree merging then treats it like any other literal.
+            if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
+                value = operand.value if op == "+" else -operand.value
+                return Literal(value)
+            return UnaryOp(op=op, operand=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> SqlNode:
+        token = self._peek()
+
+        if token.type is TokenType.INTEGER:
+            self._advance()
+            return Literal(int(token.value))
+        if token.type is TokenType.FLOAT:
+            self._advance()
+            return Literal(float(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return Literal(None)
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            return Parameter(token.value)
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("CAST"):
+            return self._parse_cast()
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            query = self._parse_query_expression()
+            self._expect(TokenType.RPAREN)
+            if not isinstance(query, Select):
+                raise self._error("EXISTS subquery must be a SELECT")
+            return Exists(query=query)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            if self._peek().is_keyword("SELECT", "WITH"):
+                query = self._parse_query_expression()
+                self._expect(TokenType.RPAREN)
+                if not isinstance(query, Select):
+                    raise self._error("Scalar subquery must be a SELECT")
+                return ScalarSubquery(query=query)
+            expr = self._parse_expression()
+            self._expect(TokenType.RPAREN)
+            return expr
+        if token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER) or token.is_keyword(
+            "LEFT", "RIGHT"
+        ):
+            # LEFT/RIGHT are also scalar function names (string functions).
+            return self._parse_identifier_expression()
+
+        raise self._error("Expected expression")
+
+    def _parse_identifier_expression(self) -> SqlNode:
+        name = self._advance().value
+        if self._peek().type is TokenType.LPAREN:
+            return self._parse_function_call(name)
+        if self._peek().type is TokenType.DOT:
+            self._advance()
+            if self._peek().is_operator("*"):
+                self._advance()
+                return Star(table=name)
+            column = self._parse_identifier("column name")
+            if self._peek().type is TokenType.LPAREN:
+                # schema-qualified function call is not supported; treat as error
+                raise self._error("Qualified function calls are not supported")
+            return ColumnRef(name=column, table=name)
+        return ColumnRef(name=name)
+
+    def _parse_function_call(self, name: str) -> SqlNode:
+        self._expect(TokenType.LPAREN)
+        distinct = False
+        args: list[SqlNode] = []
+        if self._peek().type is TokenType.RPAREN:
+            self._advance()
+            return FunctionCall(name=name, args=args, distinct=distinct)
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        if self._peek().is_operator("*"):
+            self._advance()
+            args.append(Star())
+        else:
+            args.append(self._parse_expression())
+            while self._accept(TokenType.COMMA):
+                args.append(self._parse_expression())
+        self._expect(TokenType.RPAREN)
+        return FunctionCall(name=name, args=args, distinct=distinct)
+
+    def _parse_case(self) -> SqlNode:
+        self._expect_keyword("CASE")
+        whens: list[CaseWhen] = []
+        while self._accept_keyword("WHEN"):
+            condition = self._parse_expression()
+            self._expect_keyword("THEN")
+            result = self._parse_expression()
+            whens.append(CaseWhen(condition=condition, result=result))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN arm")
+        else_result: SqlNode | None = None
+        if self._accept_keyword("ELSE"):
+            else_result = self._parse_expression()
+        self._expect_keyword("END")
+        return Case(whens=whens, else_result=else_result)
+
+    def _parse_cast(self) -> SqlNode:
+        self._expect_keyword("CAST")
+        self._expect(TokenType.LPAREN)
+        expr = self._parse_expression()
+        self._expect_keyword("AS")
+        target = self._parse_identifier("type name")
+        self._expect(TokenType.RPAREN)
+        return Cast(expr=expr, target_type=target.lower())
+
+
+def parse(sql: str) -> SqlNode:
+    """Parse a single SQL statement into an AST."""
+    return Parser(tokenize(sql)).parse_statement()
+
+
+def parse_select(sql: str) -> Select:
+    """Parse a single SQL statement and require it to be a plain SELECT."""
+    node = parse(sql)
+    if isinstance(node, Select):
+        return node
+    raise SqlParseError(f"Expected a SELECT statement, got {type(node).__name__}")
+
+
+def parse_many(sql: str) -> list[SqlNode]:
+    """Parse a semicolon-separated script into a list of ASTs."""
+    return Parser(tokenize(sql)).parse_statements()

@@ -1,0 +1,247 @@
+"""Render SQL ASTs back to SQL text.
+
+Two entry points are provided:
+
+* :func:`to_sql` — compact single-line rendering (useful for logging, hashing
+  and round-trip tests).
+* :func:`format_sql` — a pretty printer that places major clauses on their own
+  lines, used by the notebook layer to display archived query logs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+from repro.sql.ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    Case,
+    Cast,
+    ColumnRef,
+    CommonTableExpr,
+    Exists,
+    FunctionCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Join,
+    Literal,
+    OrderItem,
+    Parameter,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    SetOperation,
+    SqlNode,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+)
+
+#: Binary operators that need surrounding spaces but no special casing.
+_PLAIN_BINARY_OPS = {"+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "||", "LIKE"}
+
+
+def quote_string(value: str) -> str:
+    """Quote a string literal, escaping embedded single quotes."""
+    escaped = value.replace("'", "''")
+    return f"'{escaped}'"
+
+
+def render_literal(node: Literal) -> str:
+    """Render a literal value as SQL text."""
+    value = node.value
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return quote_string(str(value))
+
+
+def to_sql(node: SqlNode) -> str:
+    """Render ``node`` as a single-line SQL string."""
+    return _Renderer(pretty=False).render(node)
+
+
+def format_sql(node: SqlNode) -> str:
+    """Render ``node`` as a multi-line, indented SQL string."""
+    return _Renderer(pretty=True).render(node)
+
+
+class _Renderer:
+    def __init__(self, pretty: bool) -> None:
+        self._pretty = pretty
+
+    def render(self, node: SqlNode, depth: int = 0) -> str:
+        method = getattr(self, f"_render_{type(node).__name__.lower()}", None)
+        if method is None:
+            raise SqlError(f"Cannot render node of type {type(node).__name__}")
+        return method(node, depth)
+
+    # --- statement level ------------------------------------------------ #
+
+    def _newline(self, depth: int) -> str:
+        if self._pretty:
+            return "\n" + "  " * depth
+        return " "
+
+    def _render_select(self, node: Select, depth: int) -> str:
+        parts: list[str] = []
+        if node.ctes:
+            cte_sql = ", ".join(self._render_cte(cte, depth) for cte in node.ctes)
+            parts.append(f"WITH {cte_sql}{self._newline(depth)}")
+        select_kw = "SELECT DISTINCT" if node.distinct else "SELECT"
+        items = ", ".join(self._render_select_item(item, depth) for item in node.select_items)
+        parts.append(f"{select_kw} {items}")
+        if node.from_clause is not None:
+            parts.append(f"{self._newline(depth)}FROM {self.render(node.from_clause, depth)}")
+        if node.where is not None:
+            parts.append(f"{self._newline(depth)}WHERE {self.render(node.where, depth)}")
+        if node.group_by:
+            group = ", ".join(self.render(expr, depth) for expr in node.group_by)
+            parts.append(f"{self._newline(depth)}GROUP BY {group}")
+        if node.having is not None:
+            parts.append(f"{self._newline(depth)}HAVING {self.render(node.having, depth)}")
+        if node.order_by:
+            order = ", ".join(self._render_orderitem(item, depth) for item in node.order_by)
+            parts.append(f"{self._newline(depth)}ORDER BY {order}")
+        if node.limit is not None:
+            parts.append(f"{self._newline(depth)}LIMIT {node.limit}")
+        if node.offset is not None:
+            parts.append(f"{self._newline(depth)}OFFSET {node.offset}")
+        return "".join(parts)
+
+    def _render_cte(self, cte: CommonTableExpr, depth: int) -> str:
+        columns = f" ({', '.join(cte.columns)})" if cte.columns else ""
+        body = self.render(cte.query, depth + 1)
+        return f"{cte.name}{columns} AS ({body})"
+
+    def _render_setoperation(self, node: SetOperation, depth: int) -> str:
+        keyword = node.op + (" ALL" if node.all else "")
+        left = self.render(node.left, depth)
+        right = self.render(node.right, depth)
+        return f"{left}{self._newline(depth)}{keyword}{self._newline(depth)}{right}"
+
+    def _render_select_item(self, item: SelectItem, depth: int) -> str:
+        sql = self.render(item.expr, depth)
+        if item.alias:
+            sql += f" AS {item.alias}"
+        return sql
+
+    def _render_selectitem(self, item: SelectItem, depth: int) -> str:
+        return self._render_select_item(item, depth)
+
+    def _render_orderitem(self, item: OrderItem, depth: int) -> str:
+        sql = self.render(item.expr, depth)
+        if item.descending:
+            sql += " DESC"
+        if not item.nulls_last:
+            sql += " NULLS FIRST"
+        return sql
+
+    # --- FROM clause ----------------------------------------------------- #
+
+    def _render_tableref(self, node: TableRef, depth: int) -> str:
+        if node.alias and node.alias != node.name:
+            return f"{node.name} AS {node.alias}"
+        return node.name
+
+    def _render_subqueryref(self, node: SubqueryRef, depth: int) -> str:
+        return f"({self.render(node.query, depth + 1)}) AS {node.alias}"
+
+    def _render_join(self, node: Join, depth: int) -> str:
+        left = self.render(node.left, depth)
+        right = self.render(node.right, depth)
+        if node.join_type == "CROSS":
+            return f"{left} CROSS JOIN {right}"
+        keyword = "JOIN" if node.join_type == "INNER" else f"{node.join_type} JOIN"
+        sql = f"{left} {keyword} {right}"
+        if node.condition is not None:
+            sql += f" ON {self.render(node.condition, depth)}"
+        elif node.using:
+            sql += f" USING ({', '.join(node.using)})"
+        return sql
+
+    # --- expressions ------------------------------------------------------ #
+
+    def _render_literal(self, node: Literal, depth: int) -> str:
+        return render_literal(node)
+
+    def _render_columnref(self, node: ColumnRef, depth: int) -> str:
+        return node.qualified_name
+
+    def _render_star(self, node: Star, depth: int) -> str:
+        return f"{node.table}.*" if node.table else "*"
+
+    def _render_parameter(self, node: Parameter, depth: int) -> str:
+        return "?" if node.name == "?" else f":{node.name}"
+
+    def _render_unaryop(self, node: UnaryOp, depth: int) -> str:
+        operand = self.render(node.operand, depth)
+        if node.op == "NOT":
+            return f"NOT ({operand})"
+        return f"{node.op}{operand}"
+
+    def _render_binaryop(self, node: BinaryOp, depth: int) -> str:
+        left = self.render(node.left, depth)
+        right = self.render(node.right, depth)
+        if node.op in ("AND", "OR"):
+            left = self._maybe_paren(node.left, left)
+            right = self._maybe_paren(node.right, right)
+            return f"{left} {node.op} {right}"
+        if node.op in _PLAIN_BINARY_OPS:
+            return f"{left} {node.op} {right}"
+        raise SqlError(f"Unknown binary operator {node.op!r}")
+
+    def _maybe_paren(self, node: SqlNode, rendered: str) -> str:
+        if isinstance(node, BinaryOp) and node.op in ("AND", "OR"):
+            return f"({rendered})"
+        return rendered
+
+    def _render_betweenop(self, node: BetweenOp, depth: int) -> str:
+        keyword = "NOT BETWEEN" if node.negated else "BETWEEN"
+        return (
+            f"{self.render(node.expr, depth)} {keyword} "
+            f"{self.render(node.low, depth)} AND {self.render(node.high, depth)}"
+        )
+
+    def _render_inlist(self, node: InList, depth: int) -> str:
+        keyword = "NOT IN" if node.negated else "IN"
+        items = ", ".join(self.render(item, depth) for item in node.items)
+        return f"{self.render(node.expr, depth)} {keyword} ({items})"
+
+    def _render_insubquery(self, node: InSubquery, depth: int) -> str:
+        keyword = "NOT IN" if node.negated else "IN"
+        return f"{self.render(node.expr, depth)} {keyword} ({self.render(node.query, depth + 1)})"
+
+    def _render_exists(self, node: Exists, depth: int) -> str:
+        keyword = "NOT EXISTS" if node.negated else "EXISTS"
+        return f"{keyword} ({self.render(node.query, depth + 1)})"
+
+    def _render_scalarsubquery(self, node: ScalarSubquery, depth: int) -> str:
+        return f"({self.render(node.query, depth + 1)})"
+
+    def _render_isnull(self, node: IsNull, depth: int) -> str:
+        keyword = "IS NOT NULL" if node.negated else "IS NULL"
+        return f"{self.render(node.expr, depth)} {keyword}"
+
+    def _render_functioncall(self, node: FunctionCall, depth: int) -> str:
+        distinct = "DISTINCT " if node.distinct else ""
+        args = ", ".join(self.render(arg, depth) for arg in node.args)
+        return f"{node.name}({distinct}{args})"
+
+    def _render_cast(self, node: Cast, depth: int) -> str:
+        return f"CAST({self.render(node.expr, depth)} AS {node.target_type})"
+
+    def _render_case(self, node: Case, depth: int) -> str:
+        parts = ["CASE"]
+        for arm in node.whens:
+            parts.append(
+                f"WHEN {self.render(arm.condition, depth)} THEN {self.render(arm.result, depth)}"
+            )
+        if node.else_result is not None:
+            parts.append(f"ELSE {self.render(node.else_result, depth)}")
+        parts.append("END")
+        return " ".join(parts)

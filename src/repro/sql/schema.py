@@ -1,0 +1,150 @@
+"""Relational schema metadata shared by the engine, the analyzer and the mapper.
+
+The mapping layer (``repro.mapping``) chooses visualizations from the *data
+types and statistical roles* of result columns, so the schema model carries a
+visualization-oriented classification (:class:`AttributeRole`) alongside the
+storage type (:class:`DataType`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable
+
+from repro.errors import CatalogError
+
+
+class DataType(Enum):
+    """Storage type of a column."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    DATE = "date"
+    NULL = "null"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+    @classmethod
+    def of_value(cls, value: Any) -> "DataType":
+        """Infer the storage type of a Python value."""
+        if value is None:
+            return cls.NULL
+        if isinstance(value, bool):
+            return cls.BOOLEAN
+        if isinstance(value, int):
+            return cls.INTEGER
+        if isinstance(value, float):
+            return cls.FLOAT
+        if isinstance(value, str) and _looks_like_date(value):
+            return cls.DATE
+        return cls.TEXT
+
+    @staticmethod
+    def unify(first: "DataType", second: "DataType") -> "DataType":
+        """Least upper bound of two types (used when scanning column values)."""
+        if first is second:
+            return first
+        if DataType.NULL in (first, second):
+            return second if first is DataType.NULL else first
+        numeric = {DataType.INTEGER, DataType.FLOAT}
+        if first in numeric and second in numeric:
+            return DataType.FLOAT
+        if DataType.DATE in (first, second) and DataType.TEXT in (first, second):
+            return DataType.TEXT
+        return DataType.TEXT
+
+
+def _looks_like_date(value: str) -> bool:
+    """Cheap ISO-date check (YYYY-MM-DD), enough for the demo datasets."""
+    if len(value) != 10 or value[4] != "-" or value[7] != "-":
+        return False
+    year, month, day = value[:4], value[5:7], value[8:]
+    return year.isdigit() and month.isdigit() and day.isdigit()
+
+
+class AttributeRole(Enum):
+    """Visualization role of an attribute, following Bertin's data typology."""
+
+    QUANTITATIVE = "quantitative"
+    ORDINAL = "ordinal"
+    NOMINAL = "nominal"
+    TEMPORAL = "temporal"
+
+    @classmethod
+    def from_data_type(cls, data_type: DataType, distinct_count: int | None = None) -> "AttributeRole":
+        """Default role for a storage type.
+
+        Low-cardinality integers are treated as ordinal (they behave like
+        categories in charts), everything else numeric is quantitative.
+        """
+        if data_type is DataType.DATE:
+            return cls.TEMPORAL
+        if data_type in (DataType.TEXT, DataType.BOOLEAN):
+            return cls.NOMINAL
+        if data_type.is_numeric:
+            if distinct_count is not None and data_type is DataType.INTEGER and distinct_count <= 12:
+                return cls.ORDINAL
+            return cls.QUANTITATIVE
+        return cls.NOMINAL
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Schema of one column: name, storage type and visualization role."""
+
+    name: str
+    data_type: DataType
+    role: AttributeRole | None = None
+
+    def resolved_role(self) -> AttributeRole:
+        if self.role is not None:
+            return self.role
+        return AttributeRole.from_data_type(self.data_type)
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of one table."""
+
+    name: str
+    columns: tuple[ColumnSchema, ...] = field(default_factory=tuple)
+
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> ColumnSchema:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise CatalogError(f"Table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(column.name == name for column in self.columns)
+
+    @classmethod
+    def from_pairs(cls, name: str, pairs: Iterable[tuple[str, DataType]]) -> "TableSchema":
+        return cls(name=name, columns=tuple(ColumnSchema(c, t) for c, t in pairs))
+
+
+@dataclass(frozen=True)
+class ResultSchema:
+    """Schema of a query result: ordered column schemas."""
+
+    columns: tuple[ColumnSchema, ...]
+
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> ColumnSchema:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise CatalogError(f"Result has no column {name!r}")
+
+    def __len__(self) -> int:
+        return len(self.columns)

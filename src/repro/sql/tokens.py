@@ -1,0 +1,125 @@
+"""Token definitions for the SQL lexer.
+
+The lexer produces a flat list of :class:`Token` objects.  Token *types* are a
+small closed enumeration (:class:`TokenType`); keywords keep their upper-cased
+text in ``Token.value`` so the parser can branch on the specific keyword while
+the lexer stays keyword-agnostic for anything it does not need to know about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    QUOTED_IDENTIFIER = auto()
+    INTEGER = auto()
+    FLOAT = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    COMMA = auto()
+    DOT = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    SEMICOLON = auto()
+    PARAMETER = auto()
+    EOF = auto()
+
+
+#: Reserved words recognised by the lexer.  Anything else that looks like a
+#: name is an IDENTIFIER.  The set intentionally covers the dialect used by the
+#: PI2 scenarios (SELECT queries with joins, subqueries, CTEs, CASE, etc.).
+KEYWORDS: frozenset[str] = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "ALL",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "OFFSET",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "IS",
+        "NULL",
+        "LIKE",
+        "BETWEEN",
+        "EXISTS",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "RIGHT",
+        "FULL",
+        "OUTER",
+        "CROSS",
+        "ON",
+        "USING",
+        "UNION",
+        "INTERSECT",
+        "EXCEPT",
+        "WITH",
+        "TRUE",
+        "FALSE",
+        "CAST",
+        "NULLS",
+        "FIRST",
+        "LAST",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can do greedy matching.
+MULTI_CHAR_OPERATORS: tuple[str, ...] = ("<>", "!=", ">=", "<=", "||")
+
+#: Single-character operators.
+SINGLE_CHAR_OPERATORS: frozenset[str] = frozenset({"+", "-", "*", "/", "%", "=", "<", ">"})
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        type: Lexical category.
+        value: The token text.  Keywords are upper-cased; string literals are
+            unescaped (without surrounding quotes); identifiers keep their
+            original case.
+        position: 0-based character offset of the first character in the input.
+        line: 1-based line number.
+        column: 1-based column number.
+    """
+
+    type: TokenType
+    value: str
+    position: int = 0
+    line: int = 1
+    column: int = 1
+
+    def is_keyword(self, *names: str) -> bool:
+        """Return True when this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def is_operator(self, *ops: str) -> bool:
+        """Return True when this token is one of the given operator symbols."""
+        return self.type is TokenType.OPERATOR and self.value in ops
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.type.name}({self.value!r})"

@@ -1,0 +1,83 @@
+"""Generic visitor / transformer infrastructure over SQL ASTs.
+
+The Difftree builder, the semantic analyzer and several mapping heuristics all
+need to walk or rewrite ASTs.  Rather than each of them re-implementing a
+recursion, they use the two small utilities here:
+
+* :class:`NodeVisitor` — read-only traversal with per-class dispatch.
+* :class:`NodeTransformer` — bottom-up rewriting; returning a new node from a
+  ``visit_<Class>`` method replaces the original.
+* :func:`transform` — functional bottom-up rewriting with a single callback.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sql.ast_nodes import SqlNode
+
+
+class NodeVisitor:
+    """Dispatching read-only visitor.
+
+    Subclasses define ``visit_<ClassName>`` methods.  Unhandled node types fall
+    back to :meth:`generic_visit`, which recurses into children.
+    """
+
+    def visit(self, node: SqlNode) -> Any:
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    def generic_visit(self, node: SqlNode) -> None:
+        for child in node.children():
+            self.visit(child)
+
+
+class NodeTransformer:
+    """Bottom-up transformer.
+
+    Children are rewritten first; the (possibly rebuilt) node is then passed to
+    ``visit_<ClassName>`` if it exists, whose return value replaces the node.
+    """
+
+    def transform(self, node: SqlNode) -> SqlNode:
+        new_children = [self.transform(child) for child in node.children()]
+        rebuilt = node.with_children(new_children) if new_children else node
+        method = getattr(self, f"visit_{type(rebuilt).__name__}", None)
+        if method is not None:
+            result = method(rebuilt)
+            if result is not None:
+                return result
+        return rebuilt
+
+
+def transform(node: SqlNode, fn: Callable[[SqlNode], SqlNode | None]) -> SqlNode:
+    """Rewrite ``node`` bottom-up with ``fn``.
+
+    ``fn`` receives each node after its children have been rewritten; returning
+    ``None`` keeps the node, returning a node replaces it.
+    """
+    new_children = [transform(child, fn) for child in node.children()]
+    rebuilt = node.with_children(new_children) if new_children else node
+    replacement = fn(rebuilt)
+    return rebuilt if replacement is None else replacement
+
+
+def collect(node: SqlNode, predicate: Callable[[SqlNode], bool]) -> list[SqlNode]:
+    """Return all descendants of ``node`` (including itself) matching ``predicate``."""
+    return [descendant for descendant in node.walk() if predicate(descendant)]
+
+
+def count_nodes(node: SqlNode) -> int:
+    """Return the number of nodes in the subtree rooted at ``node``."""
+    return sum(1 for _ in node.walk())
+
+
+def tree_depth(node: SqlNode) -> int:
+    """Return the depth of the subtree rooted at ``node`` (a leaf has depth 1)."""
+    children = node.children()
+    if not children:
+        return 1
+    return 1 + max(tree_depth(child) for child in children)

@@ -1,0 +1,96 @@
+"""Shared pytest fixtures: small catalogs and the paper's query logs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    covid_query_log,
+    covid_region_variant_queries,
+    load_covid_catalog,
+    load_sdss_catalog,
+    load_sp500_catalog,
+    sdss_query_log,
+    sp500_query_log,
+)
+from repro.engine.catalog import Catalog
+
+
+@pytest.fixture()
+def toy_catalog() -> Catalog:
+    """The paper's Figure 2 toy table t(p, a, b) plus a small lookup table."""
+    catalog = Catalog()
+    catalog.create_table(
+        "t",
+        ["p", "a", "b"],
+        [
+            [1, 1, 2],
+            [1, 1, 3],
+            [2, 2, 2],
+            [2, 3, 1],
+            [3, 1, 2],
+            [3, 2, 2],
+            [4, 3, 3],
+        ],
+    )
+    catalog.create_table(
+        "labels",
+        ["p", "name"],
+        [[1, "one"], [2, "two"], [3, "three"], [4, "four"]],
+    )
+    return catalog
+
+
+@pytest.fixture()
+def fig2_queries() -> list[str]:
+    """Q1-Q3 of Figure 2."""
+    return [
+        "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+        "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+        "SELECT a, count(*) FROM t GROUP BY a",
+    ]
+
+
+@pytest.fixture()
+def fig5_queries() -> list[str]:
+    """The Figure 5 variant: Q1/Q2 differ only in the literal compared to a."""
+    return [
+        "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+        "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+        "SELECT a, count(*) FROM t GROUP BY a",
+    ]
+
+
+@pytest.fixture(scope="session")
+def covid_catalog() -> Catalog:
+    return load_covid_catalog()
+
+
+@pytest.fixture(scope="session")
+def sdss_catalog() -> Catalog:
+    return load_sdss_catalog()
+
+
+@pytest.fixture(scope="session")
+def sp500_catalog() -> Catalog:
+    return load_sp500_catalog()
+
+
+@pytest.fixture(scope="session")
+def covid_log() -> list[str]:
+    return covid_query_log()
+
+
+@pytest.fixture(scope="session")
+def covid_v3_log() -> list[str]:
+    return covid_query_log() + [covid_region_variant_queries()[1]]
+
+
+@pytest.fixture(scope="session")
+def sdss_log() -> list[str]:
+    return sdss_query_log()
+
+
+@pytest.fixture(scope="session")
+def sp500_log() -> list[str]:
+    return sp500_query_log()

@@ -1,0 +1,95 @@
+"""Tests for the Lux-like and Hex-like baseline re-implementations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import HexBaseline, LuxBaseline
+from repro.interface import ChartType
+from repro.pipeline import PipelineConfig, generate_interface
+
+
+class TestLuxBaseline:
+    def test_one_chart_per_query(self, sdss_catalog, sdss_log):
+        lux = LuxBaseline(catalog=sdss_catalog)
+        recommendations = lux.recommend(sdss_log)
+        assert len(recommendations) == len(sdss_log)
+        assert lux.visualization_count() == len(sdss_log)
+
+    def test_no_widgets_or_interactions(self, sdss_catalog, sdss_log):
+        lux = LuxBaseline(catalog=sdss_catalog)
+        lux.recommend(sdss_log)
+        assert lux.widget_count() == 0
+        assert lux.interaction_count() == 0
+        assert lux.supports_interactive_analysis() is False
+
+    def test_recommendations_carry_data(self, sdss_catalog, sdss_log):
+        lux = LuxBaseline(catalog=sdss_catalog)
+        recommendations = lux.recommend(sdss_log)
+        for recommendation in recommendations:
+            assert recommendation.data is not None
+            assert recommendation.data.row_count > 0
+
+    def test_similar_queries_get_similar_charts(self, sdss_catalog, sdss_log):
+        """Figure 1(a): Lux produces one chart per query even when they differ
+        only in the selected region."""
+        lux = LuxBaseline(catalog=sdss_catalog)
+        recommendations = lux.recommend(sdss_log)
+        chart_types = {r.visualization.chart_type for r in recommendations}
+        assert chart_types == {ChartType.SCATTER}
+
+    def test_capability_flags(self):
+        assert LuxBaseline.capabilities["vis_interactions"] is False
+        assert LuxBaseline.capabilities["zero_effort"] is True
+
+
+class TestHexBaseline:
+    def test_parameterizes_literals(self, sdss_catalog, sdss_log):
+        hex_baseline = HexBaseline(sdss_catalog)
+        interface = hex_baseline.parameterize(sdss_log[0])
+        # Figure 1(b): four sliders — ra low/high and dec low/high.
+        assert interface.widget_count() == 4
+        attributes = {param.attribute for param in interface.parameters}
+        assert attributes == {"ra_low", "ra_high", "dec_low", "dec_high"}
+
+    def test_manual_effort_counted(self, sdss_catalog, sdss_log):
+        interface = HexBaseline(sdss_catalog).parameterize(sdss_log[0])
+        assert interface.manual_steps == 2 * 4 + 1
+
+    def test_no_vis_interactions(self, sdss_catalog, sdss_log):
+        interface = HexBaseline(sdss_catalog).parameterize(sdss_log[0])
+        assert interface.interaction_count() == 0
+
+    def test_run_substitutes_parameters(self, sdss_catalog, sdss_log):
+        hex_baseline = HexBaseline(sdss_catalog)
+        interface = hex_baseline.parameterize(sdss_log[0])
+        default_result = hex_baseline.run(interface)
+        narrowed = hex_baseline.run(
+            interface,
+            {
+                interface.parameters[0].name: 150.0,
+                interface.parameters[1].name: 152.0,
+            },
+        )
+        assert narrowed.row_count < default_result.row_count
+
+    def test_capability_flags(self):
+        assert HexBaseline.capabilities["widgets"] == "parameter"
+        assert HexBaseline.capabilities["zero_effort"] is False
+
+
+class TestComparisonAgainstPi2:
+    def test_only_pi2_produces_vis_interactions(self, sdss_catalog, sdss_log):
+        """The Table 1 / Figure 1 headline: PI2 alone generates visualization
+        interactions with zero manual effort."""
+        lux = LuxBaseline(catalog=sdss_catalog)
+        lux.recommend(sdss_log)
+        hex_interface = HexBaseline(sdss_catalog).parameterize(sdss_log[0])
+        pi2 = generate_interface(
+            sdss_log, sdss_catalog, PipelineConfig(method="mcts", mcts_iterations=60, seed=1)
+        )
+        assert lux.interaction_count() == 0
+        assert hex_interface.interaction_count() == 0
+        assert pi2.interface.interaction_count >= 1
+        # and PI2 requires no manual configuration steps.
+        assert hex_interface.manual_steps > 0

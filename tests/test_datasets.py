@@ -1,0 +1,153 @@
+"""Tests for the synthetic demo datasets and their query logs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    CovidConfig,
+    SdssConfig,
+    Sp500Config,
+    covid_query_log,
+    covid_region_variant_queries,
+    demo_scenarios,
+    generate_covid_cases,
+    generate_photo_obj,
+    generate_prices,
+    generate_sectors,
+    generate_state_regions,
+    sdss_extended_query_log,
+    sdss_query_log,
+    sp500_query_log,
+)
+from repro.sql.parser import parse_select
+
+
+class TestCovidDataset:
+    def test_schema_and_size(self):
+        table = generate_covid_cases()
+        assert table.column_names == ["state", "date", "cases"]
+        states = set(table.column("state"))
+        assert {"NY", "FL", "CA"} <= states
+        assert table.row_count == len(states) * 119
+
+    def test_determinism(self):
+        first = generate_covid_cases(CovidConfig(seed=7))
+        second = generate_covid_cases(CovidConfig(seed=7))
+        assert list(first.rows()) == list(second.rows())
+
+    def test_seed_changes_data(self):
+        first = generate_covid_cases(CovidConfig(seed=1))
+        second = generate_covid_cases(CovidConfig(seed=2))
+        assert list(first.rows()) != list(second.rows())
+
+    def test_december_surge_present(self):
+        """The walkthrough relies on a visible December case increase."""
+        table = generate_covid_cases()
+        rows = table.to_dicts()
+        september = [r["cases"] for r in rows if r["date"].startswith("2021-09")]
+        december = [r["cases"] for r in rows if r["date"].startswith("2021-12-2")]
+        assert sum(december) / len(december) > 1.3 * sum(september) / len(september)
+
+    def test_florida_grows_fastest_in_south(self):
+        table = generate_covid_cases()
+        regions = dict(generate_state_regions().rows())
+        rows = table.to_dicts()
+
+        def growth(state: str) -> float:
+            series = [r["cases"] for r in rows if r["state"] == state]
+            return sum(series[-7:]) / max(sum(series[:7]), 1)
+
+        south_states = [state for state, region in regions.items() if region == "South"]
+        best = max(south_states, key=growth)
+        assert best == "FL"
+
+    def test_regions_cover_all_states(self):
+        cases_states = set(generate_covid_cases().column("state"))
+        region_states = set(generate_state_regions().column("state"))
+        assert cases_states == region_states
+
+    def test_query_log_parses_and_has_expected_shape(self):
+        log = covid_query_log()
+        assert len(log) == 5
+        for sql in log:
+            parse_select(sql)
+        variants = covid_region_variant_queries()
+        assert "Northeast" in variants[1]
+
+    def test_query_log_executes(self, covid_catalog):
+        for sql in covid_query_log():
+            assert covid_catalog.execute(sql).row_count > 0
+
+
+class TestSdssDataset:
+    def test_schema_and_bounds(self):
+        table = generate_photo_obj(SdssConfig(object_count=500, seed=3))
+        assert table.row_count == 500
+        config = SdssConfig()
+        for ra in table.column("ra"):
+            assert config.ra_min <= ra <= config.ra_max
+        for dec in table.column("dec"):
+            assert config.dec_min <= dec <= config.dec_max
+        assert set(table.column("class")) <= {"GALAXY", "STAR", "QSO"}
+
+    def test_determinism(self):
+        first = generate_photo_obj(SdssConfig(object_count=200))
+        second = generate_photo_obj(SdssConfig(object_count=200))
+        assert list(first.rows()) == list(second.rows())
+
+    def test_cluster_over_density(self):
+        """The region around (150, 2) must be denser than an average patch."""
+        table = generate_photo_obj()
+        rows = table.to_dicts()
+        in_cluster = [r for r in rows if 145 <= r["ra"] <= 155 and -1 <= r["dec"] <= 5]
+        in_empty = [r for r in rows if 230 <= r["ra"] <= 240 and 45 <= r["dec"] <= 51]
+        assert len(in_cluster) > 2 * max(len(in_empty), 1)
+
+    def test_query_logs_parse_and_execute(self, sdss_catalog):
+        for sql in sdss_query_log() + sdss_extended_query_log():
+            parse_select(sql)
+        for sql in sdss_query_log():
+            assert sdss_catalog.execute(sql).row_count > 0
+
+
+class TestSp500Dataset:
+    def test_schema_and_trading_days(self):
+        table = generate_prices(Sp500Config(trading_days=30))
+        assert table.column_names == ["ticker", "date", "open", "high", "low", "close", "volume"]
+        dates = sorted(set(table.column("date")))
+        assert len(dates) == 30
+        import datetime
+
+        for date in dates:
+            assert datetime.date.fromisoformat(date).weekday() < 5
+
+    def test_high_low_invariants(self):
+        table = generate_prices(Sp500Config(trading_days=40))
+        for row in table.to_dicts():
+            assert row["low"] <= row["open"] <= row["high"]
+            assert row["low"] <= row["close"] <= row["high"]
+            assert row["volume"] >= 0
+
+    def test_sectors_join(self):
+        tickers = set(generate_prices(Sp500Config(trading_days=5)).column("ticker"))
+        sector_tickers = set(generate_sectors().column("ticker"))
+        assert tickers == sector_tickers
+
+    def test_determinism(self):
+        first = generate_prices(Sp500Config(trading_days=10))
+        second = generate_prices(Sp500Config(trading_days=10))
+        assert list(first.rows()) == list(second.rows())
+
+    def test_query_log_parses(self):
+        for sql in sp500_query_log():
+            parse_select(sql)
+
+
+class TestScenarios:
+    def test_demo_scenarios_structure(self):
+        scenarios = demo_scenarios()
+        assert set(scenarios) == {"covid", "sdss", "sp500"}
+        for _name, (catalog, log) in scenarios.items():
+            assert catalog.table_names()
+            assert log

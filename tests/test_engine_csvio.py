@@ -1,0 +1,52 @@
+"""Tests for CSV import/export of tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.engine.csvio import load_table, save_table, table_from_csv, table_to_csv
+from repro.engine.table import Table
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_values(self):
+        table = Table(
+            "t",
+            ["name", "count", "score", "flag", "missing"],
+            [["alice", 3, 1.5, True, None], ["bob", 4, 2.0, False, None]],
+        )
+        text = table_to_csv(table)
+        restored = table_from_csv("t", text)
+        assert restored.column_names == table.column_names
+        assert list(restored.rows()) == list(table.rows())
+
+    def test_header_only(self):
+        restored = table_from_csv("t", "a,b\n")
+        assert restored.column_names == ["a", "b"]
+        assert restored.row_count == 0
+
+    def test_empty_csv_raises(self):
+        with pytest.raises(DatasetError):
+            table_from_csv("t", "")
+
+    def test_type_sniffing(self):
+        restored = table_from_csv("t", "a,b,c\n1,2.5,text\n")
+        row = restored.row(0)
+        assert row == (1, 2.5, "text")
+
+    def test_file_round_trip(self, tmp_path):
+        table = Table("prices", ["ticker", "close"], [["AAPL", 150.5], ["MSFT", 280.0]])
+        path = save_table(table, tmp_path / "sub" / "prices.csv")
+        assert path.exists()
+        loaded = load_table("prices", path)
+        assert list(loaded.rows()) == list(table.rows())
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_table("x", tmp_path / "missing.csv")
+
+    def test_strings_with_commas_quoted(self):
+        table = Table("t", ["text"], [["hello, world"]])
+        restored = table_from_csv("t", table_to_csv(table))
+        assert restored.row(0) == ("hello, world",)

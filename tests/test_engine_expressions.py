@@ -1,0 +1,199 @@
+"""Unit tests for the expression evaluator (NULL semantics, operators, LIKE)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.engine.expressions import Environment, ExpressionEvaluator, like_to_regex, sql_compare
+from repro.sql.parser import Parser
+from repro.sql.lexer import tokenize
+
+
+def expr(text: str):
+    """Parse a standalone expression by wrapping it in a SELECT."""
+    parser = Parser(tokenize(f"SELECT {text}"))
+    select = parser.parse_statement()
+    return select.select_items[0].expr
+
+
+@pytest.fixture()
+def env() -> Environment:
+    environment = Environment()
+    environment.bind("t", {"a": 5, "b": None, "name": "Alice", "flag": True})
+    return environment
+
+
+@pytest.fixture()
+def evaluator() -> ExpressionEvaluator:
+    return ExpressionEvaluator()
+
+
+class TestLiteralAndColumns:
+    def test_literals(self, evaluator, env):
+        assert evaluator.evaluate(expr("42"), env) == 42
+        assert evaluator.evaluate(expr("4.5"), env) == 4.5
+        assert evaluator.evaluate(expr("'hi'"), env) == "hi"
+        assert evaluator.evaluate(expr("TRUE"), env) is True
+        assert evaluator.evaluate(expr("NULL"), env) is None
+
+    def test_column_resolution(self, evaluator, env):
+        assert evaluator.evaluate(expr("a"), env) == 5
+        assert evaluator.evaluate(expr("t.a"), env) == 5
+
+    def test_unknown_column_raises(self, evaluator, env):
+        with pytest.raises(ExecutionError):
+            evaluator.evaluate(expr("zzz"), env)
+
+    def test_ambiguous_column_raises(self, evaluator):
+        environment = Environment()
+        environment.bind("x", {"a": 1})
+        environment.bind("y", {"a": 2})
+        with pytest.raises(ExecutionError):
+            ExpressionEvaluator().evaluate(expr("a"), environment)
+
+    def test_parent_scope_resolution(self, evaluator, env):
+        child = env.child()
+        child.bind("u", {"c": 7})
+        assert evaluator.evaluate(expr("a"), child) == 5
+        assert evaluator.evaluate(expr("c"), child) == 7
+
+    def test_alias_resolution(self, evaluator):
+        environment = Environment()
+        environment.aliases["total"] = 99
+        assert evaluator.evaluate(expr("total"), environment) == 99
+
+    def test_parameters(self, env):
+        evaluator = ExpressionEvaluator(parameters={"threshold": 10})
+        assert evaluator.evaluate(expr(":threshold"), env) == 10
+        with pytest.raises(ExecutionError):
+            evaluator.evaluate(expr(":missing"), env)
+
+
+class TestArithmeticAndNulls:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 + 2) * 3", 9),
+            ("7 / 2", 3.5),
+            ("7 % 3", 1),
+            ("-a", -5),
+            ("a + 1", 6),
+            ("'ab' || 'cd'", "abcd"),
+        ],
+    )
+    def test_arithmetic(self, evaluator, env, text, expected):
+        assert evaluator.evaluate(expr(text), env) == expected
+
+    def test_null_propagation_through_arithmetic(self, evaluator, env):
+        assert evaluator.evaluate(expr("b + 1"), env) is None
+        assert evaluator.evaluate(expr("b * 2"), env) is None
+        assert evaluator.evaluate(expr("-b"), env) is None
+
+    def test_division_by_zero_is_null(self, evaluator, env):
+        assert evaluator.evaluate(expr("1 / 0"), env) is None
+        assert evaluator.evaluate(expr("1 % 0"), env) is None
+
+    def test_type_error_raises(self, evaluator, env):
+        with pytest.raises(ExecutionError):
+            evaluator.evaluate(expr("name - 1"), env)
+
+
+class TestBooleanLogic:
+    def test_three_valued_and(self, evaluator, env):
+        assert evaluator.evaluate(expr("TRUE AND NULL"), env) is None
+        assert evaluator.evaluate(expr("FALSE AND NULL"), env) is False
+        assert evaluator.evaluate(expr("TRUE AND TRUE"), env) is True
+
+    def test_three_valued_or(self, evaluator, env):
+        assert evaluator.evaluate(expr("TRUE OR NULL"), env) is True
+        assert evaluator.evaluate(expr("FALSE OR NULL"), env) is None
+        assert evaluator.evaluate(expr("FALSE OR FALSE"), env) is False
+
+    def test_not_null(self, evaluator, env):
+        assert evaluator.evaluate(expr("NOT NULL"), env) is None
+        assert evaluator.evaluate(expr("NOT FALSE"), env) is True
+
+    def test_is_truthy_treats_null_as_false(self, evaluator, env):
+        assert evaluator.is_truthy(expr("NULL"), env) is False
+        assert evaluator.is_truthy(expr("1 = 1"), env) is True
+
+    def test_comparisons_with_null(self, evaluator, env):
+        assert evaluator.evaluate(expr("b = 1"), env) is None
+        assert evaluator.evaluate(expr("b <> 1"), env) is None
+
+    def test_between_and_in_null_handling(self, evaluator, env):
+        assert evaluator.evaluate(expr("b BETWEEN 1 AND 10"), env) is None
+        assert evaluator.evaluate(expr("a IN (1, 2)"), env) is False
+        assert evaluator.evaluate(expr("a IN (5, NULL)"), env) is True
+        assert evaluator.evaluate(expr("a IN (1, NULL)"), env) is None
+        assert evaluator.evaluate(expr("a NOT IN (1, 2)"), env) is True
+
+    def test_is_null(self, evaluator, env):
+        assert evaluator.evaluate(expr("b IS NULL"), env) is True
+        assert evaluator.evaluate(expr("a IS NOT NULL"), env) is True
+
+
+class TestLikeAndCase:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("Alice", "A%", True),
+            ("Alice", "%ce", True),
+            ("Alice", "A_ice", True),
+            ("Alice", "B%", False),
+            ("a.c", "a.c", True),
+            ("abc", "a.c", False),  # '.' is literal, not a regex wildcard
+        ],
+    )
+    def test_like(self, evaluator, env, value, pattern, expected):
+        assert evaluator.evaluate(expr(f"'{value}' LIKE '{pattern}'"), env) is expected
+
+    def test_like_regex_is_anchored(self):
+        assert like_to_regex("b%").match("abc") is None
+
+    def test_case_first_matching_arm(self, evaluator, env):
+        value = evaluator.evaluate(
+            expr("CASE WHEN a > 10 THEN 'big' WHEN a > 1 THEN 'medium' ELSE 'small' END"), env
+        )
+        assert value == "medium"
+
+    def test_case_without_else_is_null(self, evaluator, env):
+        assert evaluator.evaluate(expr("CASE WHEN a > 10 THEN 1 END"), env) is None
+
+    def test_cast(self, evaluator, env):
+        assert evaluator.evaluate(expr("CAST('3' AS integer)"), env) == 3
+        assert evaluator.evaluate(expr("CAST(a AS text)"), env) == "5"
+        assert evaluator.evaluate(expr("CAST(NULL AS integer)"), env) is None
+        with pytest.raises(ExecutionError):
+            evaluator.evaluate(expr("CAST('x' AS integer)"), env)
+
+    def test_scalar_function_call(self, evaluator, env):
+        assert evaluator.evaluate(expr("upper(name)"), env) == "ALICE"
+
+    def test_aggregate_outside_group_context_raises(self, evaluator, env):
+        with pytest.raises(ExecutionError):
+            evaluator.evaluate(expr("sum(a)"), env)
+
+    def test_subquery_without_executor_raises(self, evaluator, env):
+        with pytest.raises(ExecutionError):
+            evaluator.evaluate(expr("(SELECT 1)"), env)
+
+
+class TestHelpers:
+    def test_sql_compare(self):
+        assert sql_compare("<", 1, 2) is True
+        assert sql_compare(">=", 2, 2) is True
+        assert sql_compare("=", None, 1) is None
+        with pytest.raises(ExecutionError):
+            sql_compare("??", 1, 2)
+
+    def test_merged_environment(self):
+        left = Environment()
+        left.bind("a", {"x": 1})
+        right = Environment()
+        right.bind("b", {"y": 2})
+        merged = left.merged_with(right)
+        assert merged.resolve(expr("x")) == 1
+        assert merged.resolve(expr("y")) == 2

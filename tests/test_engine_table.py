@@ -1,0 +1,112 @@
+"""Tests for the columnar Table and QueryResult containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CatalogError, EngineError
+from repro.engine.table import QueryResult, Table, result_from_table
+from repro.sql.schema import AttributeRole, DataType
+
+
+class TestTableConstruction:
+    def test_from_rows_and_access(self):
+        table = Table("t", ["a", "b"], [[1, "x"], [2, "y"]])
+        assert table.row_count == 2
+        assert table.column("a") == [1, 2]
+        assert list(table.rows()) == [(1, "x"), (2, "y")]
+        assert table.row(1) == (2, "y")
+
+    def test_from_dicts(self):
+        table = Table.from_dicts("t", [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert table.column_names == ["a", "b"]
+        assert table.to_dicts()[1] == {"a": 3, "b": 4}
+
+    def test_from_columns(self):
+        table = Table.from_columns("t", {"a": [1, 2, 3], "b": [4, 5, 6]})
+        assert table.row_count == 3
+
+    def test_from_columns_length_mismatch(self):
+        with pytest.raises(EngineError):
+            Table.from_columns("t", {"a": [1, 2], "b": [1]})
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", ["a", "a"])
+
+    def test_row_width_mismatch_rejected(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(EngineError):
+            table.append([1])
+
+    def test_unknown_column_rejected(self):
+        table = Table("t", ["a"])
+        with pytest.raises(CatalogError):
+            table.column("b")
+
+    def test_row_out_of_range(self):
+        table = Table("t", ["a"], [[1]])
+        with pytest.raises(EngineError):
+            table.row(5)
+
+    def test_from_dicts_requires_records(self):
+        with pytest.raises(EngineError):
+            Table.from_dicts("t", [])
+
+
+class TestSchemaInference:
+    def test_type_inference(self):
+        table = Table("t", ["i", "f", "s", "d", "b", "n"], [[1, 1.5, "x", "2021-12-01", True, None]])
+        schema = table.schema()
+        assert schema.column("i").data_type is DataType.INTEGER
+        assert schema.column("f").data_type is DataType.FLOAT
+        assert schema.column("s").data_type is DataType.TEXT
+        assert schema.column("d").data_type is DataType.DATE
+        assert schema.column("b").data_type is DataType.BOOLEAN
+        assert schema.column("n").data_type is DataType.NULL
+
+    def test_mixed_numeric_unifies_to_float(self):
+        table = Table("t", ["x"], [[1], [2.5]])
+        assert table.schema().column("x").data_type is DataType.FLOAT
+
+    def test_role_inference(self):
+        rows = [[i, f"cat{i % 3}", float(i)] for i in range(50)]
+        table = Table("t", ["id", "category", "value"], rows)
+        schema = table.schema()
+        assert schema.column("value").resolved_role() is AttributeRole.QUANTITATIVE
+        assert schema.column("category").resolved_role() is AttributeRole.NOMINAL
+
+    def test_low_cardinality_int_is_ordinal(self):
+        table = Table("t", ["level"], [[1], [2], [3], [1], [2]])
+        assert table.schema().column("level").resolved_role() is AttributeRole.ORDINAL
+
+    def test_distinct_values_and_range(self):
+        table = Table("t", ["x"], [[3], [1], [2], [None], [2]])
+        assert table.distinct_values("x") == [1, 2, 3]
+        assert table.value_range("x") == (1, 3)
+
+    def test_value_range_empty(self):
+        table = Table("t", ["x"], [[None]])
+        assert table.value_range("x") is None
+
+
+class TestQueryResult:
+    def test_basic_accessors(self):
+        table = Table("t", ["a", "b"], [[1, 2], [3, 4]])
+        result = result_from_table(table)
+        assert isinstance(result, QueryResult)
+        assert result.columns == ["a", "b"]
+        assert result.column_values("b") == [2, 4]
+        assert result.first() == (1, 2)
+        assert len(result) == 2
+        assert result.to_dicts()[0] == {"a": 1, "b": 2}
+
+    def test_unknown_column(self):
+        result = result_from_table(Table("t", ["a"], [[1]]))
+        with pytest.raises(EngineError):
+            result.column_values("zzz")
+
+    def test_to_table_round_trip(self):
+        result = result_from_table(Table("t", ["a"], [[1], [2]]))
+        table = result.to_table("round")
+        assert table.column("a") == [1, 2]

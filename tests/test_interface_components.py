@@ -1,0 +1,185 @@
+"""Tests for the interface model: visualizations, widgets, interactions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InterfaceError
+from repro.interface import (
+    Channel,
+    ChartType,
+    ChoiceBinding,
+    Encoding,
+    InteractionType,
+    VisInteraction,
+    Visualization,
+    Widget,
+    WidgetType,
+    default_widget_for_cardinality,
+    make_widget,
+    mark_for_roles,
+)
+from repro.sql.schema import AttributeRole
+
+
+class TestVisualizations:
+    def make_vis(self, chart_type=ChartType.BAR):
+        return Visualization(
+            vis_id="G1",
+            chart_type=chart_type,
+            encodings=[
+                Encoding(Channel.X, "state", AttributeRole.NOMINAL),
+                Encoding(Channel.Y, "cases", AttributeRole.QUANTITATIVE),
+            ],
+        )
+
+    def test_channel_lookup(self):
+        vis = self.make_vis()
+        assert vis.field_for(Channel.X) == "state"
+        assert vis.field_for(Channel.COLOR) is None
+        assert vis.encoded_fields() == ["state", "cases"]
+        assert vis.has_channel(Channel.Y)
+
+    def test_validation_requires_x_and_y(self):
+        vis = Visualization(vis_id="G1", chart_type=ChartType.LINE, encodings=[])
+        with pytest.raises(InterfaceError):
+            vis.validate()
+
+    def test_validation_rejects_duplicate_channels(self):
+        vis = Visualization(
+            vis_id="G1",
+            chart_type=ChartType.BAR,
+            encodings=[
+                Encoding(Channel.X, "a", AttributeRole.NOMINAL),
+                Encoding(Channel.Y, "b", AttributeRole.QUANTITATIVE),
+                Encoding(Channel.X, "c", AttributeRole.NOMINAL),
+            ],
+        )
+        with pytest.raises(InterfaceError):
+            vis.validate()
+
+    def test_table_chart_needs_no_encodings(self):
+        Visualization(vis_id="G1", chart_type=ChartType.TABLE).validate()
+
+    @pytest.mark.parametrize(
+        "x_role,y_role,expected",
+        [
+            (AttributeRole.TEMPORAL, AttributeRole.QUANTITATIVE, ChartType.LINE),
+            (AttributeRole.NOMINAL, AttributeRole.QUANTITATIVE, ChartType.BAR),
+            (AttributeRole.ORDINAL, AttributeRole.QUANTITATIVE, ChartType.BAR),
+            (AttributeRole.QUANTITATIVE, AttributeRole.QUANTITATIVE, ChartType.SCATTER),
+            (AttributeRole.QUANTITATIVE, AttributeRole.NOMINAL, ChartType.BAR),
+            (AttributeRole.NOMINAL, AttributeRole.NOMINAL, ChartType.TABLE),
+        ],
+    )
+    def test_mark_for_roles(self, x_role, y_role, expected):
+        assert mark_for_roles(x_role, y_role) is expected
+
+    def test_describe_mentions_encodings(self):
+        assert "x -> state" in self.make_vis().describe()
+
+
+class TestWidgets:
+    def test_make_widget_validates(self):
+        widget = make_widget(
+            "W1",
+            WidgetType.RADIO,
+            "Region",
+            [ChoiceBinding(0, "any_1")],
+            options=["South", "Northeast"],
+        )
+        assert widget.is_discrete()
+        assert widget.choice_ids == ["any_1"]
+        assert widget.tree_indices == [0]
+
+    def test_widget_without_bindings_rejected(self):
+        with pytest.raises(InterfaceError):
+            make_widget("W1", WidgetType.TOGGLE, "x", [])
+
+    def test_discrete_widget_needs_options(self):
+        with pytest.raises(InterfaceError):
+            make_widget("W1", WidgetType.DROPDOWN, "x", [ChoiceBinding(0, "c")], options=["only"])
+
+    def test_continuous_widget_needs_domain(self):
+        with pytest.raises(InterfaceError):
+            make_widget("W1", WidgetType.RANGE_SLIDER, "x", [ChoiceBinding(0, "c")])
+        widget = make_widget(
+            "W2", WidgetType.RANGE_SLIDER, "x", [ChoiceBinding(0, "c")], domain=(0, 10)
+        )
+        assert widget.is_continuous()
+
+    def test_boolean_widget(self):
+        widget = make_widget("W1", WidgetType.TOGGLE, "Filter", [ChoiceBinding(0, "opt_1")], default=True)
+        assert widget.is_boolean()
+
+    @pytest.mark.parametrize(
+        "cardinality,expected",
+        [(2, WidgetType.BUTTON_GROUP), (4, WidgetType.RADIO), (9, WidgetType.DROPDOWN)],
+    )
+    def test_default_widget_for_cardinality(self, cardinality, expected):
+        assert default_widget_for_cardinality(cardinality) is expected
+
+    def test_linked_bindings_across_trees(self):
+        widget = make_widget(
+            "W1",
+            WidgetType.BUTTON_GROUP,
+            "Region",
+            [ChoiceBinding(0, "a"), ChoiceBinding(1, "b")],
+            options=["South", "Northeast"],
+        )
+        assert widget.tree_indices == [0, 1]
+
+    def test_describe(self):
+        widget = make_widget(
+            "W1", WidgetType.SLIDER, "Threshold", [ChoiceBinding(0, "c")], domain=(0, 5)
+        )
+        assert "slider" in widget.describe()
+
+
+class TestInteractions:
+    def test_brush_validation(self):
+        interaction = VisInteraction(
+            interaction_id="I1",
+            interaction_type=InteractionType.BRUSH_X,
+            source_vis_id="G1",
+            attribute="date",
+            bindings=[ChoiceBinding(1, "low"), ChoiceBinding(1, "high")],
+            target_vis_ids=["G2"],
+        )
+        interaction.validate()
+        assert interaction.is_linked()
+        assert interaction.tree_indices == [1]
+
+    def test_unbound_interaction_rejected(self):
+        interaction = VisInteraction(
+            interaction_id="I1",
+            interaction_type=InteractionType.CLICK_SELECT,
+            source_vis_id="G1",
+            attribute="a",
+        )
+        with pytest.raises(InterfaceError):
+            interaction.validate()
+
+    def test_2d_brush_needs_secondary_attribute(self):
+        interaction = VisInteraction(
+            interaction_id="I1",
+            interaction_type=InteractionType.BRUSH_2D,
+            source_vis_id="G1",
+            attribute="ra",
+            bindings=[ChoiceBinding(0, "a")],
+        )
+        with pytest.raises(InterfaceError):
+            interaction.validate()
+
+    def test_pan_zoom_on_own_chart_is_not_linked(self):
+        interaction = VisInteraction(
+            interaction_id="I1",
+            interaction_type=InteractionType.PAN_ZOOM,
+            source_vis_id="G1",
+            attribute="ra",
+            secondary_attribute="dec",
+            bindings=[ChoiceBinding(0, "a")],
+            target_vis_ids=["G1"],
+        )
+        assert not interaction.is_linked()
+        assert "pan_zoom" in interaction.describe()

@@ -1,0 +1,103 @@
+"""Tests for the screen-size-aware layout engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.interface import (
+    Channel,
+    ChartType,
+    ChoiceBinding,
+    Encoding,
+    LARGE_SCREEN,
+    LayoutKind,
+    MEDIUM_SCREEN,
+    SMALL_SCREEN,
+    ScreenSize,
+    Visualization,
+    Widget,
+    WidgetType,
+    compute_layout,
+)
+from repro.sql.schema import AttributeRole
+
+
+def make_vis(vis_id: str) -> Visualization:
+    return Visualization(
+        vis_id=vis_id,
+        chart_type=ChartType.LINE,
+        encodings=[
+            Encoding(Channel.X, "date", AttributeRole.TEMPORAL),
+            Encoding(Channel.Y, "cases", AttributeRole.QUANTITATIVE),
+        ],
+    )
+
+
+def make_widget(widget_id: str) -> Widget:
+    return Widget(
+        widget_id=widget_id,
+        widget_type=WidgetType.TOGGLE,
+        label="Filter",
+        bindings=[ChoiceBinding(0, "opt_1")],
+        default=True,
+    )
+
+
+class TestLayouts:
+    def test_large_screen_places_charts_side_by_side(self):
+        layout = compute_layout([make_vis("G1"), make_vis("G2")], [], LARGE_SCREEN)
+        assert not layout.uses_tabs
+        assert layout.charts_per_row() >= 2
+        g1, g2 = layout.placement_for("G1"), layout.placement_for("G2")
+        assert g1.y == g2.y
+        assert g1.x != g2.x
+
+    def test_small_screen_uses_tabs(self):
+        layout = compute_layout([make_vis("G1"), make_vis("G2")], [], SMALL_SCREEN)
+        assert layout.uses_tabs
+        kinds = {node.kind for node in layout.root.walk()}
+        assert LayoutKind.TABS in kinds
+
+    def test_single_chart_small_screen_no_tabs(self):
+        layout = compute_layout([make_vis("G1")], [], SMALL_SCREEN)
+        assert not layout.uses_tabs
+
+    def test_widget_panel_reserved_on_wide_screens(self):
+        layout = compute_layout([make_vis("G1")], [make_widget("W1")], MEDIUM_SCREEN)
+        placement = layout.placement_for("W1")
+        assert placement.x > layout.placement_for("G1").x
+
+    def test_all_components_placed(self):
+        visualizations = [make_vis(f"G{i}") for i in range(1, 5)]
+        widgets = [make_widget(f"W{i}") for i in range(1, 4)]
+        layout = compute_layout(visualizations, widgets, MEDIUM_SCREEN)
+        placed = {placement.component_id for placement in layout.placements}
+        assert placed == {vis.vis_id for vis in visualizations} | {w.widget_id for w in widgets}
+        layout_ids = set(layout.root.component_ids())
+        assert layout_ids == placed
+
+    def test_row_wrapping(self):
+        visualizations = [make_vis(f"G{i}") for i in range(1, 6)]
+        layout = compute_layout(visualizations, [], MEDIUM_SCREEN)
+        rows = [node for node in layout.root.walk() if node.kind is LayoutKind.ROW]
+        assert len(rows) >= 2
+
+    def test_empty_interface_rejected(self):
+        with pytest.raises(LayoutError):
+            compute_layout([], [], MEDIUM_SCREEN)
+
+    def test_missing_placement_raises(self):
+        layout = compute_layout([make_vis("G1")], [], MEDIUM_SCREEN)
+        with pytest.raises(LayoutError):
+            layout.placement_for("nope")
+
+    def test_screen_is_small_helper(self):
+        assert SMALL_SCREEN.is_small()
+        assert not LARGE_SCREEN.is_small()
+        assert ScreenSize(650, 900).is_small()
+
+    def test_describe_lists_components(self):
+        layout = compute_layout([make_vis("G1")], [make_widget("W1")], MEDIUM_SCREEN)
+        description = layout.describe()
+        assert "G1" in description and "W1" in description

@@ -1,0 +1,82 @@
+"""Tests for the Vega-Lite spec compiler and the standalone HTML renderer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.interface import interface_spec, chart_spec, render_interface_html, save_interface_html
+from repro.interface.html import render_chart_svg
+from repro.pipeline import PipelineConfig, generate_interface
+
+
+@pytest.fixture(scope="module")
+def covid_result(covid_catalog, covid_log):
+    return generate_interface(
+        covid_log[:3],
+        covid_catalog,
+        PipelineConfig(method="mcts", mcts_iterations=60, seed=2, name="covid"),
+    )
+
+
+class TestVegaLite:
+    def test_chart_spec_structure(self, covid_result, covid_catalog):
+        state = covid_result.start_session(covid_catalog)
+        vis = covid_result.interface.visualizations[0]
+        spec = chart_spec(vis, state.data_for(vis.vis_id), covid_result.interface.interactions)
+        assert spec["$schema"].startswith("https://vega.github.io/schema/vega-lite")
+        assert spec["mark"]["type"] in ("line", "bar", "point", "area", "text")
+        assert "x" in spec["encoding"] and "y" in spec["encoding"]
+        assert spec["data"]["values"]
+
+    def test_interface_spec_serializable(self, covid_result, covid_catalog):
+        state = covid_result.start_session(covid_catalog)
+        spec = interface_spec(covid_result.interface, state.refresh_all())
+        text = json.dumps(spec, default=str)
+        assert "vconcat" in spec
+        assert len(text) > 100
+
+    def test_interactions_become_params(self, sdss_catalog, sdss_log):
+        # SDSS deterministically yields a pan/zoom interaction, which compiles
+        # to an interval selection bound to the scales.
+        result = generate_interface(
+            sdss_log,
+            sdss_catalog,
+            PipelineConfig(method="exhaustive", exhaustive_depth=3, name="sdss"),
+        )
+        spec = interface_spec(result.interface)
+        charts = spec["vconcat"]
+        flattened = []
+        for entry in charts:
+            flattened.extend(entry.get("hconcat", [entry]))
+        params = [p for chart in flattened for p in chart.get("params", [])]
+        assert any(p.get("select", {}).get("type") == "interval" for p in params)
+
+    def test_temporal_field_typed_correctly(self, covid_result):
+        spec = interface_spec(covid_result.interface)
+        text = json.dumps(spec)
+        assert '"temporal"' in text
+
+
+class TestHtmlRendering:
+    def test_svg_for_line_chart(self, covid_result, covid_catalog):
+        state = covid_result.start_session(covid_catalog)
+        vis = covid_result.interface.visualizations[0]
+        svg = render_chart_svg(vis, state.data_for(vis.vis_id))
+        assert svg.startswith("<svg")
+        assert "polyline" in svg or "rect" in svg
+
+    def test_full_document(self, covid_result, covid_catalog, tmp_path):
+        state = covid_result.start_session(covid_catalog)
+        html = render_interface_html(covid_result.interface, state.refresh_all())
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Query Log" in html
+        assert "Vega-Lite specification" in html
+        path = save_interface_html(covid_result.interface, tmp_path / "iface.html", state.refresh_all())
+        assert path.exists()
+        assert path.stat().st_size > 1000
+
+    def test_html_escapes_sql(self, covid_result, covid_catalog):
+        html = render_interface_html(covid_result.interface)
+        assert "<script>" not in html

@@ -1,0 +1,159 @@
+"""Tests for Interface-level validation and bookkeeping (the I = (V, M, L) object)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.difftree import build_forest
+from repro.errors import InterfaceError
+from repro.interface import (
+    Channel,
+    ChartType,
+    ChoiceBinding,
+    Encoding,
+    Interface,
+    Visualization,
+    Widget,
+    WidgetType,
+)
+from repro.mapping import MappingConfig, map_forest_to_interface
+from repro.sql.schema import AttributeRole
+
+
+@pytest.fixture()
+def simple_forest():
+    return build_forest(
+        ["SELECT a FROM t WHERE a = 1", "SELECT a FROM t"], strategy="merged"
+    )
+
+
+def make_vis(tree_index=0, vis_id="G1"):
+    return Visualization(
+        vis_id=vis_id,
+        chart_type=ChartType.BAR,
+        encodings=[
+            Encoding(Channel.X, "a", AttributeRole.NOMINAL),
+            Encoding(Channel.Y, "count", AttributeRole.QUANTITATIVE),
+        ],
+        tree_index=tree_index,
+    )
+
+
+def choice_id_of(forest):
+    from repro.difftree import collect_choice_nodes
+
+    return collect_choice_nodes(forest.trees[0])[0].choice_id
+
+
+class TestValidation:
+    def test_valid_interface_passes(self, simple_forest):
+        widget = Widget(
+            widget_id="W1",
+            widget_type=WidgetType.TOGGLE,
+            label="Filter",
+            bindings=[ChoiceBinding(0, choice_id_of(simple_forest))],
+            default=True,
+        )
+        interface = Interface(
+            forest=simple_forest, visualizations=[make_vis()], widgets=[widget]
+        )
+        interface.validate()
+
+    def test_unbound_choice_rejected(self, simple_forest):
+        interface = Interface(forest=simple_forest, visualizations=[make_vis()])
+        with pytest.raises(InterfaceError, match="not bound"):
+            interface.validate()
+
+    def test_binding_to_unknown_choice_rejected(self, simple_forest):
+        widget = Widget(
+            widget_id="W1",
+            widget_type=WidgetType.TOGGLE,
+            label="Filter",
+            bindings=[ChoiceBinding(0, "nonexistent")],
+            default=True,
+        )
+        interface = Interface(
+            forest=simple_forest, visualizations=[make_vis()], widgets=[widget]
+        )
+        with pytest.raises(InterfaceError, match="unknown choice"):
+            interface.validate()
+
+    def test_binding_to_unknown_tree_rejected(self, simple_forest):
+        widget = Widget(
+            widget_id="W1",
+            widget_type=WidgetType.TOGGLE,
+            label="Filter",
+            bindings=[ChoiceBinding(7, choice_id_of(simple_forest))],
+            default=True,
+        )
+        interface = Interface(
+            forest=simple_forest, visualizations=[make_vis()], widgets=[widget]
+        )
+        with pytest.raises(InterfaceError, match="unknown tree"):
+            interface.validate()
+
+    def test_visualization_for_unknown_tree_rejected(self, simple_forest):
+        widget = Widget(
+            widget_id="W1",
+            widget_type=WidgetType.TOGGLE,
+            label="Filter",
+            bindings=[ChoiceBinding(0, choice_id_of(simple_forest))],
+            default=True,
+        )
+        interface = Interface(
+            forest=simple_forest, visualizations=[make_vis(tree_index=5)], widgets=[widget]
+        )
+        with pytest.raises(InterfaceError, match="unknown tree"):
+            interface.validate()
+
+
+class TestLookupsAndStats:
+    def test_component_lookups(self, toy_catalog, fig2_queries):
+        forest = build_forest(fig2_queries, strategy="clustered")
+        interface = map_forest_to_interface(forest, toy_catalog.schemas(), MappingConfig())
+        vis = interface.visualizations[0]
+        assert interface.visualization(vis.vis_id) is vis
+        with pytest.raises(InterfaceError):
+            interface.visualization("G99")
+        with pytest.raises(InterfaceError):
+            interface.widget("W99")
+        with pytest.raises(InterfaceError):
+            interface.interaction("I99")
+
+    def test_component_counts_and_bindings(self, toy_catalog, fig2_queries):
+        forest = build_forest(fig2_queries, strategy="clustered")
+        interface = map_forest_to_interface(forest, toy_catalog.schemas(), MappingConfig())
+        assert interface.component_count() == (
+            interface.visualization_count
+            + interface.widget_count
+            + interface.interaction_count
+        )
+        bound = interface.bound_choice_ids()
+        assert bound == {
+            context.choice_id
+            for tree in forest.trees
+            for context in __import__(
+                "repro.difftree.tree_schema", fromlist=["choice_contexts"]
+            ).choice_contexts(tree)
+        }
+
+    def test_summary_and_describe(self, toy_catalog, fig2_queries):
+        forest = build_forest(fig2_queries, strategy="clustered")
+        interface = map_forest_to_interface(
+            forest, toy_catalog.schemas(), MappingConfig(name="toy")
+        )
+        summary = interface.summary()
+        assert summary["name"] == "toy"
+        assert summary["tree_count"] == forest.tree_count
+        text = interface.describe()
+        assert "Interface 'toy'" in text
+        for vis in interface.visualizations:
+            assert vis.vis_id in text
+
+    def test_visualizations_for_tree(self, toy_catalog, fig2_queries):
+        forest = build_forest(fig2_queries, strategy="per_query")
+        interface = map_forest_to_interface(forest, toy_catalog.schemas(), MappingConfig())
+        for index in range(forest.tree_count):
+            charts = interface.visualizations_for_tree(index)
+            assert len(charts) == 1
+            assert charts[0].tree_index == index

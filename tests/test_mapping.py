@@ -1,0 +1,171 @@
+"""Tests for the V/M/L interface mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.difftree import build_forest, forest_schema
+from repro.difftree.transformations import applicable_transformations
+from repro.interface import Channel, ChartType, InteractionType, LARGE_SCREEN, SMALL_SCREEN, WidgetType
+from repro.mapping import (
+    InteractionMapper,
+    MappingConfig,
+    MappingPolicy,
+    map_forest_to_interface,
+    map_forest_to_visualizations,
+)
+
+
+def factored_forest(queries, strategy="merged"):
+    forest = build_forest(queries, strategy=strategy)
+    for index, tree in enumerate(forest.trees):
+        changed = True
+        while changed:
+            changed = False
+            for transformation in applicable_transformations(tree):
+                if transformation.rule == "factor_common_root":
+                    tree = transformation(tree)
+                    changed = True
+                    break
+        forest = forest.replace_tree(index, tree)
+    return forest
+
+
+class TestVisualizationMapping:
+    def test_temporal_aggregation_maps_to_line(self, covid_catalog, covid_log):
+        forest = build_forest(covid_log[:1], strategy="per_query")
+        schema = forest_schema(forest, covid_catalog.schemas())
+        vis = map_forest_to_visualizations(schema.profiles)[0]
+        assert vis.chart_type is ChartType.LINE
+        assert vis.field_for(Channel.X) == "date"
+        assert vis.field_for(Channel.Y) == "total_cases"
+
+    def test_categorical_aggregation_maps_to_bar(self, toy_catalog, fig2_queries):
+        forest = build_forest(fig2_queries[2:], strategy="per_query")
+        schema = forest_schema(forest, toy_catalog.schemas())
+        vis = map_forest_to_visualizations(schema.profiles)[0]
+        assert vis.chart_type is ChartType.BAR
+
+    def test_two_quantitative_axes_map_to_scatter(self, sdss_catalog, sdss_log):
+        forest = build_forest(sdss_log[:1], strategy="per_query")
+        schema = forest_schema(forest, sdss_catalog.schemas())
+        vis = map_forest_to_visualizations(schema.profiles)[0]
+        assert vis.chart_type is ChartType.SCATTER
+
+    def test_state_breakdown_gets_color_channel(self, covid_catalog, covid_log):
+        forest = build_forest([covid_log[3]], strategy="per_query")
+        schema = forest_schema(forest, covid_catalog.schemas())
+        vis = map_forest_to_visualizations(schema.profiles)[0]
+        assert vis.field_for(Channel.COLOR) == "state"
+
+    def test_charts_numbered_sequentially(self, covid_catalog, covid_log):
+        forest = build_forest(covid_log, strategy="per_query")
+        schema = forest_schema(forest, covid_catalog.schemas())
+        ids = [vis.vis_id for vis in map_forest_to_visualizations(schema.profiles)]
+        assert ids == [f"G{i}" for i in range(1, len(covid_log) + 1)]
+
+
+class TestInteractionMapping:
+    def test_pan_zoom_for_sdss(self, sdss_catalog, sdss_log):
+        forest = factored_forest(sdss_log)
+        interface = map_forest_to_interface(forest, sdss_catalog.schemas(), MappingConfig())
+        assert len(interface.interactions) == 1
+        assert interface.interactions[0].interaction_type is InteractionType.PAN_ZOOM
+        assert interface.widgets == []
+
+    def test_brush_when_other_chart_shows_attribute(self, covid_catalog, covid_log):
+        # Overview (Q1) in its own tree + merged detail tree (Q2a, Q2b).
+        forest = build_forest(covid_log[:3], strategy="per_query")
+        forest = forest.merge_trees(1, 2)
+        forest = factored_forest_replace(forest, 1)
+        interface = map_forest_to_interface(forest, covid_catalog.schemas(), MappingConfig())
+        brushes = [
+            i for i in interface.interactions if i.interaction_type is InteractionType.BRUSH_X
+        ]
+        assert brushes
+        assert brushes[0].attribute == "date"
+        assert brushes[0].is_linked()
+
+    def test_range_widget_without_partner_chart(self, covid_catalog, covid_log):
+        # Only the two detail queries: no other chart shows the date axis from
+        # a different tree, so the range pair falls back to a widget.
+        forest = factored_forest(covid_log[1:3])
+        interface = map_forest_to_interface(forest, covid_catalog.schemas(), MappingConfig())
+        assert not interface.interactions
+        assert any(w.widget_type in (WidgetType.DATE_RANGE, WidgetType.RANGE_SLIDER) for w in interface.widgets)
+
+    def test_click_select_for_figure5(self, toy_catalog, fig5_queries):
+        forest = build_forest(fig5_queries, strategy="clustered")
+        interface = map_forest_to_interface(forest, toy_catalog.schemas(), MappingConfig())
+        clicks = [
+            i for i in interface.interactions if i.interaction_type is InteractionType.CLICK_SELECT
+        ]
+        assert clicks, "literal choice on attribute shown in Q3's chart should map to a click"
+        assert clicks[0].attribute == "a"
+
+    def test_policy_can_disable_vis_interactions(self, sdss_catalog, sdss_log):
+        forest = factored_forest(sdss_log)
+        policy = MappingPolicy(prefer_vis_interactions=False, allow_pan_zoom=False, allow_click_select=False)
+        interface = map_forest_to_interface(
+            forest, sdss_catalog.schemas(), MappingConfig(policy=policy)
+        )
+        assert not interface.interactions
+        assert interface.widgets
+
+    def test_linked_choices_share_one_widget(self, covid_catalog, covid_v3_log):
+        forest = build_forest(covid_v3_log[4:], strategy="merged")
+        interface = map_forest_to_interface(forest, covid_catalog.schemas(), MappingConfig())
+        region_widgets = [w for w in interface.widgets if set(w.options or []) == {"South", "Northeast"}]
+        assert len(region_widgets) == 1
+        assert len(region_widgets[0].bindings) >= 2
+
+    def test_every_choice_bound(self, covid_catalog, covid_v3_log):
+        forest = build_forest(covid_v3_log, strategy="clustered")
+        interface = map_forest_to_interface(forest, covid_catalog.schemas(), MappingConfig())
+        interface.validate()  # raises if a choice node has no component
+
+    def test_opt_maps_to_toggle(self, toy_catalog):
+        forest = build_forest(
+            ["SELECT a FROM t", "SELECT a FROM t WHERE a = 1"], strategy="merged"
+        )
+        interface = map_forest_to_interface(forest, toy_catalog.schemas(), MappingConfig())
+        assert any(w.widget_type is WidgetType.TOGGLE for w in interface.widgets)
+
+
+def factored_forest_replace(forest, index):
+    tree = forest.trees[index]
+    changed = True
+    while changed:
+        changed = False
+        for transformation in applicable_transformations(tree):
+            if transformation.rule == "factor_common_root":
+                tree = transformation(tree)
+                changed = True
+                break
+    return forest.replace_tree(index, tree)
+
+
+class TestLayoutMapping:
+    def test_small_screen_produces_tabs(self, covid_catalog, covid_log):
+        forest = build_forest(covid_log[:4], strategy="per_query")
+        interface = map_forest_to_interface(
+            forest, covid_catalog.schemas(), MappingConfig(screen=SMALL_SCREEN)
+        )
+        assert interface.layout is not None
+        assert interface.layout.uses_tabs
+
+    def test_large_screen_side_by_side(self, covid_catalog, covid_log):
+        forest = build_forest(covid_log[:2], strategy="per_query")
+        interface = map_forest_to_interface(
+            forest, covid_catalog.schemas(), MappingConfig(screen=LARGE_SCREEN)
+        )
+        assert not interface.layout.uses_tabs
+        assert interface.layout.charts_per_row() >= 2
+
+    def test_overview_chart_ordered_first(self, covid_catalog, covid_log):
+        forest = build_forest([covid_log[1], covid_log[0]], strategy="per_query")
+        interface = map_forest_to_interface(forest, covid_catalog.schemas(), MappingConfig())
+        first = interface.visualizations[0]
+        # The unfiltered overview query (no WHERE) should be placed first even
+        # though it was second in the log.
+        assert first.tree_index == 1

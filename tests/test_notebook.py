@@ -1,0 +1,138 @@
+"""Tests for the notebook session, versioning and the PI2 extension facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NotebookError
+from repro.notebook import Cell, NotebookSession, Pi2Extension, VersionHistory
+from repro.pipeline import PipelineConfig
+
+
+@pytest.fixture()
+def session(covid_catalog, covid_log):
+    session = NotebookSession(catalog=covid_catalog)
+    session.add_cells(covid_log)
+    return session
+
+
+@pytest.fixture()
+def extension(session):
+    return Pi2Extension(
+        session=session, config=PipelineConfig(method="greedy", name="covid analysis")
+    )
+
+
+class TestCells:
+    def test_empty_cell_rejected(self, session):
+        with pytest.raises(NotebookError):
+            session.add_cell("   ")
+
+    def test_edit_archives_history(self, session):
+        cell = session.cells[0]
+        original = cell.source
+        session.edit_cell(cell.cell_id, "SELECT state FROM covid_cases")
+        assert cell.history == [original]
+        # Editing to the same text is a no-op.
+        session.edit_cell(cell.cell_id, "SELECT state FROM covid_cases")
+        assert len(cell.history) == 1
+
+    def test_toggle_and_snapshot(self, session):
+        cell = session.cells[0]
+        assert cell.toggle() is True
+        snapshot = cell.snapshot()
+        assert snapshot["selected"] is True
+        assert snapshot["source"] == cell.source
+
+
+class TestSession:
+    def test_run_cell_executes_and_marks(self, session):
+        cell = session.cells[0]
+        result = session.run_cell(cell.cell_id)
+        assert result.row_count > 0
+        assert cell.execution_count == 1
+        assert cell.last_result is result
+
+    def test_run_all(self, session):
+        results = session.run_all()
+        assert len(results) == len(session)
+
+    def test_selection(self, session):
+        ids = [cell.cell_id for cell in session.cells[:3]]
+        session.select_cells(ids)
+        assert [cell.source for cell in session.selected_cells()] == session.selected_queries()
+        assert len(session.selected_queries()) == 3
+
+    def test_select_unknown_cell(self, session):
+        with pytest.raises(NotebookError):
+            session.select_cells(["nope"])
+
+    def test_insert_and_remove(self, session):
+        cell = session.insert_cell(0, "SELECT 1")
+        assert session.cells[0] is cell
+        session.remove_cell(cell.cell_id)
+        with pytest.raises(NotebookError):
+            session.cell(cell.cell_id)
+
+
+class TestExtension:
+    def test_generation_requires_selection(self, extension):
+        with pytest.raises(NotebookError):
+            extension.generate_interface()
+
+    def test_walkthrough_versions(self, extension, session):
+        ids = [cell.cell_id for cell in session.cells]
+        # V1: overview + two detail ranges (walkthrough step 1).
+        v1 = extension.generate_interface(cell_ids=ids[:3])
+        # V2: add the per-state breakdown (step 2).
+        v2 = extension.generate_interface(cell_ids=ids[:4])
+        # V3: add the region-focused query (step 3).
+        v3 = extension.generate_interface(cell_ids=ids)
+        assert [v.label for v in extension.history.versions] == ["V1", "V2", "V3"]
+        assert len(v1.query_snapshot) == 3
+        assert len(v2.query_snapshot) == 4
+        assert len(v3.query_snapshot) == 5
+        assert extension.active_version is v3
+        assert v3.parent_version == v2.version_id
+
+    def test_query_log_snapshot_immutable_under_edits(self, extension, session):
+        ids = [cell.cell_id for cell in session.cells[:3]]
+        version = extension.generate_interface(cell_ids=ids)
+        original_snapshot = list(version.query_snapshot)
+        session.edit_cell(ids[0], "SELECT state, cases FROM covid_cases")
+        assert extension.query_log() == original_snapshot
+
+    def test_switch_and_revert(self, extension, session):
+        ids = [cell.cell_id for cell in session.cells]
+        extension.generate_interface(cell_ids=ids[:3])
+        extension.generate_interface(cell_ids=ids[:4])
+        switched = extension.switch_version("V1")
+        assert extension.active_version is switched
+        extension.revert_to_version("V1")
+        assert len(extension.history) == 1
+
+    def test_unknown_version(self, extension, session):
+        with pytest.raises(NotebookError):
+            extension.switch_version("V9")
+
+    def test_version_summaries(self, extension, session):
+        ids = [cell.cell_id for cell in session.cells[:3]]
+        extension.generate_interface(cell_ids=ids)
+        summaries = extension.version_summaries()
+        assert summaries[0]["version"] == "V1"
+        assert summaries[0]["visualizations"] >= 1
+
+    def test_start_session_and_render(self, extension, session, tmp_path):
+        ids = [cell.cell_id for cell in session.cells[:3]]
+        extension.generate_interface(cell_ids=ids)
+        state = extension.start_session()
+        assert state.refresh_all()
+        path = extension.render_html(tmp_path / "v1.html")
+        assert path.exists()
+        content = path.read_text()
+        assert "Query Log" in content
+
+    def test_empty_history_access(self):
+        history = VersionHistory()
+        with pytest.raises(NotebookError):
+            _ = history.active

@@ -1,0 +1,80 @@
+"""Tests for exporting sessions and generated interfaces to .ipynb documents."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.notebook import NotebookSession, Pi2Extension, export_notebook, session_to_notebook
+from repro.notebook.export import VEGALITE_MIME
+from repro.pipeline import PipelineConfig
+
+
+@pytest.fixture()
+def session_with_versions(covid_catalog, covid_log):
+    session = NotebookSession(catalog=covid_catalog)
+    cells = session.add_cells(covid_log[:3])
+    session.run_all()
+    extension = Pi2Extension(session=session, config=PipelineConfig(method="greedy", name="covid"))
+    extension.generate_interface(cell_ids=[cell.cell_id for cell in cells])
+    return session, extension
+
+
+class TestNotebookDocument:
+    def test_document_structure(self, session_with_versions):
+        session, extension = session_with_versions
+        document = session_to_notebook(session, extension.history, title="COVID analysis")
+        assert document["nbformat"] == 4
+        cell_types = [cell["cell_type"] for cell in document["cells"]]
+        assert cell_types[0] == "markdown"
+        assert cell_types.count("code") >= len(session.cells) + 1
+
+    def test_sql_cells_carry_source_and_results(self, session_with_versions):
+        session, extension = session_with_versions
+        document = session_to_notebook(session, extension.history)
+        sql_cells = [
+            cell
+            for cell in document["cells"]
+            if cell["cell_type"] == "code" and cell["source"].startswith("%%sql")
+        ]
+        assert len(sql_cells) == len(session.cells)
+        assert all(cell["outputs"] for cell in sql_cells)
+        assert session.cells[0].source in sql_cells[0]["source"]
+
+    def test_interface_cell_embeds_vegalite(self, session_with_versions):
+        session, extension = session_with_versions
+        document = session_to_notebook(session, extension.history)
+        rich_outputs = [
+            output
+            for cell in document["cells"]
+            if cell["cell_type"] == "code"
+            for output in cell["outputs"]
+            if output["output_type"] == "display_data"
+        ]
+        assert rich_outputs
+        spec = rich_outputs[0]["data"][VEGALITE_MIME]
+        assert "vconcat" in spec
+
+    def test_query_log_archived_in_markdown(self, session_with_versions):
+        session, extension = session_with_versions
+        document = session_to_notebook(session, extension.history)
+        markdown = "\n".join(
+            cell["source"] for cell in document["cells"] if cell["cell_type"] == "markdown"
+        )
+        for sql in extension.history.active.query_snapshot:
+            assert sql in markdown
+
+    def test_without_history(self, covid_catalog, covid_log):
+        session = NotebookSession(catalog=covid_catalog)
+        session.add_cells(covid_log[:2])
+        document = session_to_notebook(session)
+        assert document["metadata"]["pi2"]["generated_versions"] == 0
+
+    def test_export_writes_valid_json(self, session_with_versions, tmp_path):
+        session, extension = session_with_versions
+        path = export_notebook(session, tmp_path / "analysis.ipynb", extension.history)
+        assert path.exists()
+        parsed = json.loads(path.read_text())
+        assert parsed["nbformat"] == 4
+        assert parsed["cells"]

@@ -1,0 +1,172 @@
+"""End-to-end pipeline tests reproducing the paper's worked examples.
+
+Each test corresponds to a figure or walkthrough step; the assertions check
+the *shape* of the generated interfaces (which components appear, what they
+control), not pixel-level output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.interface import ChartType, InteractionType, WidgetType, LARGE_SCREEN, SMALL_SCREEN
+from repro.pipeline import PipelineConfig, generate_interface, map_queries_statically
+
+
+class TestFigure2Static:
+    def test_one_static_chart_per_query(self, toy_catalog, fig2_queries):
+        interface = map_queries_statically(fig2_queries, toy_catalog)
+        assert interface.visualization_count == 3
+        assert interface.widget_count == 0
+        assert interface.interaction_count == 0
+        assert {vis.chart_type for vis in interface.visualizations} == {ChartType.BAR}
+
+
+class TestFigure1Sdss:
+    def test_pi2_generates_pan_zoom_scatter(self, sdss_catalog, sdss_log):
+        result = generate_interface(
+            sdss_log,
+            sdss_catalog,
+            PipelineConfig(method="mcts", mcts_iterations=60, seed=1, name="sdss"),
+        )
+        interface = result.interface
+        assert interface.visualization_count == 1
+        vis = interface.visualizations[0]
+        assert vis.chart_type is ChartType.SCATTER
+        assert {vis.field_for(c) for c in list(vis.encodings and [e.channel for e in vis.encodings])} >= {"ra", "dec"}
+        assert interface.interaction_count == 1
+        interaction = interface.interactions[0]
+        assert interaction.interaction_type is InteractionType.PAN_ZOOM
+        assert {interaction.attribute, interaction.secondary_attribute} == {"ra", "dec"}
+        assert result.forest.covers_all()
+
+
+class TestFigure5MultiView:
+    def test_click_on_bar_chart_binds_literal(self, toy_catalog, fig5_queries):
+        result = generate_interface(
+            fig5_queries,
+            toy_catalog,
+            PipelineConfig(method="exhaustive", exhaustive_depth=2, name="fig5"),
+        )
+        clicks = [
+            i
+            for i in result.interface.interactions
+            if i.interaction_type is InteractionType.CLICK_SELECT
+        ]
+        assert clicks, "the literal choice over attribute a should map to a bar click"
+        click = clicks[0]
+        assert click.attribute == "a"
+        source_vis = result.interface.visualization(click.source_vis_id)
+        # The click happens on the chart of the *other* tree (Q3's bar chart).
+        assert source_vis.tree_index not in {b.tree_index for b in click.bindings}
+
+
+class TestCovidWalkthrough:
+    def test_v1_overview_detail_with_brush(self, covid_catalog, covid_log):
+        result = generate_interface(
+            covid_log[:3],
+            covid_catalog,
+            PipelineConfig(
+                method="mcts", mcts_iterations=80, seed=1, screen=LARGE_SCREEN, name="V1"
+            ),
+        )
+        interface = result.interface
+        assert interface.visualization_count == 2
+        brushes = [
+            i for i in interface.interactions if i.interaction_type is InteractionType.BRUSH_X
+        ]
+        assert brushes, "V1 must link the overview and detail charts with a brush"
+        assert brushes[0].attribute == "date"
+        assert brushes[0].is_linked()
+        assert result.forest.covers_all()
+
+    def test_v3_full_log_has_toggle_and_region_buttons(self, covid_catalog, covid_v3_log):
+        result = generate_interface(
+            covid_v3_log,
+            covid_catalog,
+            PipelineConfig(
+                method="mcts", mcts_iterations=120, seed=1, screen=LARGE_SCREEN, name="V3"
+            ),
+        )
+        interface = result.interface
+        assert interface.visualization_count >= 2
+        # The region button pair of walkthrough step 3.
+        region_widgets = [
+            w for w in interface.widgets if set(w.options or []) == {"South", "Northeast"}
+        ]
+        assert region_widgets
+        # Interactions survive from the earlier versions (date brushing).
+        assert interface.interaction_count >= 1
+        # Structure-changing widgets (the OPT toggle for the subquery filter).
+        assert interface.has_structural_widgets()
+
+    def test_versions_grow_monotonically(self, covid_catalog, covid_v3_log):
+        components = []
+        for upto in (3, 4, 6):
+            result = generate_interface(
+                covid_v3_log[:upto],
+                covid_catalog,
+                PipelineConfig(method="greedy", screen=LARGE_SCREEN),
+            )
+            components.append(result.interface.component_count())
+        assert components[0] <= components[1] <= components[2]
+
+
+class TestScreenAwareness:
+    def test_small_screen_changes_layout_not_coverage(self, covid_catalog, covid_log):
+        large = generate_interface(
+            covid_log[:4], covid_catalog, PipelineConfig(method="greedy", screen=LARGE_SCREEN)
+        )
+        small = generate_interface(
+            covid_log[:4], covid_catalog, PipelineConfig(method="greedy", screen=SMALL_SCREEN)
+        )
+        assert large.forest.covers_all() and small.forest.covers_all()
+        if small.interface.visualization_count > 1:
+            assert small.interface.layout.uses_tabs
+        assert not large.interface.layout.uses_tabs
+
+
+class TestPipelineConfigs:
+    def test_unknown_method_rejected(self, toy_catalog, fig2_queries):
+        with pytest.raises(ReproError):
+            generate_interface(fig2_queries, toy_catalog, PipelineConfig(method="magic"))
+
+    def test_empty_query_log_rejected(self, toy_catalog):
+        with pytest.raises(ReproError):
+            generate_interface([], toy_catalog)
+
+    def test_method_none_returns_initial_state(self, toy_catalog, fig2_queries):
+        result = generate_interface(fig2_queries, toy_catalog, PipelineConfig(method="none"))
+        assert result.strategy == "none"
+        assert result.interface.visualization_count == len(fig2_queries)
+
+    def test_summary_fields(self, toy_catalog, fig2_queries):
+        result = generate_interface(
+            fig2_queries, toy_catalog, PipelineConfig(method="greedy", name="toy")
+        )
+        summary = result.summary()
+        for key in (
+            "strategy",
+            "total_cost",
+            "cost",
+            "visualizations",
+            "widgets",
+            "interactions",
+            "trees",
+            "candidates_evaluated",
+            "elapsed_seconds",
+        ):
+            assert key in summary
+
+    def test_sp500_scenario_end_to_end(self, sp500_catalog, sp500_log):
+        result = generate_interface(
+            sp500_catalog and sp500_log,
+            sp500_catalog,
+            PipelineConfig(method="greedy", name="sp500"),
+        )
+        assert result.interface.visualization_count >= 1
+        assert result.forest.covers_all()
+        state = result.start_session(sp500_catalog)
+        data = state.refresh_all()
+        assert all(res.row_count > 0 for res in data.values())

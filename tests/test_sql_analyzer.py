@@ -1,0 +1,168 @@
+"""Tests for semantic analysis: result schemas, roles and query profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SqlAnalysisError
+from repro.sql.analyzer import Analyzer
+from repro.sql.parser import parse_select
+from repro.sql.schema import AttributeRole, DataType, TableSchema
+
+
+@pytest.fixture()
+def analyzer() -> Analyzer:
+    covid = TableSchema.from_pairs(
+        "covid_cases",
+        [("state", DataType.TEXT), ("date", DataType.DATE), ("cases", DataType.INTEGER)],
+    )
+    regions = TableSchema.from_pairs(
+        "state_regions", [("state", DataType.TEXT), ("region", DataType.TEXT)]
+    )
+    return Analyzer({"covid_cases": covid, "state_regions": regions})
+
+
+class TestResultSchema:
+    def test_plain_projection(self, analyzer):
+        schema = analyzer.result_schema(parse_select("SELECT state, cases FROM covid_cases"))
+        assert schema.column_names() == ["state", "cases"]
+        assert schema.column("cases").data_type is DataType.INTEGER
+
+    def test_star_expansion(self, analyzer):
+        schema = analyzer.result_schema(parse_select("SELECT * FROM covid_cases"))
+        assert schema.column_names() == ["state", "date", "cases"]
+
+    def test_aggregate_types(self, analyzer):
+        schema = analyzer.result_schema(
+            parse_select(
+                "SELECT count(*) AS n, avg(cases) AS m, max(date) AS d FROM covid_cases"
+            )
+        )
+        assert schema.column("n").data_type is DataType.INTEGER
+        assert schema.column("m").data_type is DataType.FLOAT
+        assert schema.column("d").data_type is DataType.DATE
+
+    def test_alias_names_output(self, analyzer):
+        schema = analyzer.result_schema(
+            parse_select("SELECT sum(cases) AS total FROM covid_cases")
+        )
+        assert schema.column_names() == ["total"]
+
+    def test_join_resolution(self, analyzer):
+        schema = analyzer.result_schema(
+            parse_select(
+                "SELECT c.state, r.region FROM covid_cases c JOIN state_regions r ON c.state = r.state"
+            )
+        )
+        assert schema.column_names() == ["state", "region"]
+
+    def test_cte_schema(self, analyzer):
+        schema = analyzer.result_schema(
+            parse_select(
+                "WITH recent AS (SELECT date, cases FROM covid_cases) SELECT date FROM recent"
+            )
+        )
+        assert schema.column_names() == ["date"]
+
+    def test_derived_table_schema(self, analyzer):
+        schema = analyzer.result_schema(
+            parse_select("SELECT x FROM (SELECT cases AS x FROM covid_cases) AS sub")
+        )
+        assert schema.column("x").data_type is DataType.INTEGER
+
+    def test_arithmetic_type_promotion(self, analyzer):
+        schema = analyzer.result_schema(
+            parse_select("SELECT cases / 2 AS half FROM covid_cases")
+        )
+        assert schema.column("half").data_type is DataType.FLOAT
+
+    def test_case_expression_type(self, analyzer):
+        schema = analyzer.result_schema(
+            parse_select(
+                "SELECT CASE WHEN cases > 100 THEN 'high' ELSE 'low' END AS level FROM covid_cases"
+            )
+        )
+        assert schema.column("level").data_type is DataType.TEXT
+
+
+class TestRoles:
+    def test_temporal_role_for_dates(self, analyzer):
+        schema = analyzer.result_schema(parse_select("SELECT date FROM covid_cases"))
+        assert schema.column("date").resolved_role() is AttributeRole.TEMPORAL
+
+    def test_quantitative_role_for_aggregates(self, analyzer):
+        schema = analyzer.result_schema(parse_select("SELECT sum(cases) AS s FROM covid_cases"))
+        assert schema.column("s").resolved_role() is AttributeRole.QUANTITATIVE
+
+    def test_nominal_role_for_text(self, analyzer):
+        schema = analyzer.result_schema(parse_select("SELECT state FROM covid_cases"))
+        assert schema.column("state").resolved_role() is AttributeRole.NOMINAL
+
+
+class TestProfiles:
+    def test_aggregation_profile(self, analyzer):
+        profile = analyzer.analyze(
+            parse_select(
+                "SELECT state, sum(cases) AS total FROM covid_cases "
+                "WHERE date > '2021-12-01' GROUP BY state"
+            )
+        )
+        assert profile.is_aggregation is True
+        assert profile.group_by_columns == ("state",)
+        assert profile.aggregate_columns == ("total",)
+        assert "date" in profile.filter_columns
+        assert profile.measure_columns == ("total",)
+        assert profile.dimension_columns == ("state",)
+
+    def test_join_and_subquery_flags(self, analyzer):
+        profile = analyzer.analyze(
+            parse_select(
+                "SELECT c.state FROM covid_cases c JOIN state_regions r ON c.state = r.state "
+                "WHERE c.cases > (SELECT avg(cases) FROM covid_cases)"
+            )
+        )
+        assert profile.has_join is True
+        assert profile.has_subquery is True
+        assert set(profile.source_tables) == {"covid_cases", "state_regions"}
+
+    def test_plain_query_flags(self, analyzer):
+        profile = analyzer.analyze(parse_select("SELECT state FROM covid_cases"))
+        assert profile.is_aggregation is False
+        assert profile.has_join is False
+        assert profile.has_subquery is False
+
+
+class TestErrors:
+    def test_unknown_table(self, analyzer):
+        with pytest.raises(SqlAnalysisError):
+            analyzer.result_schema(parse_select("SELECT a FROM nope"))
+
+    def test_unknown_column(self, analyzer):
+        with pytest.raises(SqlAnalysisError):
+            analyzer.result_schema(parse_select("SELECT nope FROM covid_cases"))
+
+    def test_ambiguous_column(self, analyzer):
+        with pytest.raises(SqlAnalysisError):
+            analyzer.result_schema(
+                parse_select(
+                    "SELECT state FROM covid_cases c JOIN state_regions r ON c.state = r.state"
+                )
+            )
+
+    def test_correlated_subquery_resolves_outer_column(self, analyzer):
+        # Should not raise: c.state is resolved through the outer scope.
+        profile = analyzer.analyze(
+            parse_select(
+                "SELECT c.state FROM covid_cases c WHERE EXISTS "
+                "(SELECT 1 FROM state_regions r WHERE r.state = c.state)"
+            )
+        )
+        assert profile.has_subquery is True
+
+    def test_cte_column_count_mismatch(self, analyzer):
+        with pytest.raises(SqlAnalysisError):
+            analyzer.result_schema(
+                parse_select(
+                    "WITH x (a, b) AS (SELECT state FROM covid_cases) SELECT a FROM x"
+                )
+            )

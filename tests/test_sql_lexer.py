@@ -1,0 +1,121 @@
+"""Unit tests for the SQL lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SqlLexError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def types(sql: str) -> list[TokenType]:
+    return [token.type for token in tokenize(sql)]
+
+
+def values(sql: str) -> list[str]:
+    return [token.value for token in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        tokens = tokenize("select a from t")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[0].value == "SELECT"
+        assert tokens[2].value == "FROM"
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("SELECT MyColumn FROM MyTable")
+        assert tokens[1].value == "MyColumn"
+        assert tokens[3].value == "MyTable"
+
+    def test_integer_and_float_literals(self):
+        tokens = tokenize("SELECT 42, 3.14, 1e3, 2.5E-2")
+        literal_types = [t.type for t in tokens if t.type in (TokenType.INTEGER, TokenType.FLOAT)]
+        assert literal_types == [
+            TokenType.INTEGER,
+            TokenType.FLOAT,
+            TokenType.FLOAT,
+            TokenType.FLOAT,
+        ]
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize("SELECT 'it''s'")
+        strings = [t for t in tokens if t.type is TokenType.STRING]
+        assert strings[0].value == "it's"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('SELECT "weird name" FROM t')
+        quoted = [t for t in tokens if t.type is TokenType.QUOTED_IDENTIFIER]
+        assert quoted[0].value == "weird name"
+
+    def test_punctuation(self):
+        assert types("(a, b);")[:6] == [
+            TokenType.LPAREN,
+            TokenType.IDENTIFIER,
+            TokenType.COMMA,
+            TokenType.IDENTIFIER,
+            TokenType.RPAREN,
+            TokenType.SEMICOLON,
+        ]
+
+    def test_eof_is_last(self):
+        assert types("SELECT 1")[-1] is TokenType.EOF
+        assert types("")[-1] is TokenType.EOF
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<>", "!=", ">=", "<=", "||", "=", "<", ">", "+", "-", "*", "/", "%"])
+    def test_operator_recognised(self, op):
+        tokens = tokenize(f"a {op} b")
+        assert any(t.type is TokenType.OPERATOR and t.value == op for t in tokens)
+
+    def test_multi_char_operator_not_split(self):
+        tokens = [t for t in tokenize("a >= 1") if t.type is TokenType.OPERATOR]
+        assert len(tokens) == 1
+        assert tokens[0].value == ">="
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert values("SELECT a -- trailing comment\nFROM t") == ["SELECT", "a", "FROM", "t"]
+
+    def test_block_comment_skipped(self):
+        assert values("SELECT /* hi */ a FROM t") == ["SELECT", "a", "FROM", "t"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("SELECT /* oops")
+
+    def test_newlines_update_line_numbers(self):
+        tokens = tokenize("SELECT a\nFROM t")
+        from_token = [t for t in tokens if t.value == "FROM"][0]
+        assert from_token.line == 2
+
+
+class TestParameters:
+    def test_named_parameter(self):
+        tokens = tokenize("WHERE a = :threshold")
+        params = [t for t in tokens if t.type is TokenType.PARAMETER]
+        assert params[0].value == "threshold"
+
+    def test_positional_parameter(self):
+        tokens = tokenize("WHERE a = ?")
+        params = [t for t in tokens if t.type is TokenType.PARAMETER]
+        assert params[0].value == "?"
+
+
+class TestErrors:
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("SELECT 'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SqlLexError) as excinfo:
+            tokenize("SELECT a # b")
+        assert "Unexpected" in str(excinfo.value)
+
+    def test_error_carries_position(self):
+        with pytest.raises(SqlLexError) as excinfo:
+            tokenize("SELECT a\n  # b")
+        assert excinfo.value.line == 2

@@ -1,0 +1,253 @@
+"""Unit tests for the SQL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SqlParseError
+from repro.sql.ast_nodes import (
+    BetweenOp,
+    BinaryOp,
+    Case,
+    Cast,
+    ColumnRef,
+    Exists,
+    FunctionCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Join,
+    Literal,
+    ScalarSubquery,
+    Select,
+    SetOperation,
+    Star,
+    SubqueryRef,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.parser import parse, parse_many, parse_select
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        query = parse_select("SELECT a, b FROM t")
+        assert [item.output_name() for item in query.select_items] == ["a", "b"]
+        assert isinstance(query.from_clause, TableRef)
+        assert query.from_clause.name == "t"
+
+    def test_select_star(self):
+        query = parse_select("SELECT * FROM t")
+        assert isinstance(query.select_items[0].expr, Star)
+
+    def test_select_qualified_star(self):
+        query = parse_select("SELECT t.* FROM t")
+        star = query.select_items[0].expr
+        assert isinstance(star, Star)
+        assert star.table == "t"
+
+    def test_aliases_with_and_without_as(self):
+        query = parse_select("SELECT a AS x, b y FROM t")
+        assert query.select_items[0].alias == "x"
+        assert query.select_items[1].alias == "y"
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct is True
+        assert parse_select("SELECT ALL a FROM t").distinct is False
+
+    def test_select_without_from(self):
+        query = parse_select("SELECT 1 + 2 AS three")
+        assert query.from_clause is None
+
+    def test_limit_and_offset(self):
+        query = parse_select("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert query.limit == 10
+        assert query.offset == 5
+
+    def test_order_by_directions(self):
+        query = parse_select("SELECT a FROM t ORDER BY a DESC, b ASC")
+        assert query.order_by[0].descending is True
+        assert query.order_by[1].descending is False
+
+    def test_group_by_and_having(self):
+        query = parse_select("SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2")
+        assert len(query.group_by) == 1
+        assert isinstance(query.having, BinaryOp)
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        query = parse_select("SELECT 1 + 2 * 3")
+        expr = query.select_items[0].expr
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, BinaryOp)
+        assert expr.right.op == "*"
+
+    def test_and_or_precedence(self):
+        query = parse_select("SELECT a FROM t WHERE a = 1 OR b = 2 AND p = 3")
+        assert isinstance(query.where, BinaryOp)
+        assert query.where.op == "OR"
+        assert isinstance(query.where.right, BinaryOp)
+        assert query.where.right.op == "AND"
+
+    def test_not(self):
+        query = parse_select("SELECT a FROM t WHERE NOT a = 1")
+        assert isinstance(query.where, UnaryOp)
+        assert query.where.op == "NOT"
+
+    def test_negative_literal_folding(self):
+        query = parse_select("SELECT a FROM t WHERE a > -2.5")
+        assert isinstance(query.where.right, Literal)
+        assert query.where.right.value == -2.5
+
+    def test_between(self):
+        query = parse_select("SELECT a FROM t WHERE a BETWEEN 1 AND 10")
+        assert isinstance(query.where, BetweenOp)
+
+    def test_not_between(self):
+        query = parse_select("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 10")
+        assert query.where.negated is True
+
+    def test_in_list(self):
+        query = parse_select("SELECT a FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(query.where, InList)
+        assert len(query.where.items) == 3
+
+    def test_in_subquery(self):
+        query = parse_select("SELECT a FROM t WHERE a IN (SELECT a FROM u)")
+        assert isinstance(query.where, InSubquery)
+
+    def test_exists(self):
+        query = parse_select("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        assert isinstance(query.where, Exists)
+
+    def test_scalar_subquery(self):
+        query = parse_select("SELECT a FROM t WHERE a > (SELECT avg(a) FROM t)")
+        assert isinstance(query.where.right, ScalarSubquery)
+
+    def test_is_null_and_is_not_null(self):
+        assert isinstance(parse_select("SELECT a FROM t WHERE a IS NULL").where, IsNull)
+        assert parse_select("SELECT a FROM t WHERE a IS NOT NULL").where.negated is True
+
+    def test_like(self):
+        query = parse_select("SELECT a FROM t WHERE name LIKE 'ab%'")
+        assert query.where.op == "LIKE"
+
+    def test_case_expression(self):
+        query = parse_select("SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t")
+        case = query.select_items[0].expr
+        assert isinstance(case, Case)
+        assert len(case.whens) == 1
+        assert isinstance(case.else_result, Literal)
+
+    def test_cast(self):
+        query = parse_select("SELECT CAST(a AS float) FROM t")
+        assert isinstance(query.select_items[0].expr, Cast)
+
+    def test_function_call_with_distinct(self):
+        query = parse_select("SELECT count(DISTINCT a) FROM t")
+        call = query.select_items[0].expr
+        assert isinstance(call, FunctionCall)
+        assert call.distinct is True
+
+    def test_count_star(self):
+        query = parse_select("SELECT count(*) FROM t")
+        call = query.select_items[0].expr
+        assert isinstance(call.args[0], Star)
+
+    def test_boolean_and_null_literals(self):
+        query = parse_select("SELECT TRUE, FALSE, NULL")
+        values = [item.expr.value for item in query.select_items]
+        assert values == [True, False, None]
+
+    def test_qualified_column(self):
+        query = parse_select("SELECT t.a FROM t")
+        column = query.select_items[0].expr
+        assert isinstance(column, ColumnRef)
+        assert column.table == "t"
+        assert column.qualified_name == "t.a"
+
+
+class TestFromClause:
+    def test_inner_join_with_on(self):
+        query = parse_select("SELECT * FROM a JOIN b ON a.id = b.id")
+        assert isinstance(query.from_clause, Join)
+        assert query.from_clause.join_type == "INNER"
+
+    @pytest.mark.parametrize(
+        "sql,expected",
+        [
+            ("SELECT * FROM a LEFT JOIN b ON a.id = b.id", "LEFT"),
+            ("SELECT * FROM a LEFT OUTER JOIN b ON a.id = b.id", "LEFT"),
+            ("SELECT * FROM a RIGHT JOIN b ON a.id = b.id", "RIGHT"),
+            ("SELECT * FROM a FULL OUTER JOIN b ON a.id = b.id", "FULL"),
+            ("SELECT * FROM a CROSS JOIN b", "CROSS"),
+        ],
+    )
+    def test_join_types(self, sql, expected):
+        assert parse_select(sql).from_clause.join_type == expected
+
+    def test_comma_join_is_cross(self):
+        query = parse_select("SELECT * FROM a, b")
+        assert query.from_clause.join_type == "CROSS"
+
+    def test_join_using(self):
+        query = parse_select("SELECT * FROM a JOIN b USING (id, name)")
+        assert query.from_clause.using == ["id", "name"]
+
+    def test_derived_table(self):
+        query = parse_select("SELECT x FROM (SELECT a AS x FROM t) AS sub")
+        assert isinstance(query.from_clause, SubqueryRef)
+        assert query.from_clause.alias == "sub"
+
+    def test_table_alias(self):
+        query = parse_select("SELECT c.a FROM t AS c")
+        assert query.from_clause.binding_name == "c"
+
+
+class TestCtesAndSetOps:
+    def test_with_clause(self):
+        query = parse_select("WITH recent AS (SELECT a FROM t) SELECT a FROM recent")
+        assert len(query.ctes) == 1
+        assert query.ctes[0].name == "recent"
+
+    def test_union(self):
+        node = parse("SELECT a FROM t UNION SELECT a FROM u")
+        assert isinstance(node, SetOperation)
+        assert node.op == "UNION"
+        assert node.all is False
+
+    def test_union_all(self):
+        node = parse("SELECT a FROM t UNION ALL SELECT a FROM u")
+        assert node.all is True
+
+    def test_parse_many(self):
+        statements = parse_many("SELECT 1; SELECT 2;")
+        assert len(statements) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP",
+            "SELECT a FROM t LIMIT x",
+            "SELECT a FROM t trailing garbage junk (",
+            "WITH x AS SELECT 1 SELECT 2",
+        ],
+    )
+    def test_malformed_queries_raise(self, sql):
+        with pytest.raises(SqlParseError):
+            parse(sql)
+
+    def test_parse_select_rejects_set_operation(self):
+        with pytest.raises(SqlParseError):
+            parse_select("SELECT a FROM t UNION SELECT a FROM u")
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT CASE END FROM t")

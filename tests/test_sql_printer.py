@@ -1,0 +1,83 @@
+"""Tests for the SQL printer: exact renderings and parse/print round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql.parser import parse
+from repro.sql.printer import format_sql, to_sql
+
+ROUND_TRIP_QUERIES = [
+    "SELECT a FROM t",
+    "SELECT DISTINCT a, b AS bee FROM t",
+    "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+    "SELECT a FROM t WHERE a BETWEEN 1 AND 10 ORDER BY a DESC LIMIT 5",
+    "SELECT a FROM t WHERE a NOT IN (1, 2, 3)",
+    "SELECT a FROM t WHERE name LIKE 'ab%' AND a IS NOT NULL",
+    "SELECT t.a, u.b FROM t JOIN u ON t.id = u.id",
+    "SELECT t.a FROM t LEFT JOIN u ON t.id = u.id AND u.x > 3",
+    "SELECT x FROM (SELECT a AS x FROM t) AS sub",
+    "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.a = t.a)",
+    "SELECT a FROM t WHERE a > (SELECT avg(a) FROM t)",
+    "WITH recent AS (SELECT a FROM t WHERE a > 1) SELECT a FROM recent",
+    "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END AS size FROM t",
+    "SELECT CAST(a AS float) FROM t",
+    "SELECT a FROM t UNION ALL SELECT a FROM u",
+    "SELECT count(DISTINCT a) FROM t",
+    "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) >= 2 ORDER BY 2 DESC",
+    "SELECT a FROM t ORDER BY a NULLS FIRST",
+    "SELECT a FROM t LIMIT 10 OFFSET 20",
+    "SELECT -2.5 AS neg, 'it''s' AS quoted",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+    def test_parse_print_parse_is_stable(self, sql):
+        first = parse(sql)
+        printed = to_sql(first)
+        second = parse(printed)
+        assert first == second, f"Round-trip changed the AST for: {sql}\n{printed}"
+
+    @pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+    def test_printing_is_idempotent(self, sql):
+        once = to_sql(parse(sql))
+        twice = to_sql(parse(once))
+        assert once == twice
+
+
+class TestRenderings:
+    def test_boolean_and_null_rendering(self):
+        assert to_sql(parse("SELECT TRUE, FALSE, NULL")) == "SELECT TRUE, FALSE, NULL"
+
+    def test_string_escaping(self):
+        assert "''" in to_sql(parse("SELECT 'it''s'"))
+
+    def test_and_or_parenthesization_preserves_semantics(self):
+        sql = "SELECT a FROM t WHERE a = 1 OR b = 2 AND p = 3"
+        printed = to_sql(parse(sql))
+        assert parse(printed) == parse(sql)
+
+    def test_not_renders_with_parentheses(self):
+        printed = to_sql(parse("SELECT a FROM t WHERE NOT a = 1"))
+        assert "NOT (" in printed
+
+    def test_format_sql_is_multiline(self):
+        pretty = format_sql(parse("SELECT a FROM t WHERE a = 1 GROUP BY a ORDER BY a"))
+        lines = pretty.splitlines()
+        assert len(lines) >= 4
+        assert lines[0].startswith("SELECT")
+        assert any(line.startswith("FROM") for line in lines)
+
+    def test_format_sql_round_trips(self):
+        sql = "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p"
+        assert parse(format_sql(parse(sql))) == parse(sql)
+
+    def test_join_using_rendering(self):
+        printed = to_sql(parse("SELECT * FROM a JOIN b USING (id)"))
+        assert "USING (id)" in printed
+
+    def test_alias_rendering(self):
+        printed = to_sql(parse("SELECT a AS x FROM t AS s"))
+        assert "AS x" in printed
+        assert "t AS s" in printed

@@ -1,0 +1,89 @@
+"""Tests for the visitor/transformer infrastructure and the AST tree protocol."""
+
+from __future__ import annotations
+
+from repro.sql.ast_nodes import BinaryOp, ColumnRef, Literal, Select
+from repro.sql.parser import parse_select
+from repro.sql.printer import to_sql
+from repro.sql.visitor import NodeTransformer, NodeVisitor, collect, count_nodes, transform, tree_depth
+
+
+class TestTreeProtocol:
+    def test_children_and_walk(self):
+        query = parse_select("SELECT a, b FROM t WHERE a = 1")
+        nodes = list(query.walk())
+        assert nodes[0] is query
+        assert any(isinstance(node, Literal) and node.value == 1 for node in nodes)
+
+    def test_with_children_round_trip(self):
+        expr = BinaryOp(op="+", left=Literal(1), right=Literal(2))
+        rebuilt = expr.with_children([Literal(3), Literal(4)])
+        assert rebuilt == BinaryOp(op="+", left=Literal(3), right=Literal(4))
+
+    def test_with_children_wrong_arity_raises(self):
+        expr = BinaryOp(op="+", left=Literal(1), right=Literal(2))
+        try:
+            expr.with_children([Literal(3)])
+        except ValueError as exc:
+            assert "Not enough" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_label_distinguishes_scalars(self):
+        assert Literal(1).label() != Literal(2).label()
+        assert ColumnRef("a").label() != ColumnRef("b").label()
+        assert ColumnRef("a").label() == ColumnRef("a").label()
+
+    def test_find_all(self):
+        query = parse_select("SELECT a FROM t WHERE a = 1 AND b = 2")
+        literals = query.find_all(Literal)
+        assert sorted(lit.value for lit in literals) == [1, 2]
+
+    def test_count_and_depth(self):
+        query = parse_select("SELECT a FROM t")
+        assert count_nodes(query) >= 4
+        assert tree_depth(query) >= 3
+
+
+class TestVisitors:
+    def test_node_visitor_dispatch(self):
+        class LiteralCollector(NodeVisitor):
+            def __init__(self):
+                self.values = []
+
+            def visit_Literal(self, node):
+                self.values.append(node.value)
+
+        collector = LiteralCollector()
+        collector.visit(parse_select("SELECT a FROM t WHERE a IN (1, 2, 3)"))
+        assert collector.values == [1, 2, 3]
+
+    def test_node_transformer_rewrites(self):
+        class Incrementer(NodeTransformer):
+            def visit_Literal(self, node):
+                if isinstance(node.value, int):
+                    return Literal(node.value + 1)
+                return node
+
+        query = parse_select("SELECT a FROM t WHERE a = 1")
+        rewritten = Incrementer().transform(query)
+        assert "a = 2" in to_sql(rewritten)
+
+    def test_functional_transform(self):
+        query = parse_select("SELECT a FROM t WHERE a = 1")
+
+        def rename(node):
+            if isinstance(node, ColumnRef) and node.name == "a":
+                return ColumnRef(name="renamed")
+            return None
+
+        rewritten = transform(query, rename)
+        assert isinstance(rewritten, Select)
+        assert "renamed = 1" in to_sql(rewritten)
+        # The original is untouched (transform is pure).
+        assert "renamed" not in to_sql(query)
+
+    def test_collect(self):
+        query = parse_select("SELECT a, b FROM t")
+        columns = collect(query, lambda node: isinstance(node, ColumnRef))
+        assert {column.name for column in columns} == {"a", "b"}
