@@ -1,0 +1,94 @@
+"""Perf P3 — physical executor throughput and the canonical-query cache.
+
+Measures the compile-then-run pipeline on the demo workloads: cold execution
+(plan + vectorized operators), plan-cache-warm execution, and fully cached
+execution through the canonical-query result cache.  Emits a JSON summary
+(rows/sec, speedups, hit rate) alongside the usual table so dashboards can
+track the numbers over time.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import print_table
+
+from repro.datasets import load_covid_catalog, load_sdss_catalog
+
+
+def _measure(catalog_loader, queries, repeats=5):
+    """Cold vs plan-warm vs result-cached timings for a query workload."""
+    catalog = catalog_loader()
+
+    started = time.perf_counter()
+    cold_rows = 0
+    for sql in queries:
+        cold_rows += catalog.execute(sql, use_cache=False).row_count
+    cold = time.perf_counter() - started
+
+    # Plans are now compiled and hot; results still recomputed every time.
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for sql in queries:
+            catalog.execute(sql, use_cache=False).row_count
+    plan_warm = (time.perf_counter() - started) / repeats
+
+    # Result cache: first pass stores, subsequent passes hit.
+    for sql in queries:
+        catalog.execute(sql)
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for sql in queries:
+            catalog.execute(sql).row_count
+    cached = (time.perf_counter() - started) / repeats
+
+    stats = catalog.cache_stats()
+    return {
+        "queries": len(queries),
+        "result_rows": cold_rows,
+        "cold_seconds": cold,
+        "plan_warm_seconds": plan_warm,
+        "cached_seconds": cached,
+        "cold_rows_per_sec": cold_rows / cold if cold else 0.0,
+        "cached_rows_per_sec": cold_rows / cached if cached else 0.0,
+        "cached_speedup": cold / cached if cached else 0.0,
+        "cache_hit_rate": stats["hit_rate"],
+        "cache_hits": stats["hits"],
+    }
+
+
+def _report(label, measurement):
+    print_table(
+        f"Perf P3 ({label}): executor cold vs cached",
+        ["Queries", "Cold", "Plan-warm", "Cached", "Speedup", "Hit rate"],
+        [
+            [
+                measurement["queries"],
+                f"{measurement['cold_seconds'] * 1000:.1f} ms",
+                f"{measurement['plan_warm_seconds'] * 1000:.1f} ms",
+                f"{measurement['cached_seconds'] * 1000:.2f} ms",
+                f"{measurement['cached_speedup']:.1f}x",
+                measurement["cache_hit_rate"],
+            ]
+        ],
+    )
+    print(json.dumps({"benchmark": "perf_executor", "workload": label, **measurement}))
+
+
+def test_perf_executor_covid_workload(benchmark, covid_log):
+    measurement = benchmark.pedantic(
+        lambda: _measure(load_covid_catalog, covid_log), rounds=1, iterations=1
+    )
+    _report("covid", measurement)
+    assert measurement["cache_hit_rate"] > 0
+    assert measurement["cached_seconds"] < measurement["cold_seconds"]
+
+
+def test_perf_executor_sdss_workload(benchmark, sdss_log):
+    measurement = benchmark.pedantic(
+        lambda: _measure(load_sdss_catalog, sdss_log), rounds=1, iterations=1
+    )
+    _report("sdss", measurement)
+    assert measurement["cache_hit_rate"] > 0
+    assert measurement["cached_seconds"] < measurement["cold_seconds"]

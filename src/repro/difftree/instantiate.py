@@ -212,6 +212,24 @@ def _as_select_item(node: SqlNode) -> SelectItem:
     return SelectItem(expr=node)
 
 
+def instantiate_and_execute(tree: SqlNode, catalog, bindings: Binding | None = None):
+    """Instantiate ``tree`` under ``bindings`` and execute it against ``catalog``.
+
+    This is the runtime loop every interface event performs — widget update →
+    re-instantiate → re-execute — routed through the catalog's canonical-query
+    result cache, so sibling bindings (and sibling interface candidates during
+    search) that instantiate to equivalent SQL share one execution.
+
+    Returns the engine's :class:`~repro.engine.table.QueryResult`.
+    """
+    from repro.sql.ast_nodes import SetOperation
+
+    query = instantiate(tree, bindings)
+    if not isinstance(query, (Select, SetOperation)):
+        raise BindingError("Instantiated Difftree is not an executable SELECT statement")
+    return catalog.execute(query)
+
+
 # --------------------------------------------------------------------------- #
 # Coverage: can the Difftree express a given query?
 # --------------------------------------------------------------------------- #

@@ -3,21 +3,36 @@
 from repro.engine.aggregates import is_aggregate_function, make_accumulator
 from repro.engine.catalog import Catalog
 from repro.engine.csvio import load_table, save_table, table_from_csv, table_to_csv
-from repro.engine.executor import Executor
-from repro.engine.expressions import Environment, ExpressionEvaluator
+from repro.engine.executor import ExecutionContext, Executor, lower_plan
+from repro.engine.expressions import (
+    Batch,
+    BatchRowView,
+    Environment,
+    ExpressionEvaluator,
+    VectorEvaluator,
+)
 from repro.engine.functions import SCALAR_FUNCTIONS, call_scalar_function, is_scalar_function
 from repro.engine.planner import Planner
+from repro.engine.query_cache import QueryCache, QueryCacheStats, cache_key
 from repro.engine.table import QueryResult, Table, result_from_table
 
 __all__ = [
     "Catalog",
     "Executor",
+    "ExecutionContext",
+    "lower_plan",
     "Planner",
+    "QueryCache",
+    "QueryCacheStats",
+    "cache_key",
     "QueryResult",
     "Table",
     "result_from_table",
+    "Batch",
+    "BatchRowView",
     "Environment",
     "ExpressionEvaluator",
+    "VectorEvaluator",
     "SCALAR_FUNCTIONS",
     "call_scalar_function",
     "is_scalar_function",

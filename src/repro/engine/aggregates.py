@@ -9,7 +9,7 @@ standard SQL semantics.
 from __future__ import annotations
 
 import math
-from typing import Any
+from typing import Any, Iterable
 
 from repro.errors import ExecutionError
 
@@ -23,6 +23,17 @@ class Accumulator:
 
     def add(self, value: Any) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def add_many(self, values: Iterable[Any]) -> None:
+        """Accumulate a whole column slice (vectorized entry point).
+
+        Subclasses override this with batch-level fast paths; the default
+        simply loops, so every accumulator stays usable from both the
+        row-wise and the vectorized execution paths.
+        """
+        add = self.add
+        for value in values:
+            add(value)
 
     def result(self) -> Any:  # pragma: no cover - interface
         raise NotImplementedError
@@ -38,6 +49,9 @@ class CountAccumulator(Accumulator):
         if value is not None:
             self._count += 1
 
+    def add_many(self, values: Iterable[Any]) -> None:
+        self._count += sum(1 for value in values if value is not None)
+
     def result(self) -> int:
         return self._count
 
@@ -52,6 +66,12 @@ class CountStarAccumulator(Accumulator):
 
     def add(self, value: Any) -> None:
         self._count += 1
+
+    def add_many(self, values: Iterable[Any]) -> None:
+        try:
+            self._count += len(values)  # type: ignore[arg-type]
+        except TypeError:
+            self._count += sum(1 for _ in values)
 
     def result(self) -> int:
         return self._count
@@ -71,6 +91,19 @@ class SumAccumulator(Accumulator):
         else:
             self._total += value
 
+    def add_many(self, values: Iterable[Any]) -> None:
+        filtered = [value for value in values if value is not None]
+        if not filtered:
+            return
+        if isinstance(filtered[0], (int, float)):
+            partial = sum(filtered)
+        else:
+            # Non-numeric '+' (e.g. string concatenation) keeps row-wise order.
+            partial = filtered[0]
+            for value in filtered[1:]:
+                partial += value
+        self._total = partial if self._total is None else self._total + partial
+
     def result(self) -> Any:
         return self._total
 
@@ -87,6 +120,13 @@ class AvgAccumulator(Accumulator):
             return
         self._total += value
         self._count += 1
+
+    def add_many(self, values: Iterable[Any]) -> None:
+        filtered = [value for value in values if value is not None]
+        if not filtered:
+            return
+        self._total += sum(filtered)
+        self._count += len(filtered)
 
     def result(self) -> float | None:
         if self._count == 0:
@@ -106,6 +146,14 @@ class MinAccumulator(Accumulator):
         if self._value is None or value < self._value:
             self._value = value
 
+    def add_many(self, values: Iterable[Any]) -> None:
+        filtered = [value for value in values if value is not None]
+        if not filtered:
+            return
+        smallest = min(filtered)
+        if self._value is None or smallest < self._value:
+            self._value = smallest
+
     def result(self) -> Any:
         return self._value
 
@@ -121,6 +169,14 @@ class MaxAccumulator(Accumulator):
             return
         if self._value is None or value > self._value:
             self._value = value
+
+    def add_many(self, values: Iterable[Any]) -> None:
+        filtered = [value for value in values if value is not None]
+        if not filtered:
+            return
+        largest = max(filtered)
+        if self._value is None or largest > self._value:
+            self._value = largest
 
     def result(self) -> Any:
         return self._value

@@ -2,7 +2,14 @@
 
 The catalog is the engine's entry point — it owns the tables, exposes their
 schemas to the analyzer, and provides :meth:`Catalog.execute` to run SQL text
-or ASTs through the planner/executor.
+or ASTs through the planner/executor.  It also owns the two execution caches:
+
+* a **plan cache** of compiled physical plans keyed by SQL text (cleared when
+  the set of tables changes), so repeated query shapes skip planning;
+* a **result cache** (:class:`~repro.engine.query_cache.QueryCache`) keyed by
+  canonical SQL plus the catalog data version, so repeated equivalent queries
+  — the dominant pattern in interface instantiation and search — skip
+  execution entirely.
 """
 
 from __future__ import annotations
@@ -10,6 +17,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Sequence
 
 from repro.errors import CatalogError
+from repro.engine.query_cache import QueryCache, cache_key
 from repro.engine.table import QueryResult, Table
 from repro.sql.ast_nodes import Select, SetOperation, SqlNode
 from repro.sql.parser import parse
@@ -19,12 +27,21 @@ from repro.sql.schema import TableSchema
 class Catalog:
     """A named collection of tables plus query execution facilities."""
 
-    def __init__(self) -> None:
+    def __init__(self, query_cache_capacity: int = 256) -> None:
         self._tables: dict[str, Table] = {}
+        self._schema_version = 0
+        self._plan_cache: dict = {}
+        self._query_cache = QueryCache(capacity=query_cache_capacity)
 
     # ------------------------------------------------------------------ #
     # Table management
     # ------------------------------------------------------------------ #
+
+    def _bump_schema_version(self) -> None:
+        self._schema_version += 1
+        # Compiled plans may have baked in join-key side analysis against the
+        # old table set; recompile rather than risk a stale classification.
+        self._plan_cache.clear()
 
     def register(self, table: Table, replace: bool = False) -> None:
         """Register a table under its own name."""
@@ -32,6 +49,7 @@ class Catalog:
         if key in self._tables and not replace:
             raise CatalogError(f"Table {table.name!r} already exists in the catalog")
         self._tables[key] = table
+        self._bump_schema_version()
 
     def create_table(
         self,
@@ -50,6 +68,7 @@ class Catalog:
         if key not in self._tables:
             raise CatalogError(f"Cannot drop unknown table {name!r}")
         del self._tables[key]
+        self._bump_schema_version()
 
     def table(self, name: str) -> Table:
         key = name.lower()
@@ -67,12 +86,29 @@ class Catalog:
         """Schemas of every registered table, keyed by table name."""
         return {table.name: table.schema() for table in self._tables.values()}
 
+    def data_version(self) -> tuple:
+        """A hashable fingerprint of the current table set and their data.
+
+        Changes whenever a table is registered, dropped or replaced, or any
+        table's rows are mutated — used to key (and thereby invalidate)
+        cached query results.
+        """
+        return (
+            self._schema_version,
+            tuple(sorted((name, table.data_version) for name, table in self._tables.items())),
+        )
+
     # ------------------------------------------------------------------ #
     # Query execution
     # ------------------------------------------------------------------ #
 
-    def execute(self, query: str | SqlNode) -> QueryResult:
-        """Execute a SQL string or parsed AST and return its result."""
+    def execute(self, query: str | SqlNode, use_cache: bool = True) -> QueryResult:
+        """Execute a SQL string or parsed AST and return its result.
+
+        Results are served from the canonical-query cache when an equivalent
+        query (same canonical SQL) has already run against the current data
+        version; pass ``use_cache=False`` to force execution.
+        """
         # Imported here to avoid a circular import: the executor needs the
         # catalog type for scans.
         from repro.engine.executor import Executor
@@ -80,17 +116,55 @@ class Catalog:
         node = parse(query) if isinstance(query, str) else query
         if not isinstance(node, (Select, SetOperation)):
             raise CatalogError(f"Only SELECT queries can be executed, got {type(node).__name__}")
-        return Executor(self).execute(node)
 
-    def explain(self, query: str | SqlNode) -> str:
-        """Return a textual logical plan for the query (for debugging/tests)."""
+        key = cache_key(node, self.data_version()) if use_cache else None
+        if key is None:
+            if use_cache:
+                self._query_cache.note_bypass()
+            return Executor(self, plan_cache=self._plan_cache).execute(node)
+        cached = self._query_cache.lookup(key)
+        if cached is not None:
+            return cached
+        result = Executor(self, plan_cache=self._plan_cache).execute(node)
+        self._query_cache.store(key, result)
+        return result
+
+    def explain(self, query: str | SqlNode, physical: bool = False) -> str:
+        """Return a textual plan for the query (for debugging/tests).
+
+        ``physical=False`` renders the logical plan the planner produces;
+        ``physical=True`` renders the executable physical plan the executor
+        lowers it to (hash joins, vectorized operators).
+        """
+        from repro.engine.executor import Executor
         from repro.engine.planner import Planner
 
         node = parse(query) if isinstance(query, str) else query
         if not isinstance(node, (Select, SetOperation)):
             raise CatalogError(f"Only SELECT queries can be planned, got {type(node).__name__}")
+        if physical:
+            return Executor(self).compile(node).pretty()
         plan = Planner(self.schemas()).plan(node)
         return plan.pretty()
+
+    # ------------------------------------------------------------------ #
+    # Caches
+    # ------------------------------------------------------------------ #
+
+    @property
+    def query_cache(self) -> QueryCache:
+        return self._query_cache
+
+    def cache_stats(self) -> dict[str, Any]:
+        """Result- and plan-cache counters (hits, misses, hit rate, sizes)."""
+        stats = self._query_cache.snapshot()
+        stats["plan_cache_entries"] = len(self._plan_cache)
+        return stats
+
+    def clear_caches(self) -> None:
+        """Drop all cached results and compiled plans."""
+        self._query_cache.clear()
+        self._plan_cache.clear()
 
     def __contains__(self, name: str) -> bool:
         return self.has_table(name)

@@ -1,20 +1,21 @@
-"""Query executor: interprets SELECT ASTs against a :class:`Catalog`.
+"""Query executor: compiles SELECT ASTs to physical plans and runs them.
 
-Execution follows the standard logical order:
+Execution is compile-then-run:
 
-1. CTE materialization,
-2. FROM (scans, derived tables, joins),
-3. WHERE,
-4. GROUP BY + aggregate evaluation,
-5. HAVING,
-6. SELECT projection (with Star expansion),
-7. DISTINCT,
-8. ORDER BY,
-9. LIMIT / OFFSET,
+1. the :class:`~repro.engine.planner.Planner` lowers the AST to a logical
+   plan (FROM → WHERE → GROUP BY/HAVING → SELECT → DISTINCT → ORDER BY →
+   LIMIT, plus CTE materialization and set operations);
+2. :func:`lower_plan` lowers the logical plan to executable physical
+   operators (``plan_nodes``), choosing hash joins when equi-join keys can be
+   extracted from the ON condition and vectorized nested loops otherwise;
+3. the physical plan pulls columnar batches from the tables and evaluates
+   expressions column-at-a-time via the vectorized evaluator.
 
-plus UNION / INTERSECT / EXCEPT over whole SELECTs.  Correlated subqueries in
-WHERE/HAVING/SELECT are executed per-row with the outer row's environment as
-their correlation context.
+Correlated subqueries in WHERE/HAVING/SELECT run per outer row with the outer
+row's batch view as their correlation context; uncorrelated subqueries are
+executed once per enclosing SELECT execution and memoized.  Compiled plans
+are stateless and reusable — the catalog keeps a plan cache keyed by SQL
+text so repeated query shapes skip planning entirely.
 """
 
 from __future__ import annotations
@@ -22,34 +23,362 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import ExecutionError
-from repro.engine.aggregates import is_aggregate_function, make_accumulator
-from repro.engine.expressions import Environment, ExpressionEvaluator
-from repro.engine.functions import is_scalar_function
+from repro.engine.expressions import CorrelationProbe, Environment
+from repro.engine.plan_nodes import (
+    AggregateNode,
+    CteExec,
+    CteNode,
+    DerivedScanExec,
+    DerivedScanNode,
+    DistinctExec,
+    DistinctNode,
+    FilterExec,
+    FilterNode,
+    HashAggregateExec,
+    JoinExec,
+    JoinNode,
+    LimitExec,
+    LimitNode,
+    PhysicalNode,
+    PlanNode,
+    ProjectExec,
+    ProjectNode,
+    ScanExec,
+    ScanNode,
+    SetOpExec,
+    SetOpNode,
+    SortExec,
+    SortNode,
+    dedupe_names,
+    hashable,
+)
+from repro.engine.planner import Planner
 from repro.engine.table import QueryResult, Table
-from repro.sql.analyzer import Analyzer
+from repro.sql.analyzer import Analyzer, references_outer_names
 from repro.sql.ast_nodes import (
+    BinaryOp,
     ColumnRef,
-    FunctionCall,
-    Join,
     Select,
-    SelectItem,
     SetOperation,
     SqlNode,
     Star,
-    SubqueryRef,
-    TableRef,
 )
 from repro.sql.printer import to_sql
-from repro.sql.schema import AttributeRole, ColumnSchema, DataType, ResultSchema, TableSchema
+from repro.sql.schema import AttributeRole, ColumnSchema, DataType, ResultSchema
+
+
+class PlanResult:
+    """Lightweight internal result of running a nested plan (no schema)."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: list[str], rows: list[tuple[Any, ...]]) -> None:
+        self.columns = columns
+        self.rows = rows
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+
+class ExecutionContext:
+    """Runtime state threaded through physical operator execution.
+
+    One context exists per executing SELECT: it carries the catalog, the CTE
+    tables visible in scope, the enclosing query's row environment (for
+    correlated references), query parameters and the per-SELECT memo of
+    uncorrelated subquery results.  Nested SELECTs (CTE definitions, derived
+    tables, set-operation legs, subqueries) run under child contexts with
+    fresh memos, mirroring lexical scoping.
+    """
+
+    __slots__ = ("executor", "catalog", "ctes", "outer", "parameters", "subquery_cache")
+
+    def __init__(
+        self,
+        executor: "Executor",
+        catalog,
+        ctes: dict[str, Table],
+        outer: Environment | None,
+        parameters: dict[str, Any],
+        subquery_cache: dict[str, PlanResult] | None = None,
+    ) -> None:
+        self.executor = executor
+        self.catalog = catalog
+        self.ctes = ctes
+        self.outer = outer
+        self.parameters = parameters
+        self.subquery_cache = {} if subquery_cache is None else subquery_cache
+
+    def with_ctes(self, ctes: dict[str, Table]) -> "ExecutionContext":
+        """Same scope with an extended CTE map (WITH materialization)."""
+        return ExecutionContext(
+            self.executor, self.catalog, ctes, self.outer, self.parameters, self.subquery_cache
+        )
+
+    def without_outer(self) -> "ExecutionContext":
+        """Same scope with outer correlation hidden (ORDER BY evaluation)."""
+        return ExecutionContext(
+            self.executor, self.catalog, self.ctes, None, self.parameters, self.subquery_cache
+        )
+
+    def fresh(self) -> "ExecutionContext":
+        """A child SELECT scope: same ctes/outer, fresh subquery memo."""
+        return ExecutionContext(
+            self.executor, self.catalog, self.ctes, self.outer, self.parameters, None
+        )
+
+    def run_subquery(self, query: Select, row_env: Environment) -> PlanResult:
+        """Execute a nested subquery with ``row_env`` as correlation context."""
+        return self.executor.run_subquery(self, query, row_env)
+
+
+# --------------------------------------------------------------------------- #
+# Logical → physical lowering
+# --------------------------------------------------------------------------- #
+
+
+def lower_plan(
+    plan: PlanNode, catalog, cte_columns: dict[str, list[str] | None] | None = None
+) -> PhysicalNode:
+    """Lower a logical plan to a tree of executable physical operators.
+
+    ``cte_columns`` maps lexically visible CTE names (lowercase) to their
+    output column names (or None when unknown); it drives join-key side
+    analysis, which must mirror what name resolution will do at run time.
+    """
+    return _Lowerer(catalog, dict(cte_columns or {})).lower(plan)
+
+
+class _Lowerer:
+    def __init__(self, catalog, cte_columns: dict[str, list[str] | None]) -> None:
+        self._catalog = catalog
+        self._cte_columns = cte_columns
+
+    def lower(self, plan: PlanNode) -> PhysicalNode:
+        if isinstance(plan, CteNode):
+            return self._lower_ctes(plan)
+        if isinstance(plan, ScanNode):
+            return ScanExec(table_name=plan.table_name, binding_name=plan.binding_name)
+        if isinstance(plan, DerivedScanNode):
+            return DerivedScanExec(alias=plan.alias, plan=self.lower(plan.input))
+        if isinstance(plan, JoinNode):
+            return self._lower_join(plan)
+        if isinstance(plan, FilterNode):
+            return FilterExec(
+                input=self.lower(plan.input), predicate=plan.predicate, phase=plan.phase
+            )
+        if isinstance(plan, AggregateNode):
+            return HashAggregateExec(
+                group_by=list(plan.group_by),
+                aggregates=list(plan.aggregates),  # type: ignore[arg-type]
+                input=self.lower(plan.input),
+            )
+        if isinstance(plan, ProjectNode):
+            below = plan.input
+            while isinstance(below, FilterNode):
+                below = below.input
+            return ProjectExec(
+                items=list(plan.items),
+                input=self.lower(plan.input),
+                allow_star=not isinstance(below, AggregateNode),
+            )
+        if isinstance(plan, DistinctNode):
+            return DistinctExec(input=self.lower(plan.input))
+        if isinstance(plan, SortNode):
+            return SortExec(order_by=list(plan.order_by), input=self.lower(plan.input))
+        if isinstance(plan, LimitNode):
+            return LimitExec(
+                input=self.lower(plan.input), limit=plan.limit, offset=plan.offset
+            )
+        if isinstance(plan, SetOpNode):
+            return SetOpExec(
+                op=plan.op, left=self.lower(plan.left), right=self.lower(plan.right), all=plan.all
+            )
+        raise ExecutionError(f"Cannot lower plan node {type(plan).__name__}")
+
+    def _lower_ctes(self, plan: CteNode) -> CteExec:
+        saved = dict(self._cte_columns)
+        try:
+            definitions: list[tuple[str, list[str], PhysicalNode]] = []
+            for definition in plan.definitions:
+                lowered = self.lower(definition.plan)
+                names = definition.columns or self._output_names(definition.plan)
+                self._cte_columns[definition.name.lower()] = names
+                definitions.append((definition.name, list(definition.columns), lowered))
+            return CteExec(definitions=definitions, input=self.lower(plan.input))
+        finally:
+            self._cte_columns = saved
+
+    # -- join-key side analysis ---------------------------------------- #
+
+    def _lower_join(self, plan: JoinNode) -> JoinExec:
+        left = self.lower(plan.left)
+        right = self.lower(plan.right)
+        left_keys: list[SqlNode] = []
+        right_keys: list[SqlNode] = []
+        residual: SqlNode | None = None
+        if plan.condition is not None and plan.join_type in ("INNER", "LEFT", "RIGHT", "FULL"):
+            left_map = self._side_columns(plan.left)
+            right_map = self._side_columns(plan.right)
+            if left_map is not None and right_map is not None:
+                left_keys, right_keys, residual = self._classify_condition(
+                    plan.condition, left_map, right_map
+                )
+        return JoinExec(
+            left=left,
+            right=right,
+            join_type=plan.join_type,
+            condition=plan.condition,
+            using=list(plan.using),
+            left_keys=left_keys,
+            right_keys=right_keys,
+            residual=residual,
+        )
+
+    def _side_columns(self, plan: PlanNode) -> dict[str, list[str]] | None:
+        """binding -> column names for one join input, or None when unknown."""
+        if isinstance(plan, ScanNode):
+            if plan.table_name == "<dual>":
+                return {}
+            cte = self._cte_columns.get(plan.table_name.lower(), "miss")
+            if cte != "miss":
+                return None if cte is None else {plan.binding_name: list(cte)}
+            if self._catalog is not None and self._catalog.has_table(plan.table_name):
+                return {plan.binding_name: list(self._catalog.table(plan.table_name).column_names)}
+            return None
+        if isinstance(plan, DerivedScanNode):
+            names = self._output_names(plan.input)
+            return None if names is None else {plan.alias: names}
+        if isinstance(plan, JoinNode):
+            left = self._side_columns(plan.left)
+            right = self._side_columns(plan.right)
+            if left is None or right is None:
+                return None
+            if set(left) & set(right):
+                return None
+            merged = dict(left)
+            merged.update(right)
+            return merged
+        return None
+
+    def _output_names(self, plan: PlanNode) -> list[str] | None:
+        """Best-effort output column names of a planned query subtree."""
+        node = plan
+        while isinstance(node, (LimitNode, SortNode, DistinctNode, CteNode)):
+            node = node.input
+        if isinstance(node, SetOpNode):
+            return self._output_names(node.left)
+        if not isinstance(node, ProjectNode):
+            return None
+        names: list[str] = []
+        for item in node.items:
+            if isinstance(item.expr, Star):
+                return None
+            names.append(item.output_name())
+        return dedupe_names(names)
+
+    def _classify_condition(
+        self,
+        condition: SqlNode,
+        left_map: dict[str, list[str]],
+        right_map: dict[str, list[str]],
+    ) -> tuple[list[SqlNode], list[SqlNode], SqlNode | None]:
+        """Split an ON condition into hash-join key pairs plus a residual."""
+        left_keys: list[SqlNode] = []
+        right_keys: list[SqlNode] = []
+        residual: list[SqlNode] = []
+        from repro.difftree.canonical import split_conjuncts
+
+        for conjunct in split_conjuncts(condition):
+            classified = False
+            if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+                side_a = self._side_of(conjunct.left, left_map, right_map)
+                side_b = self._side_of(conjunct.right, left_map, right_map)
+                if side_a == "L" and side_b == "R":
+                    left_keys.append(conjunct.left)
+                    right_keys.append(conjunct.right)
+                    classified = True
+                elif side_a == "R" and side_b == "L":
+                    left_keys.append(conjunct.right)
+                    right_keys.append(conjunct.left)
+                    classified = True
+            if not classified:
+                residual.append(conjunct)
+        from repro.difftree.canonical import join_conjuncts
+
+        return left_keys, right_keys, join_conjuncts(residual)
+
+    def _side_of(
+        self,
+        expr: SqlNode,
+        left_map: dict[str, list[str]],
+        right_map: dict[str, list[str]],
+    ) -> str | None:
+        refs: list[ColumnRef] = []
+        for node in expr.walk():
+            if isinstance(node, Select):
+                return None
+            if isinstance(node, ColumnRef):
+                refs.append(node)
+        if not refs:
+            return None
+        side: str | None = None
+        for ref in refs:
+            in_left = _ref_in_map(ref, left_map)
+            in_right = _ref_in_map(ref, right_map)
+            if in_left == in_right:  # both (ambiguous) or neither (outer/unknown)
+                return None
+            ref_side = "L" if in_left else "R"
+            if side is None:
+                side = ref_side
+            elif side != ref_side:
+                return None
+        return side
+
+
+def _ref_in_map(ref: ColumnRef, columns: dict[str, list[str]]) -> bool:
+    if ref.table:
+        return ref.table in columns and ref.name in columns[ref.table]
+    return any(ref.name in names for names in columns.values())
+
+
+# --------------------------------------------------------------------------- #
+# The executor
+# --------------------------------------------------------------------------- #
+
+
+#: FIFO capacity of the catalog's shared compiled-plan cache.  Interface
+#: sessions bake literal values into instantiated SQL, so distinct query
+#: texts grow without bound over a long session; plans are cheap to
+#: recompile, so a simple bounded cache suffices.
+PLAN_CACHE_CAPACITY = 512
 
 
 class Executor:
-    """Executes SELECT statements against the tables registered in a catalog."""
+    """Compiles SELECT statements to physical plans and runs them.
 
-    def __init__(self, catalog: "Catalog", parameters: dict[str, Any] | None = None) -> None:
-        # Imported lazily in catalog.py; typed by name to avoid a cycle here.
+    Args:
+        catalog: the catalog queries run against.
+        parameters: values for named query parameters.
+        plan_cache: optional shared compiled-plan cache (owned by the
+            catalog), keyed by (SQL text, visible CTE signature).
+    """
+
+    def __init__(
+        self,
+        catalog,
+        parameters: dict[str, Any] | None = None,
+        plan_cache: dict | None = None,
+    ) -> None:
         self._catalog = catalog
         self._parameters = parameters or {}
+        self._shared_plan_cache = plan_cache
+        # Per-execution memos keyed by AST node identity; the node reference
+        # is retained so id() reuse cannot alias entries.
+        self._plan_memo: dict[int, tuple[SqlNode, PhysicalNode]] = {}
+        self._sql_memo: dict[int, tuple[SqlNode, str]] = {}
+        self._correlated_memo: dict[int, tuple[SqlNode, bool]] = {}
 
     # ------------------------------------------------------------------ #
     # Entry points
@@ -57,570 +386,116 @@ class Executor:
 
     def execute(self, node: SqlNode) -> QueryResult:
         """Execute a SELECT or set operation and return its materialized result."""
-        if isinstance(node, SetOperation):
-            return self._execute_set_operation(node, outer_env=None, ctes={})
-        if isinstance(node, Select):
-            return self._execute_select(node, outer_env=None, ctes={})
-        raise ExecutionError(f"Cannot execute node of type {type(node).__name__}")
-
-    # ------------------------------------------------------------------ #
-    # Set operations
-    # ------------------------------------------------------------------ #
-
-    def _execute_set_operation(
-        self,
-        node: SetOperation,
-        outer_env: Environment | None,
-        ctes: dict[str, Table],
-    ) -> QueryResult:
-        left = self._execute_any(node.left, outer_env, ctes)
-        right = self._execute_any(node.right, outer_env, ctes)
-        if len(left.columns) != len(right.columns):
-            raise ExecutionError(
-                f"Set operation requires matching column counts "
-                f"({len(left.columns)} vs {len(right.columns)})"
-            )
-        if node.op == "UNION":
-            rows = list(left.rows) + list(right.rows)
-            if not node.all:
-                rows = _dedupe(rows)
-        elif node.op == "INTERSECT":
-            right_set = set(right.rows)
-            rows = [row for row in left.rows if row in right_set]
-            if not node.all:
-                rows = _dedupe(rows)
-        elif node.op == "EXCEPT":
-            right_set = set(right.rows)
-            rows = [row for row in left.rows if row not in right_set]
-            if not node.all:
-                rows = _dedupe(rows)
-        else:
-            raise ExecutionError(f"Unknown set operation {node.op!r}")
-        return QueryResult(columns=list(left.columns), rows=rows, schema=left.schema)
-
-    def _execute_any(
-        self,
-        node: SqlNode,
-        outer_env: Environment | None,
-        ctes: dict[str, Table],
-    ) -> QueryResult:
-        if isinstance(node, SetOperation):
-            return self._execute_set_operation(node, outer_env, ctes)
-        if isinstance(node, Select):
-            return self._execute_select(node, outer_env, ctes)
-        raise ExecutionError(f"Cannot execute node of type {type(node).__name__}")
-
-    # ------------------------------------------------------------------ #
-    # SELECT execution
-    # ------------------------------------------------------------------ #
-
-    def _execute_select(
-        self,
-        query: Select,
-        outer_env: Environment | None,
-        ctes: dict[str, Table],
-    ) -> QueryResult:
-        # 1. CTEs visible to this query (and to its subqueries).
-        local_ctes = dict(ctes)
-        for cte in query.ctes:
-            cte_result = self._execute_any(cte.query, outer_env, local_ctes)
-            columns = cte.columns or cte_result.columns
-            if len(columns) != len(cte_result.columns):
-                raise ExecutionError(
-                    f"CTE {cte.name!r} declares {len(columns)} columns but its query "
-                    f"produces {len(cte_result.columns)}"
-                )
-            local_ctes[cte.name.lower()] = Table(
-                name=cte.name, columns=columns, rows=cte_result.rows
-            )
-
-        # Uncorrelated subqueries are executed once and memoized: a subquery
-        # that never resolves a column through its outer environment cannot
-        # depend on the current row, so its result is reusable for every row.
-        subquery_cache: dict[str, QueryResult] = {}
-
-        def run_subquery(sub: Select, env: Environment) -> QueryResult:
-            key = to_sql(sub)
-            if key in subquery_cache:
-                return subquery_cache[key]
-            cacheable = not self._references_outer_names(sub)
-            probe = _CorrelationProbe(env)
-            result = self._execute_select(sub, outer_env=probe, ctes=local_ctes)
-            if cacheable and not probe.correlated:
-                subquery_cache[key] = result
-            return result
-
-        evaluator = ExpressionEvaluator(
-            subquery_executor=run_subquery, parameters=self._parameters
+        if not isinstance(node, (Select, SetOperation)):
+            raise ExecutionError(f"Cannot execute node of type {type(node).__name__}")
+        plan = self.compile(node)
+        ctx = ExecutionContext(
+            executor=self,
+            catalog=self._catalog,
+            ctes={},
+            outer=None,
+            parameters=self._parameters,
         )
-
-        # 2. FROM
-        environments = self._execute_from(query.from_clause, outer_env, local_ctes, evaluator)
-
-        # 3. WHERE
-        if query.where is not None:
-            environments = [
-                env for env in environments if evaluator.is_truthy(query.where, env)
-            ]
-
-        # 4./5. GROUP BY + HAVING, 6. projection
-        has_aggregates = self._query_has_aggregates(query)
-        if query.group_by or has_aggregates:
-            rows = self._execute_grouped(query, environments, run_subquery)
-        else:
-            rows = self._execute_projection(query, environments, evaluator)
-
-        columns = self._output_columns(query, environments)
-
-        # 7. DISTINCT
-        if query.distinct:
-            rows = _dedupe(rows)
-
-        # 8. ORDER BY
-        if query.order_by:
-            rows = self._execute_order_by(query, rows, columns, environments, run_subquery)
-
-        # 9. LIMIT / OFFSET
-        offset = query.offset or 0
-        if offset:
-            rows = rows[offset:]
-        if query.limit is not None:
-            rows = rows[: query.limit]
-
-        schema = self._result_schema(query, columns, rows)
+        batch = plan.execute(ctx)
+        columns = [name for _, name in batch.slots]
+        rows = batch.rows()
+        schema = self._result_schema(_leftmost_select(node), columns, rows)
         return QueryResult(columns=columns, rows=rows, schema=schema)
 
-    # ------------------------------------------------------------------ #
-    # FROM clause
-    # ------------------------------------------------------------------ #
+    def compile(self, node: SqlNode) -> PhysicalNode:
+        """Compile a query AST to its physical plan (no execution)."""
+        return self.plan_for(node, cte_tables={})
 
-    def _execute_from(
-        self,
-        node: SqlNode | None,
-        outer_env: Environment | None,
-        ctes: dict[str, Table],
-        evaluator: ExpressionEvaluator,
-    ) -> list[Environment]:
-        if node is None:
-            env = Environment(parent=outer_env)
-            return [env]
-        if isinstance(node, TableRef):
-            table = ctes.get(node.name.lower())
-            if table is None:
-                table = self._catalog.table(node.name)
-            return [
-                self._bind_row(node.binding_name, table.column_names, row, outer_env)
-                for row in table.rows()
-            ]
-        if isinstance(node, SubqueryRef):
-            result = self._execute_any(node.query, outer_env, ctes)
-            return [
-                self._bind_row(node.alias, result.columns, row, outer_env)
-                for row in result.rows
-            ]
-        if isinstance(node, Join):
-            return self._execute_join(node, outer_env, ctes, evaluator)
-        raise ExecutionError(f"Unsupported FROM item {type(node).__name__}")
+    def plan_for(self, node: SqlNode, cte_tables: dict[str, Table]) -> PhysicalNode:
+        """The compiled physical plan for ``node`` under the given CTE scope."""
+        memo = self._plan_memo.get(id(node))
+        if memo is not None and memo[0] is node:
+            return memo[1]
+        cte_columns: dict[str, list[str] | None] = {
+            name: list(table.column_names) for name, table in cte_tables.items()
+        }
+        plan = self._compile(node, cte_columns)
+        self._plan_memo[id(node)] = (node, plan)
+        return plan
 
-    @staticmethod
-    def _bind_row(
-        binding_name: str,
-        columns: list[str],
-        row: tuple[Any, ...],
-        outer_env: Environment | None,
-    ) -> Environment:
-        env = Environment(parent=outer_env)
-        env.bind(binding_name, dict(zip(columns, row)))
-        return env
-
-    def _execute_join(
-        self,
-        node: Join,
-        outer_env: Environment | None,
-        ctes: dict[str, Table],
-        evaluator: ExpressionEvaluator,
-    ) -> list[Environment]:
-        left_envs = self._execute_from(node.left, outer_env, ctes, evaluator)
-        right_envs = self._execute_from(node.right, outer_env, ctes, evaluator)
-
-        condition = node.condition
-        if node.using:
-            condition = self._using_condition(node, left_envs, right_envs)
-
-        def matches(joined: Environment) -> bool:
-            if condition is None:
-                return True
-            return evaluator.is_truthy(condition, joined)
-
-        results: list[Environment] = []
-        join_type = node.join_type
-
-        if join_type in ("INNER", "CROSS"):
-            for left_env in left_envs:
-                for right_env in right_envs:
-                    joined = left_env.merged_with(right_env)
-                    if join_type == "CROSS" or matches(joined):
-                        results.append(joined)
-            return results
-
-        if join_type == "LEFT":
-            right_columns = self._binding_columns(right_envs)
-            for left_env in left_envs:
-                matched = False
-                for right_env in right_envs:
-                    joined = left_env.merged_with(right_env)
-                    if matches(joined):
-                        results.append(joined)
-                        matched = True
-                if not matched:
-                    results.append(self._pad_env(left_env, right_columns))
-            return results
-
-        if join_type == "RIGHT":
-            left_columns = self._binding_columns(left_envs)
-            for right_env in right_envs:
-                matched = False
-                for left_env in left_envs:
-                    joined = left_env.merged_with(right_env)
-                    if matches(joined):
-                        results.append(joined)
-                        matched = True
-                if not matched:
-                    results.append(self._pad_env(right_env, left_columns))
-            return results
-
-        if join_type == "FULL":
-            right_columns = self._binding_columns(right_envs)
-            left_columns = self._binding_columns(left_envs)
-            matched_right: set[int] = set()
-            for left_env in left_envs:
-                matched = False
-                for index, right_env in enumerate(right_envs):
-                    joined = left_env.merged_with(right_env)
-                    if matches(joined):
-                        results.append(joined)
-                        matched = True
-                        matched_right.add(index)
-                if not matched:
-                    results.append(self._pad_env(left_env, right_columns))
-            for index, right_env in enumerate(right_envs):
-                if index not in matched_right:
-                    results.append(self._pad_env(right_env, left_columns))
-            return results
-
-        raise ExecutionError(f"Unsupported join type {join_type!r}")
-
-    @staticmethod
-    def _binding_columns(envs: list[Environment]) -> dict[str, list[str]]:
-        """Column names per binding of one side of a join (from any sample row)."""
-        if not envs:
-            return {}
-        sample = envs[0]
-        return {binding: list(values.keys()) for binding, values in sample.bindings.items()}
-
-    @staticmethod
-    def _pad_env(env: Environment, other_columns: dict[str, list[str]]) -> Environment:
-        """Extend ``env`` with NULLs for the other join side's bindings."""
-        padded = Environment(parent=env.parent)
-        padded.bindings = dict(env.bindings)
-        for binding, columns in other_columns.items():
-            padded.bindings[binding] = {column: None for column in columns}
-        return padded
-
-    @staticmethod
-    def _using_condition(
-        node: Join, left_envs: list[Environment], right_envs: list[Environment]
-    ) -> SqlNode | None:
-        """Rewrite USING (a, b) into an explicit equality condition."""
-        if not left_envs or not right_envs:
-            return None
-        left_binding = next(iter(left_envs[0].bindings))
-        right_binding = next(iter(right_envs[0].bindings))
-        condition: SqlNode | None = None
-        from repro.sql.ast_nodes import BinaryOp
-
-        for column in node.using:
-            equality = BinaryOp(
-                op="=",
-                left=ColumnRef(name=column, table=left_binding),
-                right=ColumnRef(name=column, table=right_binding),
-            )
-            condition = equality if condition is None else BinaryOp("AND", condition, equality)
-        return condition
-
-    # ------------------------------------------------------------------ #
-    # Projection (non-grouped)
-    # ------------------------------------------------------------------ #
-
-    def _execute_projection(
-        self,
-        query: Select,
-        environments: list[Environment],
-        evaluator: ExpressionEvaluator,
-    ) -> list[tuple[Any, ...]]:
-        rows: list[tuple[Any, ...]] = []
-        for env in environments:
-            values: list[Any] = []
-            for item in query.select_items:
-                if isinstance(item.expr, Star):
-                    values.extend(self._expand_star_values(item.expr, env))
-                else:
-                    value = evaluator.evaluate(item.expr, env)
-                    values.append(value)
-                    if item.alias:
-                        env.aliases[item.alias] = value
-            rows.append(tuple(values))
-        return rows
-
-    @staticmethod
-    def _expand_star_values(star: Star, env: Environment) -> list[Any]:
-        values = []
-        for binding, _column, value in env.all_values():
-            if star.table and star.table != binding:
-                continue
-            values.append(value)
-        return values
-
-    # ------------------------------------------------------------------ #
-    # Grouped execution
-    # ------------------------------------------------------------------ #
-
-    def _references_outer_names(self, query: Select) -> bool:
-        """Static correlation check: does ``query`` reference names it does not bind?
-
-        Used to decide whether a subquery's result may be memoized across outer
-        rows.  The check over-approximates correlation (unknown unqualified
-        names count as correlated), which only costs performance, never
-        correctness.
-        """
-        from repro.sql.ast_nodes import CommonTableExpr
-
-        bound_tables: set[str] = set()
-        bound_columns: set[str] = set()
-        for node in query.walk():
-            if isinstance(node, TableRef):
-                bound_tables.add(node.binding_name)
-                if self._catalog.has_table(node.name):
-                    bound_columns.update(self._catalog.table(node.name).column_names)
-            elif isinstance(node, SubqueryRef):
-                bound_tables.add(node.alias)
-                bound_columns.update(node.query.output_names())
-            elif isinstance(node, CommonTableExpr):
-                bound_tables.add(node.name)
-                bound_columns.update(node.columns or node.query.output_names())
-            elif isinstance(node, SelectItem) and node.alias:
-                bound_columns.add(node.alias)
-        for ref in query.find_all(ColumnRef):
-            if ref.table:
-                if ref.table not in bound_tables:
-                    return True
-            elif ref.name not in bound_columns:
-                return True
-        return False
-
-    @staticmethod
-    def _walk_same_scope(node: SqlNode):
-        """Pre-order walk of an expression that does not descend into subqueries.
-
-        Aggregates inside a nested SELECT belong to that subquery's scope and
-        must not be computed by the enclosing query's GROUP BY operator.
-        """
-        yield node
-        for child in node.children():
-            if isinstance(child, Select):
-                continue
-            yield from Executor._walk_same_scope(child)
-
-    def _query_has_aggregates(self, query: Select) -> bool:
-        nodes: list[SqlNode] = [item.expr for item in query.select_items]
-        if query.having is not None:
-            nodes.append(query.having)
-        nodes.extend(item.expr for item in query.order_by)
-        for node in nodes:
-            for descendant in self._walk_same_scope(node):
-                if (
-                    isinstance(descendant, FunctionCall)
-                    and is_aggregate_function(descendant.name)
-                    and not is_scalar_function(descendant.name)
-                ):
-                    return True
-        return False
-
-    def _collect_aggregate_calls(self, query: Select) -> list[FunctionCall]:
-        calls: dict[str, FunctionCall] = {}
-        nodes: list[SqlNode] = [item.expr for item in query.select_items]
-        if query.having is not None:
-            nodes.append(query.having)
-        nodes.extend(item.expr for item in query.order_by)
-        for node in nodes:
-            for descendant in self._walk_same_scope(node):
-                if isinstance(descendant, FunctionCall) and is_aggregate_function(descendant.name):
-                    calls.setdefault(to_sql(descendant), descendant)
-        return list(calls.values())
-
-    def _execute_grouped(
-        self,
-        query: Select,
-        environments: list[Environment],
-        run_subquery,
-    ) -> list[tuple[Any, ...]]:
-        base_evaluator = ExpressionEvaluator(
-            subquery_executor=run_subquery, parameters=self._parameters
-        )
-        aggregate_calls = self._collect_aggregate_calls(query)
-
-        # Partition rows into groups keyed by the GROUP BY expression values.
-        groups: dict[tuple, list[Environment]] = {}
-        group_order: list[tuple] = []
-        for env in environments:
-            key = tuple(
-                _hashable(base_evaluator.evaluate(expr, env)) for expr in query.group_by
-            )
-            if key not in groups:
-                groups[key] = []
-                group_order.append(key)
-            groups[key].append(env)
-
-        # A query with aggregates but no GROUP BY forms one global group, even
-        # over zero input rows.
-        if not query.group_by and not groups:
-            groups[()] = []
-            group_order.append(())
-
-        rows: list[tuple[Any, ...]] = []
-        for key in group_order:
-            members = groups[key]
-            aggregate_values: dict[str, Any] = {}
-            for call in aggregate_calls:
-                accumulator = make_accumulator(
-                    call.name,
-                    is_star=bool(call.args) and isinstance(call.args[0], Star) or not call.args,
-                    distinct=call.distinct,
+    def _compile(
+        self, node: SqlNode, cte_columns: dict[str, list[str] | None]
+    ) -> PhysicalNode:
+        shared = self._shared_plan_cache
+        key = None
+        if shared is not None:
+            signature = tuple(
+                sorted(
+                    (name, tuple(columns) if columns is not None else None)
+                    for name, columns in cte_columns.items()
                 )
-                for env in members:
-                    if accumulator.counts_rows:
-                        accumulator.add(1)
-                    else:
-                        value = base_evaluator.evaluate(call.args[0], env)
-                        accumulator.add(value)
-                aggregate_values[to_sql(call)] = accumulator.result()
-
-            representative = members[0] if members else Environment()
-            group_evaluator = ExpressionEvaluator(
-                subquery_executor=run_subquery,
-                aggregate_values=aggregate_values,
-                parameters=self._parameters,
             )
-
-            if query.having is not None and not group_evaluator.is_truthy(
-                query.having, representative
-            ):
-                continue
-
-            values: list[Any] = []
-            for item in query.select_items:
-                if isinstance(item.expr, Star):
-                    raise ExecutionError("SELECT * cannot be combined with GROUP BY")
-                value = group_evaluator.evaluate(item.expr, representative)
-                values.append(value)
-                if item.alias:
-                    representative.aliases[item.alias] = value
-            rows.append(tuple(values))
-        return rows
+            key = (self._sql_key(node), signature)
+            cached = shared.get(key)
+            if cached is not None:
+                return cached
+        logical = Planner().plan(node)
+        physical = lower_plan(logical, self._catalog, cte_columns)
+        if shared is not None and key is not None:
+            shared[key] = physical
+            while len(shared) > PLAN_CACHE_CAPACITY:
+                shared.pop(next(iter(shared)))
+        return physical
 
     # ------------------------------------------------------------------ #
-    # ORDER BY
+    # Subquery execution (invoked by the vectorized evaluator)
     # ------------------------------------------------------------------ #
 
-    def _execute_order_by(
-        self,
-        query: Select,
-        rows: list[tuple[Any, ...]],
-        columns: list[str],
-        environments: list[Environment],
-        run_subquery,
-    ) -> list[tuple[Any, ...]]:
-        """Sort result rows.
-
-        ORDER BY expressions may reference output columns (by alias or by the
-        expression's natural name) or be positional (1-based integers).  Rows
-        are sorted stably, applying keys right-to-left.
-        """
-        evaluator = ExpressionEvaluator(
-            subquery_executor=run_subquery, parameters=self._parameters
+    def run_subquery(
+        self, ctx: ExecutionContext, query: Select, row_env: Environment
+    ) -> PlanResult:
+        key = self._sql_key(query)
+        cached = ctx.subquery_cache.get(key)
+        if cached is not None:
+            return cached
+        cacheable = not self._is_correlated(query)
+        probe = CorrelationProbe(row_env)
+        child = ExecutionContext(
+            executor=self,
+            catalog=self._catalog,
+            ctes=ctx.ctes,
+            outer=probe,
+            parameters=self._parameters,
         )
+        plan = self.plan_for(query, ctx.ctes)
+        batch = plan.execute(child)
+        result = PlanResult(
+            columns=[name for _, name in batch.slots], rows=batch.rows()
+        )
+        if cacheable and not probe.correlated:
+            ctx.subquery_cache[key] = result
+        return result
 
-        def key_value(row: tuple[Any, ...], item_expr: SqlNode) -> Any:
-            from repro.sql.ast_nodes import Literal
+    def _is_correlated(self, query: Select) -> bool:
+        memo = self._correlated_memo.get(id(query))
+        if memo is not None and memo[0] is query:
+            return memo[1]
 
-            if isinstance(item_expr, Literal) and isinstance(item_expr.value, int):
-                index = item_expr.value - 1
-                if index < 0 or index >= len(row):
-                    raise ExecutionError(f"ORDER BY position {item_expr.value} out of range")
-                return row[index]
-            if isinstance(item_expr, ColumnRef) and item_expr.name in columns:
-                return row[columns.index(item_expr.name)]
-            name = SelectItem(expr=item_expr).output_name()
-            if name in columns:
-                return row[columns.index(name)]
-            # Fall back to evaluating against a synthetic environment exposing
-            # the output columns as aliases.
-            env = Environment()
-            env.aliases = dict(zip(columns, row))
-            return evaluator.evaluate(item_expr, env)
+        def table_columns(name: str) -> list[str] | None:
+            if self._catalog.has_table(name):
+                return self._catalog.table(name).column_names
+            return None
 
-        ordered = list(rows)
-        for item in reversed(query.order_by):
-            def sort_key(row: tuple[Any, ...], item=item):
-                value = key_value(row, item.expr)
-                # None ordering: place according to nulls_last under both
-                # ascending and descending sorts.
-                is_null = value is None
-                return (is_null if item.nulls_last else not is_null, _orderable(value))
+        correlated = references_outer_names(query, table_columns)
+        self._correlated_memo[id(query)] = (query, correlated)
+        return correlated
 
-            ordered.sort(key=sort_key, reverse=item.descending)
-            # Re-sort so NULL placement is unaffected by reverse.
-            if item.descending:
-                nulls = [row for row in ordered if key_value(row, item.expr) is None]
-                non_nulls = [row for row in ordered if key_value(row, item.expr) is not None]
-                ordered = non_nulls + nulls if item.nulls_last else nulls + non_nulls
-        return ordered
+    def _sql_key(self, node: SqlNode) -> str:
+        memo = self._sql_memo.get(id(node))
+        if memo is not None and memo[0] is node:
+            return memo[1]
+        text = to_sql(node)
+        self._sql_memo[id(node)] = (node, text)
+        return text
 
     # ------------------------------------------------------------------ #
     # Output schema
     # ------------------------------------------------------------------ #
-
-    def _output_columns(self, query: Select, environments: list[Environment]) -> list[str]:
-        columns: list[str] = []
-        for item in query.select_items:
-            if isinstance(item.expr, Star):
-                columns.extend(self._star_column_names(item.expr, environments))
-            else:
-                columns.append(item.output_name())
-        # Disambiguate duplicated output names (e.g. join of same-named columns).
-        seen: dict[str, int] = {}
-        unique: list[str] = []
-        for column in columns:
-            if column in seen:
-                seen[column] += 1
-                unique.append(f"{column}_{seen[column]}")
-            else:
-                seen[column] = 0
-                unique.append(column)
-        return unique
-
-    def _star_column_names(self, star: Star, environments: list[Environment]) -> list[str]:
-        if environments:
-            sample = environments[0]
-            names = []
-            for binding, values in sample.bindings.items():
-                if star.table and star.table != binding:
-                    continue
-                names.extend(values.keys())
-            if names:
-                return names
-        # No rows: fall back to catalog schemas via the analyzer where possible.
-        return ["*"]
 
     def _result_schema(
         self, query: Select, columns: list[str], rows: list[tuple[Any, ...]]
@@ -644,69 +519,12 @@ class Executor:
             for value in values:
                 data_type = DataType.unify(data_type, DataType.of_value(value))
             non_null = [value for value in values if value is not None]
-            role = AttributeRole.from_data_type(data_type, len(set(map(_hashable, non_null))))
+            role = AttributeRole.from_data_type(data_type, len(set(map(hashable, non_null))))
             schemas.append(ColumnSchema(name=name, data_type=data_type, role=role))
         return ResultSchema(columns=tuple(schemas))
 
 
-# --------------------------------------------------------------------------- #
-# Helpers
-# --------------------------------------------------------------------------- #
-
-
-def _dedupe(rows: list[tuple[Any, ...]]) -> list[tuple[Any, ...]]:
-    seen: set[tuple[Any, ...]] = set()
-    result = []
-    for row in rows:
-        key = tuple(_hashable(value) for value in row)
-        if key not in seen:
-            seen.add(key)
-            result.append(row)
-    return result
-
-
-def _hashable(value: Any) -> Any:
-    if isinstance(value, (list, dict, set)):
-        return repr(value)
-    return value
-
-
-class _CorrelationProbe(Environment):
-    """Environment proxy that records whether an outer column was ever used."""
-
-    def __init__(self, inner: Environment) -> None:
-        super().__init__(parent=inner)
-        self.correlated = False
-
-    def resolve(self, column: ColumnRef) -> Any:
-        self.correlated = True
-        if self.parent is None:
-            raise ExecutionError(f"Unknown column {column.qualified_name!r}")
-        return self.parent.resolve(column)
-
-
-class _Orderable:
-    """Total-order wrapper so heterogeneous columns can still be sorted."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: Any) -> None:
-        self.value = value
-
-    def __lt__(self, other: "_Orderable") -> bool:
-        try:
-            return self.value < other.value
-        except TypeError:
-            return str(self.value) < str(other.value)
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _Orderable) and self.value == other.value
-
-
-def _orderable(value: Any) -> _Orderable:
-    return _Orderable(value)
-
-
-# Imported at the bottom only for type checkers; the executor receives the
-# catalog instance at construction time.
-from repro.engine.catalog import Catalog  # noqa: E402  (intentional late import)
+def _leftmost_select(node: SqlNode) -> Select:
+    while isinstance(node, SetOperation):
+        node = node.left
+    return node  # type: ignore[return-value]

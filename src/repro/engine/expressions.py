@@ -126,6 +126,26 @@ def sql_equal(left: Any, right: Any) -> bool | None:
     return left == right
 
 
+def sql_cast(value: Any, target: str) -> Any:
+    """Apply a SQL CAST to one value (NULL casts to NULL)."""
+    if value is None:
+        return None
+    try:
+        if target in ("int", "integer", "bigint"):
+            return int(float(value))
+        if target in ("float", "real", "double"):
+            return float(value)
+        if target in ("text", "varchar", "char", "string"):
+            return str(value)
+        if target in ("boolean", "bool"):
+            return bool(value)
+        if target == "date":
+            return str(value)[:10]
+    except (TypeError, ValueError) as exc:
+        raise ExecutionError(f"Cannot cast {value!r} to {target}: {exc}") from exc
+    raise ExecutionError(f"Unknown cast target type {target!r}")
+
+
 def sql_compare(op: str, left: Any, right: Any) -> bool | None:
     """Evaluate a comparison operator with NULL propagation."""
     if left is None or right is None:
@@ -362,23 +382,7 @@ class ExpressionEvaluator:
 
     def _evaluate_cast(self, node: Cast, env: Environment) -> Any:
         value = self.evaluate(node.expr, env)
-        if value is None:
-            return None
-        target = node.target_type
-        try:
-            if target in ("int", "integer", "bigint"):
-                return int(float(value))
-            if target in ("float", "real", "double"):
-                return float(value)
-            if target in ("text", "varchar", "char", "string"):
-                return str(value)
-            if target in ("boolean", "bool"):
-                return bool(value)
-            if target == "date":
-                return str(value)[:10]
-        except (TypeError, ValueError) as exc:
-            raise ExecutionError(f"Cannot cast {value!r} to {target}: {exc}") from exc
-        raise ExecutionError(f"Unknown cast target type {target!r}")
+        return sql_cast(value, node.target_type)
 
     def _evaluate_case(self, node: Case, env: Environment) -> Any:
         for arm in node.whens:
@@ -387,3 +391,491 @@ class ExpressionEvaluator:
         if node.else_result is not None:
             return self.evaluate(node.else_result, env)
         return None
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized evaluation over columnar batches
+# --------------------------------------------------------------------------- #
+
+
+class Batch:
+    """A columnar batch of rows flowing between physical plan operators.
+
+    Attributes:
+        slots: ordered ``(binding, column)`` pairs, one per value column.
+        columns: value lists parallel to ``slots``; all of length ``length``.
+        length: number of rows in the batch.
+        aliases: SELECT output aliases exposed to later items / ORDER BY,
+            as ``alias -> value column``.
+        aggregates: per-group aggregate results produced by the aggregation
+            operator, keyed by the canonical SQL of the aggregate call.
+    """
+
+    __slots__ = ("slots", "columns", "length", "aliases", "aggregates")
+
+    def __init__(
+        self,
+        slots: list[tuple[str, str]],
+        columns: list[list[Any]],
+        length: int,
+        aliases: dict[str, list[Any]] | None = None,
+        aggregates: dict[str, list[Any]] | None = None,
+    ) -> None:
+        self.slots = slots
+        self.columns = columns
+        self.length = length
+        self.aliases = aliases or {}
+        self.aggregates = aggregates or {}
+
+    @classmethod
+    def from_table(cls, table: "Table", binding: str) -> "Batch":
+        """Zero-copy scan batch over a table's column lists (read-only)."""
+        slots = [(binding, name) for name in table.column_names]
+        columns = [table.column_data(name) for name in table.column_names]
+        return cls(slots=slots, columns=columns, length=table.row_count)
+
+    def take(self, indices: list[int]) -> "Batch":
+        """Gather the given row positions into a new batch."""
+        return Batch(
+            slots=self.slots,
+            columns=[[column[i] for i in indices] for column in self.columns],
+            length=len(indices),
+            aliases={name: [column[i] for i in indices] for name, column in self.aliases.items()},
+            aggregates={
+                key: [column[i] for i in indices] for key, column in self.aggregates.items()
+            },
+        )
+
+    def slice(self, start: int, stop: int | None) -> "Batch":
+        """Row range [start, stop) as a new batch (used by LIMIT/OFFSET)."""
+        columns = [column[start:stop] for column in self.columns]
+        length = len(columns[0]) if columns else max(
+            0, (self.length if stop is None else min(stop, self.length)) - start
+        )
+        return Batch(
+            slots=self.slots,
+            columns=columns,
+            length=length,
+            aliases={name: column[start:stop] for name, column in self.aliases.items()},
+            aggregates={key: column[start:stop] for key, column in self.aggregates.items()},
+        )
+
+    def slot_indices(self, ref: ColumnRef) -> list[int]:
+        """Positions of the slots a column reference could resolve to."""
+        return [
+            index
+            for index, (binding, column) in enumerate(self.slots)
+            if column == ref.name and (not ref.table or ref.table == binding)
+        ]
+
+    def rows(self) -> list[tuple[Any, ...]]:
+        """Materialize the batch's value columns as row tuples."""
+        if not self.columns:
+            return [() for _ in range(self.length)]
+        return list(zip(*self.columns))
+
+
+class BatchRowView(Environment):
+    """One batch row exposed through the row-wise :class:`Environment` API.
+
+    Used as the correlation context for subqueries executed per outer row, and
+    as the fallback environment when a vectorized expression needs row-at-a-
+    time evaluation (short-circuit semantics).
+    """
+
+    def __init__(self, batch: Batch, index: int, parent: Environment | None = None) -> None:
+        super().__init__(parent=parent)
+        self._batch = batch
+        self._index = index
+
+    def resolve(self, column: ColumnRef) -> Any:
+        matches = self._batch.slot_indices(column)
+        if len(matches) == 1:
+            return self._batch.columns[matches[0]][self._index]
+        if len(matches) > 1:
+            raise ExecutionError(f"Ambiguous column reference {column.qualified_name!r}")
+        if not column.table and column.name in self._batch.aliases:
+            return self._batch.aliases[column.name][self._index]
+        if not column.table and column.name in self.aliases:
+            return self.aliases[column.name]
+        if self.parent is not None:
+            return self.parent.resolve(column)
+        raise ExecutionError(f"Unknown column {column.qualified_name!r}")
+
+    def aggregate_values(self) -> dict[str, Any]:
+        """This row's precomputed aggregate values (for row-wise fallback)."""
+        return {key: column[self._index] for key, column in self._batch.aggregates.items()}
+
+
+class CorrelationProbe(Environment):
+    """Environment proxy recording whether an outer column was ever resolved.
+
+    The physical executor wraps the outer row context in a probe while running
+    a subquery; if the probe is never consulted the subquery result is safe to
+    memoize across outer rows.
+    """
+
+    def __init__(self, inner: Environment | None) -> None:
+        super().__init__(parent=inner)
+        self.correlated = False
+
+    def resolve(self, column: ColumnRef) -> Any:
+        self.correlated = True
+        if self.parent is None:
+            raise ExecutionError(f"Unknown column {column.qualified_name!r}")
+        return self.parent.resolve(column)
+
+
+class VectorEvaluator:
+    """Evaluates expression ASTs column-at-a-time over a :class:`Batch`.
+
+    The evaluator mirrors :class:`ExpressionEvaluator`'s SQL semantics exactly
+    (three-valued logic, NULL propagation, LIKE, CASE).  Expressions whose
+    semantics require per-row short-circuiting (AND/OR right operands or CASE
+    arms that raise when evaluated eagerly) fall back to row-wise evaluation,
+    so vectorization is never observable in results or errors.
+
+    Args:
+        context: execution context providing ``outer`` (the enclosing query's
+            row environment for correlated references), ``parameters`` and
+            ``run_subquery(select, row_env)``.  ``None`` means subqueries and
+            outer references are unavailable (both then raise).
+    """
+
+    def __init__(self, context: "ExecutionContextProtocol | None" = None) -> None:
+        self._context = context
+        self._like_memo: dict[str, re.Pattern[str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+
+    def eval(self, node: SqlNode, batch: Batch) -> list[Any]:
+        """Evaluate ``node`` for every row of ``batch``."""
+        if batch.aggregates:
+            key = to_sql(node)
+            if key in batch.aggregates:
+                return batch.aggregates[key]
+
+        if isinstance(node, Literal):
+            return [node.value] * batch.length
+        if isinstance(node, ColumnRef):
+            return self._resolve_column(node, batch)
+        if isinstance(node, Parameter):
+            parameters = self._context.parameters if self._context is not None else {}
+            if node.name not in parameters:
+                raise ExecutionError(f"Missing value for parameter :{node.name}")
+            return [parameters[node.name]] * batch.length
+        if isinstance(node, Star):
+            raise ExecutionError("'*' is only valid inside count(*) or a SELECT list")
+        if isinstance(node, UnaryOp):
+            return self._eval_unary(node, batch)
+        if isinstance(node, BinaryOp):
+            return self._eval_binary(node, batch)
+        if isinstance(node, BetweenOp):
+            return self._eval_between(node, batch)
+        if isinstance(node, InList):
+            return self._eval_in_list(node, batch)
+        if isinstance(node, InSubquery):
+            return self._eval_in_subquery(node, batch)
+        if isinstance(node, Exists):
+            return self._eval_exists(node, batch)
+        if isinstance(node, ScalarSubquery):
+            return self._eval_scalar_subquery(node, batch)
+        if isinstance(node, IsNull):
+            values = self.eval(node.expr, batch)
+            if node.negated:
+                return [value is not None for value in values]
+            return [value is None for value in values]
+        if isinstance(node, FunctionCall):
+            return self._eval_function(node, batch)
+        if isinstance(node, Cast):
+            values = self.eval(node.expr, batch)
+            return [sql_cast(value, node.target_type) for value in values]
+        if isinstance(node, Case):
+            return self._eval_case(node, batch)
+        raise ExecutionError(f"Cannot evaluate expression node {type(node).__name__}")
+
+    def eval_predicate(self, node: SqlNode, batch: Batch) -> list[bool]:
+        """Evaluate a predicate per row; NULL counts as false."""
+        values = self.eval(node, batch)
+        return [bool(value) if value is not None else False for value in values]
+
+    # ------------------------------------------------------------------ #
+    # Column resolution
+    # ------------------------------------------------------------------ #
+
+    def _resolve_column(self, ref: ColumnRef, batch: Batch) -> list[Any]:
+        matches = batch.slot_indices(ref)
+        if len(matches) == 1:
+            return batch.columns[matches[0]]
+        if len(matches) > 1:
+            raise ExecutionError(f"Ambiguous column reference {ref.qualified_name!r}")
+        if not ref.table and ref.name in batch.aliases:
+            return batch.aliases[ref.name]
+        outer = self._context.outer if self._context is not None else None
+        if outer is not None:
+            value = outer.resolve(ref)
+            return [value] * batch.length
+        raise ExecutionError(f"Unknown column {ref.qualified_name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Operators
+    # ------------------------------------------------------------------ #
+
+    def _eval_unary(self, node: UnaryOp, batch: Batch) -> list[Any]:
+        values = self.eval(node.operand, batch)
+        if node.op == "NOT":
+            return [None if value is None else not bool(value) for value in values]
+        if node.op == "-":
+            return [None if value is None else -value for value in values]
+        if node.op == "+":
+            return [None if value is None else +value for value in values]
+        raise ExecutionError(f"Unknown unary operator {node.op!r}")
+
+    def _eval_binary(self, node: BinaryOp, batch: Batch) -> list[Any]:
+        op = node.op
+        if op in ("AND", "OR"):
+            return self._eval_logical(node, batch)
+
+        left = self.eval(node.left, batch)
+        right = self.eval(node.right, batch)
+        pairs = zip(left, right)
+        if op == "=":
+            return [None if a is None or b is None else a == b for a, b in pairs]
+        if op == "<>":
+            return [None if a is None or b is None else a != b for a, b in pairs]
+        if op == "<":
+            return [None if a is None or b is None else a < b for a, b in pairs]
+        if op == "<=":
+            return [None if a is None or b is None else a <= b for a, b in pairs]
+        if op == ">":
+            return [None if a is None or b is None else a > b for a, b in pairs]
+        if op == ">=":
+            return [None if a is None or b is None else a >= b for a, b in pairs]
+        if op == "LIKE":
+            return [
+                None
+                if a is None or b is None
+                else bool(self._like_pattern(str(b)).match(str(a)))
+                for a, b in pairs
+            ]
+        if op == "||":
+            return [None if a is None or b is None else str(a) + str(b) for a, b in pairs]
+        if op in ("+", "-", "*", "/", "%"):
+            return self._eval_arithmetic(op, left, right)
+        raise ExecutionError(f"Unknown binary operator {op!r}")
+
+    def _like_pattern(self, pattern: str) -> re.Pattern[str]:
+        compiled = self._like_memo.get(pattern)
+        if compiled is None:
+            compiled = like_to_regex(pattern)
+            self._like_memo[pattern] = compiled
+        return compiled
+
+    @staticmethod
+    def _eval_arithmetic(op: str, left: list[Any], right: list[Any]) -> list[Any]:
+        out: list[Any] = []
+        append = out.append
+        for a, b in zip(left, right):
+            if a is None or b is None:
+                append(None)
+                continue
+            try:
+                if op == "+":
+                    append(a + b)
+                elif op == "-":
+                    append(a - b)
+                elif op == "*":
+                    append(a * b)
+                elif op == "/":
+                    append(None if b == 0 else a / b)
+                else:  # "%"
+                    append(None if b == 0 else a % b)
+            except TypeError as exc:
+                raise ExecutionError(
+                    f"Type error evaluating {a!r} {op} {b!r}: {exc}"
+                ) from exc
+        return out
+
+    def _eval_logical(self, node: BinaryOp, batch: Batch) -> list[Any]:
+        left = self.eval(node.left, batch)
+        try:
+            right = self.eval(node.right, batch)
+        except (ExecutionError, TypeError):
+            # The right operand raised when evaluated for every row (raw
+            # TypeError covers comparisons over mixed types); the rows that
+            # error may be short-circuited away row-wise, so retry with exact
+            # per-row semantics.
+            return self._eval_rowwise(node, batch)
+        out: list[Any] = []
+        if node.op == "AND":
+            for a, b in zip(left, right):
+                if (a is not None and not a) or (b is not None and not b):
+                    out.append(False)
+                elif a is None or b is None:
+                    out.append(None)
+                else:
+                    out.append(True)
+        else:  # OR
+            for a, b in zip(left, right):
+                if (a is not None and a) or (b is not None and b):
+                    out.append(True)
+                elif a is None or b is None:
+                    out.append(None)
+                else:
+                    out.append(False)
+        return out
+
+    def _eval_between(self, node: BetweenOp, batch: Batch) -> list[Any]:
+        values = self.eval(node.expr, batch)
+        lows = self.eval(node.low, batch)
+        highs = self.eval(node.high, batch)
+        out: list[Any] = []
+        for value, low, high in zip(values, lows, highs):
+            if value is None or low is None or high is None:
+                out.append(None)
+            else:
+                result = low <= value <= high
+                out.append(not result if node.negated else result)
+        return out
+
+    def _eval_in_list(self, node: InList, batch: Batch) -> list[Any]:
+        values = self.eval(node.expr, batch)
+        item_columns = [self.eval(item, batch) for item in node.items]
+        out: list[Any] = []
+        for index, value in enumerate(values):
+            if value is None:
+                out.append(None)
+                continue
+            items = [column[index] for column in item_columns]
+            found = any(item is not None and item == value for item in items)
+            if not found and any(item is None for item in items):
+                out.append(None)
+            else:
+                out.append(not found if node.negated else found)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Subqueries (executed per row through the execution context)
+    # ------------------------------------------------------------------ #
+
+    def _run_subquery(self, query: Select, batch: Batch, index: int) -> Any:
+        if self._context is None:
+            raise ExecutionError("Subqueries are not allowed in this context")
+        outer = self._context.outer if self._context is not None else None
+        row_env = BatchRowView(batch, index, parent=outer)
+        return self._context.run_subquery(query, row_env)
+
+    def _eval_in_subquery(self, node: InSubquery, batch: Batch) -> list[Any]:
+        values = self.eval(node.expr, batch)
+        out: list[Any] = []
+        for index, value in enumerate(values):
+            if value is None:
+                out.append(None)
+                continue
+            result = self._run_subquery(node.query, batch, index)
+            members = [row[0] for row in result.rows]
+            found = any(item is not None and item == value for item in members)
+            if not found and any(item is None for item in members):
+                out.append(None)
+            else:
+                out.append(not found if node.negated else found)
+        return out
+
+    def _eval_exists(self, node: Exists, batch: Batch) -> list[Any]:
+        out: list[Any] = []
+        for index in range(batch.length):
+            result = self._run_subquery(node.query, batch, index)
+            found = result.row_count > 0
+            out.append(not found if node.negated else found)
+        return out
+
+    def _eval_scalar_subquery(self, node: ScalarSubquery, batch: Batch) -> list[Any]:
+        out: list[Any] = []
+        for index in range(batch.length):
+            result = self._run_subquery(node.query, batch, index)
+            if result.row_count == 0:
+                out.append(None)
+                continue
+            if len(result.columns) != 1:
+                raise ExecutionError("Scalar subquery must return exactly one column")
+            if result.row_count > 1:
+                raise ExecutionError("Scalar subquery returned more than one row")
+            out.append(result.rows[0][0])
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Functions, CASE and the row-wise fallback
+    # ------------------------------------------------------------------ #
+
+    def _eval_function(self, node: FunctionCall, batch: Batch) -> list[Any]:
+        name = node.lower_name
+        if is_scalar_function(name):
+            arg_columns = [self.eval(arg, batch) for arg in node.args]
+            return [
+                call_scalar_function(name, [column[index] for column in arg_columns])
+                for index in range(batch.length)
+            ]
+        raise ExecutionError(
+            f"Aggregate or unknown function {node.name!r} used outside of an "
+            f"aggregation context"
+        )
+
+    def _eval_case(self, node: Case, batch: Batch) -> list[Any]:
+        try:
+            condition_columns = [
+                self.eval_predicate(arm.condition, batch) for arm in node.whens
+            ]
+            result_columns = [self.eval(arm.result, batch) for arm in node.whens]
+            else_column = (
+                self.eval(node.else_result, batch)
+                if node.else_result is not None
+                else [None] * batch.length
+            )
+        except (ExecutionError, TypeError):
+            # An arm raised when evaluated for every row; the rows that error
+            # may never reach that arm row-wise, so retry with exact per-row
+            # (first-matching-arm) semantics.
+            return self._eval_rowwise(node, batch)
+        out: list[Any] = []
+        for index in range(batch.length):
+            for conditions, results in zip(condition_columns, result_columns):
+                if conditions[index]:
+                    out.append(results[index])
+                    break
+            else:
+                out.append(else_column[index])
+        return out
+
+    def _eval_rowwise(self, node: SqlNode, batch: Batch) -> list[Any]:
+        """Exact per-row evaluation via the row-wise evaluator (fallback)."""
+        outer = self._context.outer if self._context is not None else None
+        subquery_executor = None
+        if self._context is not None:
+            subquery_executor = self._context.run_subquery
+        out: list[Any] = []
+        for index in range(batch.length):
+            row_env = BatchRowView(batch, index, parent=outer)
+            evaluator = ExpressionEvaluator(
+                subquery_executor=subquery_executor,
+                aggregate_values=row_env.aggregate_values(),
+                parameters=self._context.parameters if self._context is not None else {},
+            )
+            out.append(evaluator.evaluate(node, row_env))
+        return out
+
+
+class ExecutionContextProtocol:
+    """Structural interface the executor provides to :class:`VectorEvaluator`.
+
+    Attributes:
+        outer: the enclosing query's row environment (correlation context).
+        parameters: named query parameter values.
+    """
+
+    outer: Environment | None
+    parameters: dict[str, Any]
+
+    def run_subquery(self, query: Select, row_env: Environment) -> Any:  # pragma: no cover
+        raise NotImplementedError

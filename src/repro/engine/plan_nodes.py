@@ -1,18 +1,31 @@
-"""Logical plan nodes.
+"""Logical and physical plan nodes.
 
-The planner lowers a SELECT AST to a tree of these nodes.  The plan mirrors
-the execution order the executor follows (FROM → WHERE → GROUP BY/HAVING →
-SELECT → DISTINCT → ORDER BY → LIMIT) and is primarily used for inspection —
-``Catalog.explain`` renders it, and tests assert on plan shapes — while the
-executor interprets the analyzed AST directly.
+The planner lowers a SELECT AST to a tree of *logical* nodes mirroring the
+standard execution order (FROM → WHERE → GROUP BY/HAVING → SELECT → DISTINCT
+→ ORDER BY → LIMIT).  The executor then lowers the logical plan to a tree of
+*physical* operators — the second half of this module — which pull columnar
+:class:`~repro.engine.expressions.Batch`es from their inputs and evaluate
+expressions column-at-a-time.  The physical plan IS the execution path: the
+executor's job is reduced to compile-then-run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
 
-from repro.sql.ast_nodes import OrderItem, SelectItem, SqlNode
+from repro.errors import ExecutionError
+from repro.engine.aggregates import make_accumulator
+from repro.engine.expressions import Batch, VectorEvaluator
+from repro.sql.ast_nodes import (
+    ColumnRef,
+    FunctionCall,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SqlNode,
+    Star,
+)
 from repro.sql.printer import to_sql
 
 
@@ -191,3 +204,765 @@ class SetOpNode(PlanNode):
 
     def description(self) -> str:
         return f"SetOp({self.op}{' ALL' if self.all else ''})"
+
+
+@dataclass
+class CteDefinition:
+    """One WITH-clause entry: name, declared columns, planned query."""
+
+    name: str
+    columns: list[str]
+    plan: PlanNode
+
+
+@dataclass
+class CteNode(PlanNode):
+    """WITH-clause materialization wrapping the main query plan."""
+
+    definitions: list[CteDefinition]
+    input: PlanNode
+
+    def children(self) -> list[PlanNode]:
+        return [definition.plan for definition in self.definitions] + [self.input]
+
+    def description(self) -> str:
+        names = ", ".join(definition.name for definition in self.definitions)
+        return f"With({names})"
+
+
+# =========================================================================== #
+# Physical operators
+# =========================================================================== #
+#
+# Physical operators are executable: ``execute(ctx)`` pulls a columnar
+# ``Batch`` from the children and returns one.  ``ctx`` is the executor's
+# ``ExecutionContext`` (catalog, CTE tables, outer-row correlation context,
+# parameters, and the subquery runner used by the vectorized evaluator).
+#
+# Operator contracts (see docs/ENGINE.md):
+#   * every operator is stateless — all run state lives in the context and in
+#     the batches, so compiled plans are reusable across executions;
+#   * batches own ``slots`` (binding, column) for scan-level columns, plus
+#     ``aliases`` (SELECT output names) and ``aggregates`` (per-group results
+#     keyed by the canonical SQL of the aggregate call);
+#   * row order is deterministic and matches the row-at-a-time semantics the
+#     engine previously implemented (left-major joins, first-appearance group
+#     order, stable multi-key sorts).
+
+
+def hashable(value: Any) -> Any:
+    """A hashable stand-in for a value (lists/dicts/sets degrade to repr)."""
+    if isinstance(value, (list, dict, set)):
+        return repr(value)
+    return value
+
+
+def dedupe_names(names: list[str]) -> list[str]:
+    """Disambiguate duplicate output names (``col``, ``col_1``, ...)."""
+    seen: dict[str, int] = {}
+    unique: list[str] = []
+    for name in names:
+        if name in seen:
+            seen[name] += 1
+            unique.append(f"{name}_{seen[name]}")
+        else:
+            seen[name] = 0
+            unique.append(name)
+    return unique
+
+
+def dedupe_rows(rows: list[tuple[Any, ...]]) -> list[tuple[Any, ...]]:
+    """Remove duplicate rows, keeping first occurrences in order."""
+    seen: set[tuple[Any, ...]] = set()
+    result = []
+    for row in rows:
+        key = tuple(hashable(value) for value in row)
+        if key not in seen:
+            seen.add(key)
+            result.append(row)
+    return result
+
+
+class Orderable:
+    """Total-order wrapper so heterogeneous columns can still be sorted."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "Orderable") -> bool:
+        try:
+            return self.value < other.value
+        except TypeError:
+            return str(self.value) < str(other.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Orderable) and self.value == other.value
+
+
+class PhysicalNode:
+    """Base class of executable physical operators."""
+
+    def children(self) -> list["PhysicalNode"]:
+        return []
+
+    def description(self) -> str:
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.description()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def walk(self) -> Iterator["PhysicalNode"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def execute(self, ctx) -> Batch:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class ScanExec(PhysicalNode):
+    """Columnar scan of a base table or CTE (zero-copy over column lists)."""
+
+    table_name: str
+    binding_name: str
+
+    def description(self) -> str:
+        alias = f" AS {self.binding_name}" if self.binding_name != self.table_name else ""
+        return f"SeqScan({self.table_name}{alias})"
+
+    def execute(self, ctx) -> Batch:
+        if self.table_name == "<dual>":
+            return Batch(slots=[], columns=[], length=1)
+        table = ctx.ctes.get(self.table_name.lower())
+        if table is None:
+            table = ctx.catalog.table(self.table_name)
+        return Batch.from_table(table, self.binding_name)
+
+
+@dataclass
+class DerivedScanExec(PhysicalNode):
+    """Derived table ``(SELECT ...) AS alias``: run subplan, rebind columns."""
+
+    alias: str
+    plan: PhysicalNode
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.plan]
+
+    def description(self) -> str:
+        return f"DerivedScan({self.alias})"
+
+    def execute(self, ctx) -> Batch:
+        sub = self.plan.execute(ctx.fresh())
+        return Batch(
+            slots=[(self.alias, name) for _, name in sub.slots],
+            columns=sub.columns,
+            length=sub.length,
+        )
+
+
+@dataclass
+class CteExec(PhysicalNode):
+    """Materializes WITH-clause tables, then runs the main plan against them."""
+
+    definitions: list[tuple[str, list[str], PhysicalNode]]
+    input: PhysicalNode
+
+    def children(self) -> list[PhysicalNode]:
+        return [plan for _, _, plan in self.definitions] + [self.input]
+
+    def description(self) -> str:
+        names = ", ".join(name for name, _, _ in self.definitions)
+        return f"MaterializeCtes({names})"
+
+    def execute(self, ctx) -> Batch:
+        from repro.engine.table import Table
+
+        ctes = dict(ctx.ctes)
+        scoped = ctx.with_ctes(ctes)
+        for name, declared, plan in self.definitions:
+            # Each CTE query is its own SELECT scope (fresh subquery memo); it
+            # sees the CTEs defined before it through the shared, growing map.
+            batch = plan.execute(scoped.fresh())
+            produced = [column for _, column in batch.slots]
+            columns = declared or produced
+            if len(columns) != len(produced):
+                raise ExecutionError(
+                    f"CTE {name!r} declares {len(columns)} columns but its query "
+                    f"produces {len(produced)}"
+                )
+            ctes[name.lower()] = Table(name=name, columns=columns, rows=batch.rows())
+        return self.input.execute(scoped)
+
+
+@dataclass
+class FilterExec(PhysicalNode):
+    """Vectorized WHERE / HAVING / join-residual filter."""
+
+    input: PhysicalNode
+    predicate: SqlNode
+    phase: str = "where"
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.input]
+
+    def description(self) -> str:
+        return f"Filter[{self.phase}]({to_sql(self.predicate)})"
+
+    def execute(self, ctx) -> Batch:
+        batch = self.input.execute(ctx)
+        if batch.length == 0:
+            return batch
+        keep = VectorEvaluator(ctx).eval_predicate(self.predicate, batch)
+        indices = [index for index, kept in enumerate(keep) if kept]
+        if len(indices) == batch.length:
+            return batch
+        return batch.take(indices)
+
+
+@dataclass
+class ProjectExec(PhysicalNode):
+    """Vectorized SELECT-list projection (with Star expansion)."""
+
+    items: list[SelectItem]
+    input: PhysicalNode
+    allow_star: bool = True
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.input]
+
+    def description(self) -> str:
+        rendered = ", ".join(
+            to_sql(item.expr) + (f" AS {item.alias}" if item.alias else "")
+            for item in self.items
+        )
+        return f"Project({rendered})"
+
+    def execute(self, ctx) -> Batch:
+        batch = self.input.execute(ctx)
+        evaluator = VectorEvaluator(ctx)
+        # Later SELECT items may reference earlier items' aliases, so evaluate
+        # against a working batch whose alias map grows as items are computed.
+        working = Batch(
+            slots=batch.slots,
+            columns=batch.columns,
+            length=batch.length,
+            aliases=dict(batch.aliases),
+            aggregates=batch.aggregates,
+        )
+        names: list[str] = []
+        columns: list[list[Any]] = []
+        for item in self.items:
+            if isinstance(item.expr, Star):
+                if not self.allow_star:
+                    raise ExecutionError("SELECT * cannot be combined with GROUP BY")
+                star = item.expr
+                matched = [
+                    index
+                    for index, (binding, _column) in enumerate(batch.slots)
+                    if not star.table or star.table == binding
+                ]
+                if matched:
+                    for index in matched:
+                        names.append(batch.slots[index][1])
+                        columns.append(batch.columns[index])
+                else:
+                    # SELECT * over an empty FROM scope: a degenerate all-NULL
+                    # column keeps the slot/column invariant intact.
+                    names.append("*")
+                    columns.append([None] * batch.length)
+                continue
+            column = evaluator.eval(item.expr, working)
+            names.append(item.output_name())
+            columns.append(column)
+            if item.alias:
+                working.aliases[item.alias] = column
+        unique = dedupe_names(names)
+        return Batch(
+            slots=[("", name) for name in unique],
+            columns=columns,
+            length=batch.length,
+            aliases=dict(zip(unique, columns)),
+            aggregates=batch.aggregates,
+        )
+
+
+@dataclass
+class HashAggregateExec(PhysicalNode):
+    """GROUP BY via hash partitioning with vectorized accumulation.
+
+    The output batch has one row per group: every input slot holds the
+    group's representative (first) row value, and ``aggregates`` carries each
+    aggregate call's per-group result keyed by its canonical SQL, which is how
+    downstream HAVING / projection / ORDER BY operators substitute aggregate
+    values during expression evaluation.
+    """
+
+    group_by: list[SqlNode]
+    aggregates: list[FunctionCall]
+    input: PhysicalNode
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.input]
+
+    def description(self) -> str:
+        groups = ", ".join(to_sql(expr) for expr in self.group_by) or "<all rows>"
+        aggs = ", ".join(to_sql(call) for call in self.aggregates)
+        return f"HashAggregate(group_by=[{groups}], aggregates=[{aggs}])"
+
+    def execute(self, ctx) -> Batch:
+        batch = self.input.execute(ctx)
+        evaluator = VectorEvaluator(ctx)
+
+        key_columns = [evaluator.eval(expr, batch) for expr in self.group_by]
+        groups: dict[tuple, list[int]] = {}
+        order: list[tuple] = []
+        for index in range(batch.length):
+            key = tuple(hashable(column[index]) for column in key_columns)
+            members = groups.get(key)
+            if members is None:
+                groups[key] = [index]
+                order.append(key)
+            else:
+                members.append(index)
+
+        # A query with aggregates but no GROUP BY forms one global group, even
+        # over zero input rows.
+        if not self.group_by and not groups:
+            groups[()] = []
+            order.append(())
+
+        # Per-call specs (canonical key, star-ness, argument vector) computed
+        # once; the group loop below must stay free of AST rendering.
+        specs: list[tuple[str, bool, list[Any] | None]] = []
+        for call in self.aggregates:
+            key = to_sql(call)
+            is_star = (bool(call.args) and isinstance(call.args[0], Star)) or not call.args
+            argument = None if is_star else evaluator.eval(call.args[0], batch)
+            specs.append((key, is_star, argument))
+        aggregate_columns: dict[str, list[Any]] = {key: [] for key, _, _ in specs}
+
+        for group_key in order:
+            members = groups[group_key]
+            for call, (key, is_star, argument) in zip(self.aggregates, specs):
+                accumulator = make_accumulator(
+                    call.name, is_star=is_star, distinct=call.distinct
+                )
+                if accumulator.counts_rows:
+                    accumulator.add_many(members)
+                elif argument is not None:
+                    accumulator.add_many([argument[index] for index in members])
+                aggregate_columns[key].append(accumulator.result())
+
+        if order and not groups[order[0]]:
+            # Global aggregate over an empty input: one output row with no
+            # resolvable scan columns (matching row-at-a-time semantics where
+            # the representative environment was empty).
+            return Batch(
+                slots=[], columns=[], length=len(order), aggregates=aggregate_columns
+            )
+        representatives = [groups[group_key][0] for group_key in order]
+        columns = [
+            [column[index] for index in representatives] for column in batch.columns
+        ]
+        return Batch(
+            slots=batch.slots,
+            columns=columns,
+            length=len(order),
+            aggregates=aggregate_columns,
+        )
+
+
+@dataclass
+class DistinctExec(PhysicalNode):
+    """SELECT DISTINCT de-duplication over projected rows."""
+
+    input: PhysicalNode
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.input]
+
+    def description(self) -> str:
+        return "Distinct"
+
+    def execute(self, ctx) -> Batch:
+        batch = self.input.execute(ctx)
+        seen: set[tuple] = set()
+        indices: list[int] = []
+        for index in range(batch.length):
+            key = tuple(hashable(column[index]) for column in batch.columns)
+            if key not in seen:
+                seen.add(key)
+                indices.append(index)
+        if len(indices) == batch.length:
+            return batch
+        return batch.take(indices)
+
+
+@dataclass
+class SortExec(PhysicalNode):
+    """ORDER BY with vectorized key computation and stable index sorting.
+
+    Keys resolve like the row-at-a-time engine did: 1-based positions, output
+    column names, expression output names, then expression evaluation against
+    the projected columns (outer correlation is not visible to ORDER BY).
+    """
+
+    order_by: list[OrderItem]
+    input: PhysicalNode
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.input]
+
+    def description(self) -> str:
+        keys = ", ".join(
+            to_sql(item.expr) + (" DESC" if item.descending else "")
+            for item in self.order_by
+        )
+        return f"Sort({keys})"
+
+    def _key_vector(self, ctx, batch: Batch, expr: SqlNode) -> list[Any]:
+        columns = [name for _, name in batch.slots]
+        if isinstance(expr, Literal) and isinstance(expr.value, int):
+            index = expr.value - 1
+            if index < 0 or index >= len(columns):
+                raise ExecutionError(f"ORDER BY position {expr.value} out of range")
+            return batch.columns[index]
+        if isinstance(expr, ColumnRef) and expr.name in columns:
+            return batch.columns[columns.index(expr.name)]
+        name = SelectItem(expr=expr).output_name()
+        if name in columns:
+            return batch.columns[columns.index(name)]
+        # Fall back to evaluating the expression against the output columns
+        # (exposed as aliases), without outer correlation.
+        eval_batch = Batch(
+            slots=[],
+            columns=[],
+            length=batch.length,
+            aliases=dict(zip(columns, batch.columns)),
+            aggregates=batch.aggregates,
+        )
+        return VectorEvaluator(ctx.without_outer()).eval(expr, eval_batch)
+
+    def execute(self, ctx) -> Batch:
+        batch = self.input.execute(ctx)
+        if batch.length == 0:
+            return batch
+        indices = list(range(batch.length))
+        for item in reversed(self.order_by):
+            keys = self._key_vector(ctx, batch, item.expr)
+            nulls_last = item.nulls_last
+
+            def sort_key(index: int, keys=keys, nulls_last=nulls_last):
+                value = keys[index]
+                is_null = value is None
+                return (is_null if nulls_last else not is_null, Orderable(value))
+
+            indices.sort(key=sort_key, reverse=item.descending)
+            # Re-sort so NULL placement is unaffected by reverse.
+            if item.descending:
+                nulls = [index for index in indices if keys[index] is None]
+                non_nulls = [index for index in indices if keys[index] is not None]
+                indices = non_nulls + nulls if item.nulls_last else nulls + non_nulls
+        return batch.take(indices)
+
+
+@dataclass
+class LimitExec(PhysicalNode):
+    """LIMIT / OFFSET."""
+
+    input: PhysicalNode
+    limit: int | None = None
+    offset: int | None = None
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.input]
+
+    def description(self) -> str:
+        return f"Limit(limit={self.limit}, offset={self.offset})"
+
+    def execute(self, ctx) -> Batch:
+        batch = self.input.execute(ctx)
+        start = self.offset or 0
+        stop = None if self.limit is None else start + self.limit
+        if start == 0 and stop is None:
+            return batch
+        return batch.slice(start, stop)
+
+
+@dataclass
+class JoinExec(PhysicalNode):
+    """Join of two physical subtrees.
+
+    The lowering step extracts equi-key expression pairs from the ON
+    condition when each side of an equality resolves entirely to one input
+    (``left_keys[i] = right_keys[i]``); the remaining conjuncts stay in
+    ``residual``.  With keys present the join builds a hash table on one side
+    and probes with the other; otherwise it falls back to a vectorized
+    nested-loop (cross gather + one predicate evaluation).  Row order matches
+    the interpreted engine: left-major for INNER/LEFT/FULL, right-major for
+    RIGHT, with outer padding interleaved at the unmatched row's position.
+    """
+
+    left: PhysicalNode
+    right: PhysicalNode
+    join_type: str = "INNER"
+    condition: SqlNode | None = None
+    using: list[str] = field(default_factory=list)
+    left_keys: list[SqlNode] = field(default_factory=list)
+    right_keys: list[SqlNode] = field(default_factory=list)
+    residual: SqlNode | None = None
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.left, self.right]
+
+    def description(self) -> str:
+        if self.left_keys:
+            keys = ", ".join(
+                f"{to_sql(left)} = {to_sql(right)}"
+                for left, right in zip(self.left_keys, self.right_keys)
+            )
+            extra = f", residual={to_sql(self.residual)}" if self.residual is not None else ""
+            return f"HashJoin({self.join_type}, keys=[{keys}]{extra})"
+        if self.using:
+            return f"HashJoin({self.join_type}, using={self.using})"
+        if self.condition is not None:
+            return f"NestedLoopJoin({self.join_type}, on={to_sql(self.condition)})"
+        return f"NestedLoopJoin({self.join_type})"
+
+    # -- pair generation ------------------------------------------------- #
+
+    @staticmethod
+    def _gather(left: Batch, right: Batch, left_idx, right_idx) -> Batch:
+        columns: list[list[Any]] = []
+        for column in left.columns:
+            columns.append([column[i] if i is not None else None for i in left_idx])
+        for column in right.columns:
+            columns.append([column[i] if i is not None else None for i in right_idx])
+        return Batch(
+            slots=left.slots + right.slots, columns=columns, length=len(left_idx)
+        )
+
+    def _runtime_keys(
+        self, left: Batch, right: Batch
+    ) -> tuple[SqlNode | None, list[SqlNode], list[SqlNode], SqlNode | None]:
+        """The (condition, left keys, right keys, residual) for this execution.
+
+        USING (a, b) resolves against the actual first bindings of each input
+        at run time; ON conditions use what the lowering step extracted.
+        """
+        if self.using:
+            if not left.slots or not right.slots:
+                return None, [], [], None
+            left_binding = left.slots[0][0]
+            right_binding = right.slots[0][0]
+            left_keys = [ColumnRef(name=column, table=left_binding) for column in self.using]
+            right_keys = [ColumnRef(name=column, table=right_binding) for column in self.using]
+            from repro.sql.ast_nodes import BinaryOp
+
+            condition: SqlNode | None = None
+            for left_key, right_key in zip(left_keys, right_keys):
+                equality = BinaryOp(op="=", left=left_key, right=right_key)
+                condition = (
+                    equality
+                    if condition is None
+                    else BinaryOp(op="AND", left=condition, right=equality)
+                )
+            return condition, left_keys, right_keys, None
+        return self.condition, self.left_keys, self.right_keys, self.residual
+
+    def _candidate_pairs(
+        self,
+        ctx,
+        left: Batch,
+        right: Batch,
+        condition: SqlNode | None,
+        left_keys: list[SqlNode],
+        right_keys: list[SqlNode],
+        residual: SqlNode | None,
+        right_major: bool,
+    ) -> list[tuple[int, int]]:
+        """Matching (left, right) index pairs after the full join condition."""
+        evaluator = VectorEvaluator(ctx)
+        pairs: list[tuple[int, int]] | None = None
+        predicate = residual
+
+        if left_keys:
+            try:
+                left_vectors = [evaluator.eval(key, left) for key in left_keys]
+                right_vectors = [evaluator.eval(key, right) for key in right_keys]
+                if right_major:
+                    # Hash the left side, probe with right rows in order.
+                    buckets: dict[tuple, list[int]] = {}
+                    for index in range(left.length):
+                        key = tuple(vector[index] for vector in left_vectors)
+                        if any(value is None for value in key):
+                            continue
+                        buckets.setdefault(key, []).append(index)
+                    pairs = []
+                    for index in range(right.length):
+                        key = tuple(vector[index] for vector in right_vectors)
+                        if any(value is None for value in key):
+                            continue
+                        for match in buckets.get(key, ()):
+                            pairs.append((match, index))
+                else:
+                    buckets = {}
+                    for index in range(right.length):
+                        key = tuple(vector[index] for vector in right_vectors)
+                        if any(value is None for value in key):
+                            continue
+                        buckets.setdefault(key, []).append(index)
+                    pairs = []
+                    for index in range(left.length):
+                        key = tuple(vector[index] for vector in left_vectors)
+                        if any(value is None for value in key):
+                            continue
+                        for match in buckets.get(key, ()):
+                            pairs.append((index, match))
+            except TypeError:
+                # Unhashable key values: fall back to the nested-loop path
+                # with the full original condition.
+                pairs = None
+                predicate = condition
+
+        if pairs is None:
+            predicate = condition
+            if right_major:
+                pairs = [
+                    (li, ri) for ri in range(right.length) for li in range(left.length)
+                ]
+            else:
+                pairs = [
+                    (li, ri) for li in range(left.length) for ri in range(right.length)
+                ]
+
+        if predicate is not None and pairs:
+            candidate = self._gather(
+                left, right, [pair[0] for pair in pairs], [pair[1] for pair in pairs]
+            )
+            keep = VectorEvaluator(ctx).eval_predicate(predicate, candidate)
+            pairs = [pair for pair, kept in zip(pairs, keep) if kept]
+        return pairs
+
+    # -- execution ------------------------------------------------------- #
+
+    def execute(self, ctx) -> Batch:
+        left = self.left.execute(ctx)
+        right = self.right.execute(ctx)
+        join_type = self.join_type
+
+        if join_type == "CROSS":
+            left_idx = [li for li in range(left.length) for _ in range(right.length)]
+            right_idx = list(range(right.length)) * left.length
+            return self._gather(left, right, left_idx, right_idx)
+
+        condition, left_keys, right_keys, residual = self._runtime_keys(left, right)
+        right_major = join_type == "RIGHT"
+        pairs = self._candidate_pairs(
+            ctx, left, right, condition, left_keys, right_keys, residual, right_major
+        )
+
+        if join_type == "INNER":
+            return self._gather(
+                left, right, [pair[0] for pair in pairs], [pair[1] for pair in pairs]
+            )
+
+        if join_type == "LEFT":
+            left_idx, right_idx = self._pad_outer(pairs, left.length)
+            return self._gather(left, right, left_idx, right_idx)
+
+        if join_type == "RIGHT":
+            right_idx, left_idx = self._pad_outer(
+                [(ri, li) for li, ri in pairs], right.length
+            )
+            return self._gather(left, right, left_idx, right_idx)
+
+        if join_type == "FULL":
+            left_idx, right_idx = self._pad_outer(pairs, left.length)
+            matched_right = {pair[1] for pair in pairs}
+            for index in range(right.length):
+                if index not in matched_right:
+                    left_idx.append(None)
+                    right_idx.append(index)
+            return self._gather(left, right, left_idx, right_idx)
+
+        raise ExecutionError(f"Unsupported join type {join_type!r}")
+
+    @staticmethod
+    def _pad_outer(
+        pairs: list[tuple[int, int]], outer_length: int
+    ) -> tuple[list[int | None], list[int | None]]:
+        """Expand major-ordered pairs, inserting a NULL-padded row for every
+        unmatched outer row at its position."""
+        outer_idx: list[int | None] = []
+        inner_idx: list[int | None] = []
+        pointer = 0
+        total = len(pairs)
+        for outer in range(outer_length):
+            matched = False
+            while pointer < total and pairs[pointer][0] == outer:
+                outer_idx.append(outer)
+                inner_idx.append(pairs[pointer][1])
+                matched = True
+                pointer += 1
+            if not matched:
+                outer_idx.append(outer)
+                inner_idx.append(None)
+        return outer_idx, inner_idx
+
+
+@dataclass
+class SetOpExec(PhysicalNode):
+    """UNION / INTERSECT / EXCEPT over two query subplans."""
+
+    op: str
+    left: PhysicalNode
+    right: PhysicalNode
+    all: bool = False
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.left, self.right]
+
+    def description(self) -> str:
+        return f"SetOp({self.op}{' ALL' if self.all else ''})"
+
+    def execute(self, ctx) -> Batch:
+        left = self.left.execute(ctx.fresh())
+        right = self.right.execute(ctx.fresh())
+        if len(left.slots) != len(right.slots):
+            raise ExecutionError(
+                f"Set operation requires matching column counts "
+                f"({len(left.slots)} vs {len(right.slots)})"
+            )
+        left_rows = left.rows()
+        right_rows = right.rows()
+        if self.op == "UNION":
+            rows = left_rows + right_rows
+            if not self.all:
+                rows = dedupe_rows(rows)
+        elif self.op == "INTERSECT":
+            right_set = set(right_rows)
+            rows = [row for row in left_rows if row in right_set]
+            if not self.all:
+                rows = dedupe_rows(rows)
+        elif self.op == "EXCEPT":
+            right_set = set(right_rows)
+            rows = [row for row in left_rows if row not in right_set]
+            if not self.all:
+                rows = dedupe_rows(rows)
+        else:
+            raise ExecutionError(f"Unknown set operation {self.op!r}")
+        if left.slots:
+            columns = [list(column) for column in zip(*rows)] if rows else [
+                [] for _ in left.slots
+            ]
+        else:
+            columns = []
+        return Batch(slots=left.slots, columns=columns, length=len(rows))

@@ -1,15 +1,19 @@
 """Lowers SELECT ASTs to logical plans.
 
-The plans are used by ``Catalog.explain`` and by tests that assert on query
-structure; the executor interprets the AST directly but follows the same
-operator ordering the planner encodes.
+The logical plan is the single source of truth for execution order: the
+executor lowers it to physical operators (see ``plan_nodes``) and runs those.
+``Catalog.explain`` renders either representation for inspection.
 """
 
 from __future__ import annotations
 
 from repro.errors import EngineError
+from repro.engine.aggregates import is_aggregate_function
+from repro.engine.functions import is_scalar_function
 from repro.engine.plan_nodes import (
     AggregateNode,
+    CteDefinition,
+    CteNode,
     DerivedScanNode,
     DistinctNode,
     FilterNode,
@@ -22,15 +26,56 @@ from repro.engine.plan_nodes import (
     SortNode,
 )
 from repro.sql.ast_nodes import (
+    FunctionCall,
     Join,
     Select,
     SetOperation,
     SqlNode,
     SubqueryRef,
     TableRef,
-    contains_aggregate,
 )
+from repro.sql.printer import to_sql
 from repro.sql.schema import TableSchema
+
+
+def walk_same_scope(node: SqlNode):
+    """Pre-order walk of an expression that does not descend into subqueries.
+
+    Aggregates inside a nested SELECT belong to that subquery's scope and must
+    not be computed by the enclosing query's GROUP BY operator.
+    """
+    yield node
+    for child in node.children():
+        if isinstance(child, Select):
+            continue
+        yield from walk_same_scope(child)
+
+
+def collect_aggregate_calls(query: Select, include_order_by: bool = False) -> list[FunctionCall]:
+    """The distinct aggregate calls the query's own scope computes.
+
+    Scans the SELECT list and HAVING — the clauses that *decide* whether the
+    query aggregates.  With ``include_order_by`` the ORDER BY expressions are
+    scanned too: once a query is known to group, the aggregation operator
+    must also compute aggregates that appear only in ORDER BY.  (ORDER BY
+    alone must not turn a plain projection into a one-row global aggregate.)
+    Deduplicated by canonical SQL text.
+    """
+    calls: dict[str, FunctionCall] = {}
+    nodes: list[SqlNode] = [item.expr for item in query.select_items]
+    if query.having is not None:
+        nodes.append(query.having)
+    if include_order_by:
+        nodes.extend(item.expr for item in query.order_by)
+    for node in nodes:
+        for descendant in walk_same_scope(node):
+            if (
+                isinstance(descendant, FunctionCall)
+                and is_aggregate_function(descendant.name)
+                and not is_scalar_function(descendant.name)
+            ):
+                calls.setdefault(to_sql(descendant), descendant)
+    return list(calls.values())
 
 
 class Planner:
@@ -57,13 +102,11 @@ class Planner:
         if query.where is not None:
             plan = FilterNode(input=plan, predicate=query.where, phase="where")
 
-        aggregates = [
-            item.expr for item in query.select_items if contains_aggregate(item.expr)
-        ]
-        if query.having is not None and contains_aggregate(query.having):
-            aggregates.append(query.having)
-        if query.group_by or aggregates:
-            plan = AggregateNode(input=plan, group_by=list(query.group_by), aggregates=aggregates)
+        if query.group_by or collect_aggregate_calls(query):
+            aggregates = collect_aggregate_calls(query, include_order_by=True)
+            plan = AggregateNode(
+                input=plan, group_by=list(query.group_by), aggregates=list(aggregates)
+            )
 
         if query.having is not None:
             plan = FilterNode(input=plan, predicate=query.having, phase="having")
@@ -76,6 +119,15 @@ class Planner:
             plan = SortNode(input=plan, order_by=list(query.order_by))
         if query.limit is not None or query.offset is not None:
             plan = LimitNode(input=plan, limit=query.limit, offset=query.offset)
+
+        if query.ctes:
+            definitions = [
+                CteDefinition(
+                    name=cte.name, columns=list(cte.columns), plan=self.plan(cte.query)
+                )
+                for cte in query.ctes
+            ]
+            plan = CteNode(definitions=definitions, input=plan)
         return plan
 
     def _plan_from(self, node: SqlNode | None) -> PlanNode:

@@ -1,0 +1,146 @@
+"""Result cache keyed by canonical SQL form plus catalog data version.
+
+The PI2 loop re-executes near-identical query variants constantly: every
+widget event re-instantiates a Difftree binding, and sibling interface
+candidates explored by the search share most of their concrete queries.  The
+cache makes those repeats free:
+
+* queries are keyed by their *canonical* SQL (redundant table qualifiers
+  stripped, AND chains normalized — see ``difftree.canonical``), so
+  superficially different variants share one entry;
+* the key includes the catalog's data version, so any table registration,
+  drop, replacement or row append invalidates stale entries implicitly;
+* entries are kept LRU-bounded, and results are defensively copied on both
+  store and hit so callers can never corrupt a cached row list.
+
+Queries containing named parameters are never cached (their results depend
+on values outside the SQL text).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.engine.table import QueryResult
+from repro.sql.ast_nodes import Parameter, SqlNode
+from repro.sql.printer import to_sql
+
+
+@dataclass
+class QueryCacheStats:
+    """Counters exposed through ``Catalog.cache_stats``."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    bypassed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "bypassed": self.bypassed,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+def cache_key(node: SqlNode, data_version: Hashable) -> str | None:
+    """The cache key for a query AST, or None when the query is uncacheable.
+
+    The key is the canonical SQL text (AND chains normalized; redundant table
+    qualifiers stripped when provably safe) suffixed with the catalog data
+    version, so equivalent query variants share an entry and any catalog
+    mutation implicitly invalidates it.
+    """
+    for descendant in node.walk():
+        if isinstance(descendant, Parameter):
+            return None
+    try:
+        canonical = to_sql(_canonical_for_cache(node))
+    except Exception:  # noqa: BLE001 - canonicalization is best effort
+        canonical = to_sql(node)
+    return f"{canonical}@@{data_version!r}"
+
+
+def _canonical_for_cache(node: SqlNode) -> SqlNode:
+    """Canonicalization that never merges semantically different queries.
+
+    Qualifier stripping is only equivalence-preserving when the query has a
+    single name-resolution scope: inside a nested SELECT, a stripped outer
+    reference (``c.k`` → ``k``) could resolve to the *inner* scope instead.
+    Multi-scope queries therefore only get AND-chain normalization, which is
+    scope-agnostic.
+    """
+    from repro.difftree.canonical import canonicalize, normalize_and_chains
+    from repro.sql.ast_nodes import Select
+
+    if isinstance(node, Select) and not any(
+        isinstance(descendant, Select) and descendant is not node
+        for descendant in node.walk()
+    ):
+        return canonicalize(node)
+    return normalize_and_chains(node)
+
+
+class QueryCache:
+    """A bounded LRU cache of materialized query results."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("QueryCache capacity must be positive")
+        self.capacity = capacity
+        self.stats = QueryCacheStats()
+        self._entries: OrderedDict[str, QueryResult] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _copy(result: QueryResult) -> QueryResult:
+        # Shallow row-list copy: rows are immutable tuples, so sharing them is
+        # safe, but the containing lists must not alias the cached entry.
+        return QueryResult(
+            columns=list(result.columns), rows=list(result.rows), schema=result.schema
+        )
+
+    def lookup(self, key: str) -> QueryResult | None:
+        """Return a copy of the cached result for ``key``, or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return self._copy(entry)
+
+    def store(self, key: str, result: QueryResult) -> None:
+        """Cache a result under ``key``, evicting the LRU entry when full."""
+        self._entries[key] = self._copy(result)
+        self._entries.move_to_end(key)
+        self.stats.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def note_bypass(self) -> None:
+        """Record an execution that skipped the cache (uncacheable query)."""
+        self.stats.bypassed += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        data = self.stats.as_dict()
+        data["entries"] = len(self._entries)
+        data["capacity"] = self.capacity
+        return data

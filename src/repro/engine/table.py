@@ -23,10 +23,17 @@ def infer_column_type(values: Iterable[Any]) -> DataType:
     return inferred
 
 
-def infer_column_role(data_type: DataType, values: Sequence[Any]) -> AttributeRole:
-    """Infer the visualization role of a column from type and cardinality."""
-    non_null = [value for value in values if value is not None]
-    distinct_count = len(set(non_null)) if non_null else 0
+def infer_column_role(
+    data_type: DataType, values: Sequence[Any], distinct_count: int | None = None
+) -> AttributeRole:
+    """Infer the visualization role of a column from type and cardinality.
+
+    ``distinct_count`` lets callers that already know the cardinality (e.g. a
+    :class:`Table` with memoized statistics) skip rebuilding the distinct set.
+    """
+    if distinct_count is None:
+        non_null = {value for value in values if value is not None}
+        distinct_count = len(non_null)
     return AttributeRole.from_data_type(data_type, distinct_count)
 
 
@@ -52,6 +59,13 @@ class Table:
         if len(set(self.column_names)) != len(self.column_names):
             raise CatalogError(f"Duplicate column names in table {name!r}")
         self._columns: dict[str, list[Any]] = {column: [] for column in self.column_names}
+        self._data_version = 0
+        # Statistics memos, each keyed by the data version they were computed
+        # at: distinct sets are expensive to rebuild and are consulted by role
+        # inference, cost statistics and widget-domain construction.
+        self._distinct_memo: dict[str, tuple[int, list[Any]]] = {}
+        self._range_memo: dict[str, tuple[int, tuple[Any, Any] | None]] = {}
+        self._schema_memo: tuple[int, TableSchema] | None = None
         for row in rows:
             self.append(row)
         self._explicit_schema = schema
@@ -82,6 +96,7 @@ class Table:
             raise EngineError(f"Column lengths differ in table {name!r}: {sorted(lengths)}")
         table = cls(name=name, columns=names)
         table._columns = {column: list(values) for column, values in columns.items()}
+        table._data_version += 1
         return table
 
     # ------------------------------------------------------------------ #
@@ -97,11 +112,17 @@ class Table:
             )
         for column, value in zip(self.column_names, row):
             self._columns[column].append(value)
+        self._data_version += 1
 
     def extend(self, rows: Iterable[Sequence[Any]]) -> None:
         """Append many rows."""
         for row in rows:
             self.append(row)
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter bumped by every mutation (used for cache keys)."""
+        return self._data_version
 
     # ------------------------------------------------------------------ #
     # Access
@@ -114,7 +135,20 @@ class Table:
         return len(self._columns[self.column_names[0]])
 
     def column(self, name: str) -> list[Any]:
-        """Return the values of one column."""
+        """Return a copy of the values of one column.
+
+        The copy keeps callers from mutating table storage behind the back of
+        the data-version counter (which would leave stale statistics memos and
+        stale query-cache entries).
+        """
+        return list(self.column_data(name))
+
+    def column_data(self, name: str) -> list[Any]:
+        """The live internal value list of one column — read-only by contract.
+
+        Used by the scan operator for zero-copy batches; callers must never
+        mutate the returned list (use :meth:`append`/:meth:`extend`).
+        """
         if name not in self._columns:
             raise CatalogError(f"Table {self.name!r} has no column {name!r}")
         return self._columns[name]
@@ -139,31 +173,50 @@ class Table:
         return [dict(zip(self.column_names, row)) for row in self.rows()]
 
     def schema(self) -> TableSchema:
-        """Return the (explicit or inferred) table schema."""
+        """Return the (explicit or inferred) table schema (memoized)."""
         if self._explicit_schema is not None:
             return self._explicit_schema
+        if self._schema_memo is not None and self._schema_memo[0] == self._data_version:
+            return self._schema_memo[1]
         columns = []
         for name in self.column_names:
             values = self._columns[name]
             data_type = infer_column_type(values)
-            role = infer_column_role(data_type, values)
+            role = infer_column_role(data_type, values, distinct_count=self.distinct_count(name))
             columns.append(ColumnSchema(name=name, data_type=data_type, role=role))
-        return TableSchema(name=self.name, columns=tuple(columns))
+        schema = TableSchema(name=self.name, columns=tuple(columns))
+        self._schema_memo = (self._data_version, schema)
+        return schema
+
+    def _distinct_sorted(self, column: str) -> list[Any]:
+        memo = self._distinct_memo.get(column)
+        if memo is not None and memo[0] == self._data_version:
+            return memo[1]
+        values = {value for value in self.column_data(column) if value is not None}
+        try:
+            ordered = sorted(values)
+        except TypeError:
+            ordered = sorted(values, key=repr)
+        self._distinct_memo[column] = (self._data_version, ordered)
+        return ordered
 
     def distinct_values(self, column: str) -> list[Any]:
         """Distinct non-null values of a column, sorted when orderable."""
-        values = {value for value in self.column(column) if value is not None}
-        try:
-            return sorted(values)
-        except TypeError:
-            return sorted(values, key=repr)
+        return list(self._distinct_sorted(column))
+
+    def distinct_count(self, column: str) -> int:
+        """Number of distinct non-null values of a column (memoized)."""
+        return len(self._distinct_sorted(column))
 
     def value_range(self, column: str) -> tuple[Any, Any] | None:
         """(min, max) of a column's non-null values, or None when empty."""
-        values = [value for value in self.column(column) if value is not None]
-        if not values:
-            return None
-        return min(values), max(values)
+        memo = self._range_memo.get(column)
+        if memo is not None and memo[0] == self._data_version:
+            return memo[1]
+        values = [value for value in self.column_data(column) if value is not None]
+        result = (min(values), max(values)) if values else None
+        self._range_memo[column] = (self._data_version, result)
+        return result
 
     def __len__(self) -> int:
         return self.row_count

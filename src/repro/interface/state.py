@@ -14,7 +14,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import InterfaceError
-from repro.difftree.instantiate import LiteralBinding, default_bindings, instantiate
+from repro.difftree.instantiate import (
+    LiteralBinding,
+    default_bindings,
+    instantiate,
+    instantiate_and_execute,
+)
 from repro.engine.catalog import Catalog
 from repro.engine.table import QueryResult
 from repro.interface.interactions import InteractionType, VisInteraction
@@ -62,9 +67,18 @@ class InterfaceState:
         return to_sql(self.current_query(tree_index))
 
     def data_for_tree(self, tree_index: int) -> QueryResult:
-        """Execute (with memoization) the current query of one tree."""
+        """Execute (with memoization) the current query of one tree.
+
+        Execution goes through :func:`instantiate_and_execute`, i.e. the
+        catalog's canonical-query result cache: revisiting a binding (or
+        another interface whose tree instantiates to an equivalent query)
+        reuses the materialized result.
+        """
         if tree_index not in self._cache:
-            self._cache[tree_index] = self.catalog.execute(self.current_query(tree_index))
+            tree = self.interface.forest.trees[tree_index]
+            self._cache[tree_index] = instantiate_and_execute(
+                tree, self.catalog, self.bindings[tree_index]
+            )
         return self._cache[tree_index]
 
     def data_for(self, vis_id: str) -> QueryResult:

@@ -53,6 +53,10 @@ class PipelineConfig:
     mapping_policy: MappingPolicy = field(default_factory=MappingPolicy)
     initial_strategy: str = "per_query"
     name: str = "interface"
+    #: Execute each candidate's default queries against the catalog during
+    #: search (through the canonical-query result cache), yielding real data
+    #: profiles for the evaluated interfaces.
+    profile_data: bool = True
 
 
 @dataclass
@@ -123,6 +127,7 @@ def generate_interface(
         mapping_config=mapping_config,
         cost_model=cost_model,
         initial_strategy=config.initial_strategy,
+        catalog=catalog if config.profile_data else None,
     )
 
     if config.method == "mcts":

@@ -45,10 +45,16 @@ class Action:
 
 @dataclass
 class Evaluation:
-    """The mapped interface and its cost for one state."""
+    """The mapped interface and its cost for one state.
+
+    ``data_rows`` holds, per Difftree, the row count of the tree's default
+    instantiation executed against the catalog (None when the space was built
+    without a catalog, or -1 when that tree's query failed to execute).
+    """
 
     interface: Interface
     cost: CostBreakdown
+    data_rows: tuple[int, ...] | None = None
 
     @property
     def total_cost(self) -> float:
@@ -63,6 +69,7 @@ class SearchStats:
     cache_hits: int = 0
     states_expanded: int = 0
     elapsed_seconds: float = 0.0
+    queries_executed: int = 0
 
 
 @dataclass
@@ -91,10 +98,17 @@ class SearchSpace:
         mapping_config: MappingConfig | None = None,
         cost_model: CostModel | None = None,
         initial_strategy: str = "per_query",
+        catalog=None,
     ) -> None:
         if not queries:
             raise SearchError("Cannot search over an empty query log")
         self.table_schemas = table_schemas
+        #: Optional live catalog.  When present, every candidate evaluation
+        #: also executes each tree's default instantiation through the
+        #: catalog's canonical-query cache — sibling candidates share most
+        #: trees, so the repeated queries are cache hits and the search gets
+        #: real data profiles (row counts) almost for free.
+        self.catalog = catalog
         self.mapping_config = mapping_config or MappingConfig()
         self.cost_model = cost_model or CostModel()
         self.initial_state = build_forest(queries, strategy=initial_strategy)
@@ -187,11 +201,29 @@ class SearchSpace:
             forest, self.table_schemas, self.mapping_config, profile_cache=self._profile_cache
         )
         cost = self.cost_model.evaluate(interface, forest.queries)
-        evaluation = Evaluation(interface=interface, cost=cost)
+        evaluation = Evaluation(
+            interface=interface, cost=cost, data_rows=self._profile_data(forest)
+        )
         self._cache[key] = evaluation
         self.stats.evaluations += 1
         self.stats.elapsed_seconds += time.perf_counter() - started
         return evaluation
+
+    def _profile_data(self, forest: DifftreeForest) -> tuple[int, ...] | None:
+        """Execute each tree's default instantiation through the query cache."""
+        if self.catalog is None:
+            return None
+        from repro.difftree.instantiate import instantiate_and_execute
+
+        row_counts: list[int] = []
+        for tree in forest.trees:
+            try:
+                result = instantiate_and_execute(tree, self.catalog)
+                row_counts.append(result.row_count)
+            except Exception:  # noqa: BLE001 - odd instantiations must not kill search
+                row_counts.append(-1)
+            self.stats.queries_executed += 1
+        return tuple(row_counts)
 
     def result(
         self, forest: DifftreeForest, strategy: str, action_trace: list[str] | None = None

@@ -107,6 +107,46 @@ class QueryProfile:
     source_tables: tuple[str, ...]
 
 
+def references_outer_names(query, table_columns) -> bool:
+    """Static correlation check: does ``query`` reference names it does not bind?
+
+    Used by the executor to decide whether a subquery's result may be memoized
+    across outer rows.  The check over-approximates correlation (unknown
+    unqualified names count as correlated), which only costs performance,
+    never correctness.
+
+    Args:
+        query: the subquery's SELECT AST.
+        table_columns: callable mapping a base-table name to its column names,
+            or to None when the table is unknown.
+    """
+    from repro.sql.ast_nodes import CommonTableExpr, SubqueryRef as _SubqueryRef
+
+    bound_tables: set[str] = set()
+    bound_columns: set[str] = set()
+    for node in query.walk():
+        if isinstance(node, TableRef):
+            bound_tables.add(node.binding_name)
+            columns = table_columns(node.name)
+            if columns is not None:
+                bound_columns.update(columns)
+        elif isinstance(node, _SubqueryRef):
+            bound_tables.add(node.alias)
+            bound_columns.update(node.query.output_names())
+        elif isinstance(node, CommonTableExpr):
+            bound_tables.add(node.name)
+            bound_columns.update(node.columns or node.query.output_names())
+        elif isinstance(node, SelectItem) and node.alias:
+            bound_columns.add(node.alias)
+    for ref in query.find_all(ColumnRef):
+        if ref.table:
+            if ref.table not in bound_tables:
+                return True
+        elif ref.name not in bound_columns:
+            return True
+    return False
+
+
 class Analyzer:
     """Performs name resolution and result-schema inference for SELECTs."""
 

@@ -285,3 +285,41 @@ class TestCatalogManagement:
         )
         for operator in ("Scan", "Filter", "Aggregate", "Project", "Sort", "Limit"):
             assert operator in plan
+
+
+class TestVectorizedShortCircuit:
+    def test_and_short_circuits_rows_that_would_type_error(self, catalog):
+        catalog.create_table("mixed", ["kind", "val"], [["num", 5], ["num", 12], ["str", "hello"]])
+        result = catalog.execute("SELECT val FROM mixed WHERE kind = 'num' AND val > 5")
+        assert result.rows == [(12,)]
+
+    def test_or_short_circuits_rows_that_would_type_error(self, catalog):
+        catalog.create_table("mixed", ["kind", "val"], [["num", 5], ["str", "hello"]])
+        result = catalog.execute("SELECT kind FROM mixed WHERE kind = 'str' OR val > 1")
+        assert result.rows == [("num",), ("str",)]
+
+    def test_case_arms_evaluate_lazily_per_row(self, catalog):
+        catalog.create_table("mixed", ["kind", "val"], [["num", 5], ["str", "hello"]])
+        result = catalog.execute(
+            "SELECT CASE WHEN kind = 'num' THEN val * 2 ELSE val END AS v FROM mixed"
+        )
+        assert result.rows == [(10,), ("hello",)]
+
+    def test_type_error_on_reached_rows_still_raises(self, catalog):
+        catalog.create_table("mixed", ["kind", "val"], [["num", 5], ["str", "hello"]])
+        with pytest.raises(Exception):
+            catalog.execute("SELECT val FROM mixed WHERE val > 5")
+
+
+class TestOrderByAggregates:
+    def test_order_by_aggregate_without_grouping_raises(self, catalog):
+        # ORDER BY alone must not turn a plain projection into a one-row
+        # global aggregate.
+        with pytest.raises(ExecutionError):
+            catalog.execute("SELECT product FROM sales ORDER BY max(amount)")
+
+    def test_grouped_query_can_order_by_unprojected_aggregate(self, catalog):
+        result = catalog.execute(
+            "SELECT region FROM sales GROUP BY region ORDER BY sum(amount) DESC, region"
+        )
+        assert result.rows == [("east",), ("west",), ("north",)]
