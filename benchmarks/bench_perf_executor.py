@@ -10,11 +10,13 @@ track the numbers over time.
 from __future__ import annotations
 
 import json
+import random
 import time
 
 from conftest import print_table
 
 from repro.datasets import load_covid_catalog, load_sdss_catalog
+from repro.engine.catalog import Catalog
 
 
 def _measure(catalog_loader, queries, repeats=5):
@@ -74,6 +76,108 @@ def _report(label, measurement):
         ],
     )
     print(json.dumps({"benchmark": "perf_executor", "workload": label, **measurement}))
+
+
+def _optimizer_catalog() -> Catalog:
+    """A synthetic star-ish schema sized so rewrite wins dominate."""
+    rng = random.Random(7)
+    catalog = Catalog()
+    catalog.create_table(
+        "lineitem",
+        ["id", "part_id", "supp_id", "qty", "price"],
+        [
+            [i, rng.randrange(0, 60), rng.randrange(0, 10), rng.randrange(0, 50), rng.randrange(1, 500)]
+            for i in range(800)
+        ],
+    )
+    catalog.create_table(
+        "part",
+        ["id", "name", "cat"],
+        [[i, f"part{i}", f"c{i % 5}"] for i in range(60)],
+    )
+    catalog.create_table(
+        "supp",
+        ["id", "region"],
+        [[i, "east" if i % 3 == 0 else "west"] for i in range(10)],
+    )
+    return catalog
+
+
+#: Join/filter workloads where the optimizer should demonstrably win: comma
+#: joins it converts to hash joins, filters it pushes below joins, and a
+#: three-way region it reorders from table statistics.
+OPTIMIZER_WORKLOAD = [
+    (
+        "comma_join_group_by",
+        "SELECT p.cat, count(*) AS n FROM lineitem l, part p "
+        "WHERE l.part_id = p.id AND l.qty > 40 GROUP BY p.cat",
+    ),
+    (
+        "filter_pushdown_join",
+        "SELECT l.id, l.qty FROM lineitem l JOIN part p ON l.part_id = p.id "
+        "WHERE p.cat = 'c1' AND l.qty > 45",
+    ),
+    (
+        "three_way_reorder",
+        "SELECT p.cat, sum(l.qty) AS q FROM lineitem l, part p, supp s "
+        "WHERE l.part_id = p.id AND l.supp_id = s.id AND s.region = 'east' "
+        "GROUP BY p.cat",
+    ),
+]
+
+
+def _measure_optimizer(repeats: int = 3):
+    catalog = _optimizer_catalog()
+    results = []
+    for label, sql in OPTIMIZER_WORKLOAD:
+        # Warm both compiled-plan cache entries so only execution is timed.
+        rows_on = catalog.execute(sql, use_cache=False).row_count
+        rows_off = catalog.execute(sql, use_cache=False, optimize=False).row_count
+        assert rows_on == rows_off
+
+        started = time.perf_counter()
+        for _ in range(repeats):
+            catalog.execute(sql, use_cache=False, optimize=False)
+        unoptimized = (time.perf_counter() - started) / repeats
+
+        started = time.perf_counter()
+        for _ in range(repeats):
+            catalog.execute(sql, use_cache=False)
+        optimized = (time.perf_counter() - started) / repeats
+
+        results.append(
+            {
+                "workload": label,
+                "rows": rows_on,
+                "unoptimized_seconds": unoptimized,
+                "optimized_seconds": optimized,
+                "speedup": unoptimized / optimized if optimized else 0.0,
+            }
+        )
+    return results
+
+
+def test_perf_executor_optimizer_on_vs_off(benchmark):
+    """The rewrite rules must win >=2x on at least one join/filter workload."""
+    results = benchmark.pedantic(_measure_optimizer, rounds=1, iterations=1)
+    print_table(
+        "Perf P4: logical optimizer on vs off",
+        ["Workload", "Rows", "Optimizer off", "Optimizer on", "Speedup"],
+        [
+            [
+                result["workload"],
+                result["rows"],
+                f"{result['unoptimized_seconds'] * 1000:.1f} ms",
+                f"{result['optimized_seconds'] * 1000:.2f} ms",
+                f"{result['speedup']:.1f}x",
+            ]
+            for result in results
+        ],
+    )
+    for result in results:
+        print(json.dumps({"benchmark": "perf_optimizer", **result}))
+    best = max(result["speedup"] for result in results)
+    assert best >= 2.0, f"expected >=2x on some workload, best was {best:.2f}x"
 
 
 def test_perf_executor_covid_workload(benchmark, covid_log):

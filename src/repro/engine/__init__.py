@@ -12,6 +12,7 @@ from repro.engine.expressions import (
     VectorEvaluator,
 )
 from repro.engine.functions import SCALAR_FUNCTIONS, call_scalar_function, is_scalar_function
+from repro.engine.optimizer import OptimizerTrace, optimize_plan
 from repro.engine.planner import Planner
 from repro.engine.query_cache import QueryCache, QueryCacheStats, cache_key
 from repro.engine.table import QueryResult, Table, result_from_table
@@ -21,6 +22,8 @@ __all__ = [
     "Executor",
     "ExecutionContext",
     "lower_plan",
+    "optimize_plan",
+    "OptimizerTrace",
     "Planner",
     "QueryCache",
     "QueryCacheStats",

@@ -102,12 +102,23 @@ class Catalog:
     # Query execution
     # ------------------------------------------------------------------ #
 
-    def execute(self, query: str | SqlNode, use_cache: bool = True) -> QueryResult:
+    def execute(
+        self,
+        query: str | SqlNode,
+        use_cache: bool = True,
+        optimize: bool = True,
+    ) -> QueryResult:
         """Execute a SQL string or parsed AST and return its result.
 
         Results are served from the canonical-query cache when an equivalent
         query (same canonical SQL) has already run against the current data
         version; pass ``use_cache=False`` to force execution.
+
+        ``optimize=False`` lowers the logical plan verbatim (no rewrite
+        rules) — the escape hatch the differential test harness uses to
+        compare optimized against unoptimized execution.  Unoptimized runs
+        never consult or populate the result cache: cached results must
+        always correspond to the default compile path.
         """
         # Imported here to avoid a circular import: the executor needs the
         # catalog type for scans.
@@ -116,6 +127,11 @@ class Catalog:
         node = parse(query) if isinstance(query, str) else query
         if not isinstance(node, (Select, SetOperation)):
             raise CatalogError(f"Only SELECT queries can be executed, got {type(node).__name__}")
+
+        if not optimize:
+            if use_cache:
+                self._query_cache.note_bypass()
+            return Executor(self, plan_cache=self._plan_cache, optimize=False).execute(node)
 
         key = cache_key(node, self.data_version()) if use_cache else None
         if key is None:
@@ -129,23 +145,47 @@ class Catalog:
         self._query_cache.store(key, result)
         return result
 
-    def explain(self, query: str | SqlNode, physical: bool = False) -> str:
+    def explain(
+        self,
+        query: str | SqlNode,
+        physical: bool = False,
+        optimize: bool = True,
+    ) -> str:
         """Return a textual plan for the query (for debugging/tests).
 
-        ``physical=False`` renders the logical plan the planner produces;
-        ``physical=True`` renders the executable physical plan the executor
-        lowers it to (hash joins, vectorized operators).
+        ``physical=False`` renders the logical plan the planner produces.
+        ``physical=True`` renders the full compile pipeline: the pre-rewrite
+        logical plan, the optimizer's per-rule trace, the optimized logical
+        plan and the executable physical plan.  With ``optimize=False`` only
+        the verbatim physical lowering is rendered (the pre-optimizer
+        behaviour, still used by lowering-specific tests).
         """
-        from repro.engine.executor import Executor
+        from repro.engine.executor import lower_plan
+        from repro.engine.optimizer import optimize_plan
         from repro.engine.planner import Planner
 
         node = parse(query) if isinstance(query, str) else query
         if not isinstance(node, (Select, SetOperation)):
             raise CatalogError(f"Only SELECT queries can be planned, got {type(node).__name__}")
-        if physical:
-            return Executor(self).compile(node).pretty()
-        plan = Planner(self.schemas()).plan(node)
-        return plan.pretty()
+        if not physical:
+            return Planner(self.schemas()).plan(node).pretty()
+        logical = Planner().plan(node)
+        if not optimize:
+            return lower_plan(logical, self, {}).pretty()
+        optimized, trace = optimize_plan(logical, self)
+        physical_plan = lower_plan(optimized, self, {})
+        trace_lines = trace.lines() or ["(no rewrites applied)"]
+        sections = [
+            "== Logical plan ==",
+            logical.pretty(),
+            "== Optimizer trace ==",
+            *trace_lines,
+            "== Optimized logical plan ==",
+            optimized.pretty(),
+            "== Physical plan ==",
+            physical_plan.pretty(),
+        ]
+        return "\n".join(sections)
 
     # ------------------------------------------------------------------ #
     # Caches

@@ -49,9 +49,9 @@ from repro.engine.plan_nodes import (
     SetOpNode,
     SortExec,
     SortNode,
-    dedupe_names,
     hashable,
 )
+from repro.engine.optimizer import optimize_plan, plan_binding_infos, plan_output_names
 from repro.engine.planner import Planner
 from repro.engine.table import QueryResult, Table
 from repro.sql.analyzer import Analyzer, references_outer_names
@@ -61,7 +61,6 @@ from repro.sql.ast_nodes import (
     Select,
     SetOperation,
     SqlNode,
-    Star,
 )
 from repro.sql.printer import to_sql
 from repro.sql.schema import AttributeRole, ColumnSchema, DataType, ResultSchema
@@ -159,7 +158,11 @@ class _Lowerer:
         if isinstance(plan, CteNode):
             return self._lower_ctes(plan)
         if isinstance(plan, ScanNode):
-            return ScanExec(table_name=plan.table_name, binding_name=plan.binding_name)
+            return ScanExec(
+                table_name=plan.table_name,
+                binding_name=plan.binding_name,
+                columns=list(plan.columns) if plan.columns is not None else None,
+            )
         if isinstance(plan, DerivedScanNode):
             return DerivedScanExec(alias=plan.alias, plan=self.lower(plan.input))
         if isinstance(plan, JoinNode):
@@ -237,46 +240,23 @@ class _Lowerer:
         )
 
     def _side_columns(self, plan: PlanNode) -> dict[str, list[str]] | None:
-        """binding -> column names for one join input, or None when unknown."""
-        if isinstance(plan, ScanNode):
-            if plan.table_name == "<dual>":
-                return {}
-            cte = self._cte_columns.get(plan.table_name.lower(), "miss")
-            if cte != "miss":
-                return None if cte is None else {plan.binding_name: list(cte)}
-            if self._catalog is not None and self._catalog.has_table(plan.table_name):
-                return {plan.binding_name: list(self._catalog.table(plan.table_name).column_names)}
+        """binding -> column names for one join input, or None when unknown.
+
+        Delegates to the optimizer's shared scope analysis so the lowerer and
+        the rewrite rules can never disagree about name resolution.
+        """
+        cte_types = {
+            name: ({column: None for column in columns} if columns is not None else None)
+            for name, columns in self._cte_columns.items()
+        }
+        scope = plan_binding_infos(plan, self._catalog, cte_types)
+        if scope is None:
             return None
-        if isinstance(plan, DerivedScanNode):
-            names = self._output_names(plan.input)
-            return None if names is None else {plan.alias: names}
-        if isinstance(plan, JoinNode):
-            left = self._side_columns(plan.left)
-            right = self._side_columns(plan.right)
-            if left is None or right is None:
-                return None
-            if set(left) & set(right):
-                return None
-            merged = dict(left)
-            merged.update(right)
-            return merged
-        return None
+        return {binding: list(info.columns) for binding, info in scope.items()}
 
     def _output_names(self, plan: PlanNode) -> list[str] | None:
         """Best-effort output column names of a planned query subtree."""
-        node = plan
-        while isinstance(node, (LimitNode, SortNode, DistinctNode, CteNode)):
-            node = node.input
-        if isinstance(node, SetOpNode):
-            return self._output_names(node.left)
-        if not isinstance(node, ProjectNode):
-            return None
-        names: list[str] = []
-        for item in node.items:
-            if isinstance(item.expr, Star):
-                return None
-            names.append(item.output_name())
-        return dedupe_names(names)
+        return plan_output_names(plan)
 
     def _classify_condition(
         self,
@@ -362,7 +342,10 @@ class Executor:
         catalog: the catalog queries run against.
         parameters: values for named query parameters.
         plan_cache: optional shared compiled-plan cache (owned by the
-            catalog), keyed by (SQL text, visible CTE signature).
+            catalog), keyed by (SQL text, visible CTE signature, optimize).
+        optimize: run the logical optimizer between planning and lowering.
+            ``False`` is the debugging/differential-testing escape hatch: the
+            logical plan is lowered verbatim.
     """
 
     def __init__(
@@ -370,10 +353,12 @@ class Executor:
         catalog,
         parameters: dict[str, Any] | None = None,
         plan_cache: dict | None = None,
+        optimize: bool = True,
     ) -> None:
         self._catalog = catalog
         self._parameters = parameters or {}
         self._shared_plan_cache = plan_cache
+        self._optimize = optimize
         # Per-execution memos keyed by AST node identity; the node reference
         # is retained so id() reuse cannot alias entries.
         self._plan_memo: dict[int, tuple[SqlNode, PhysicalNode]] = {}
@@ -430,11 +415,28 @@ class Executor:
                     for name, columns in cte_columns.items()
                 )
             )
-            key = (self._sql_key(node), signature)
+            # The optimize flag is part of the key: an optimized plan must
+            # never be served to an executor that asked for the verbatim
+            # lowering (and vice versa).  Optimized plans additionally bake
+            # in *data-dependent* facts (totality proofs from
+            # Table.value_type, join-order estimates), so their entries are
+            # keyed by the catalog data version: row mutations bump it
+            # without clearing the plan cache, and a stale rewritten plan
+            # could otherwise crash or mis-order where a fresh compile would
+            # not.  Verbatim lowering depends only on column names, which the
+            # schema-version clearing already covers.
+            version = (
+                self._catalog.data_version()
+                if self._optimize and hasattr(self._catalog, "data_version")
+                else None
+            )
+            key = (self._sql_key(node), signature, self._optimize, version)
             cached = shared.get(key)
             if cached is not None:
                 return cached
         logical = Planner().plan(node)
+        if self._optimize:
+            logical, _ = optimize_plan(logical, self._catalog, cte_columns)
         physical = lower_plan(logical, self._catalog, cte_columns)
         if shared is not None and key is not None:
             shared[key] = physical

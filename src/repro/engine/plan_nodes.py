@@ -54,14 +54,20 @@ class PlanNode:
 
 @dataclass
 class ScanNode(PlanNode):
-    """Scan of a base table (or CTE materialization)."""
+    """Scan of a base table (or CTE materialization).
+
+    ``columns`` is None for a full-width scan; the optimizer's projection
+    pruning rule narrows it to the columns the rest of the plan references.
+    """
 
     table_name: str
     binding_name: str
+    columns: list[str] | None = None
 
     def description(self) -> str:
         alias = f" AS {self.binding_name}" if self.binding_name != self.table_name else ""
-        return f"Scan({self.table_name}{alias})"
+        cols = f", cols=[{', '.join(self.columns)}]" if self.columns is not None else ""
+        return f"Scan({self.table_name}{alias}{cols})"
 
 
 @dataclass
@@ -327,14 +333,20 @@ class PhysicalNode:
 
 @dataclass
 class ScanExec(PhysicalNode):
-    """Columnar scan of a base table or CTE (zero-copy over column lists)."""
+    """Columnar scan of a base table or CTE (zero-copy over column lists).
+
+    With ``columns`` set (projection pruning), only those columns are exposed
+    as batch slots; downstream gathers then never materialize dead columns.
+    """
 
     table_name: str
     binding_name: str
+    columns: list[str] | None = None
 
     def description(self) -> str:
         alias = f" AS {self.binding_name}" if self.binding_name != self.table_name else ""
-        return f"SeqScan({self.table_name}{alias})"
+        cols = f", cols=[{', '.join(self.columns)}]" if self.columns is not None else ""
+        return f"SeqScan({self.table_name}{alias}{cols})"
 
     def execute(self, ctx) -> Batch:
         if self.table_name == "<dual>":
@@ -342,7 +354,13 @@ class ScanExec(PhysicalNode):
         table = ctx.ctes.get(self.table_name.lower())
         if table is None:
             table = ctx.catalog.table(self.table_name)
-        return Batch.from_table(table, self.binding_name)
+        if self.columns is None:
+            return Batch.from_table(table, self.binding_name)
+        return Batch(
+            slots=[(self.binding_name, name) for name in self.columns],
+            columns=[table.column_data(name) for name in self.columns],
+            length=table.row_count,
+        )
 
 
 @dataclass

@@ -65,6 +65,7 @@ class Table:
         # inference, cost statistics and widget-domain construction.
         self._distinct_memo: dict[str, tuple[int, list[Any]]] = {}
         self._range_memo: dict[str, tuple[int, tuple[Any, Any] | None]] = {}
+        self._value_type_memo: dict[str, tuple[int, DataType | None]] = {}
         self._schema_memo: tuple[int, TableSchema] | None = None
         for row in rows:
             self.append(row)
@@ -207,6 +208,38 @@ class Table:
     def distinct_count(self, column: str) -> int:
         """Number of distinct non-null values of a column (memoized)."""
         return len(self._distinct_sorted(column))
+
+    def value_type(self, column: str) -> DataType | None:
+        """The comparison-safe storage type of a column's values, or None.
+
+        Unlike :func:`infer_column_type`, which unifies mixed columns into
+        ``TEXT``, this memo answers the question the logical optimizer asks:
+        *can every non-null value of this column be compared against a value of
+        the reported type without a runtime type error?*  Columns mixing
+        comparison groups (numbers alongside strings) report ``None`` so the
+        optimizer refuses to move predicates over them.
+        """
+        memo = self._value_type_memo.get(column)
+        if memo is not None and memo[0] == self._data_version:
+            return memo[1]
+        result: DataType | None = DataType.NULL
+        for value in self.column_data(column):
+            if value is None:
+                continue
+            candidate = DataType.of_value(value)
+            if result is DataType.NULL or candidate is result:
+                result = candidate
+                continue
+            if {candidate, result} <= {DataType.INTEGER, DataType.FLOAT, DataType.BOOLEAN}:
+                result = DataType.FLOAT if DataType.FLOAT in (candidate, result) else DataType.INTEGER
+                continue
+            if {candidate, result} <= {DataType.TEXT, DataType.DATE}:
+                result = DataType.TEXT
+                continue
+            result = None
+            break
+        self._value_type_memo[column] = (self._data_version, result)
+        return result
 
     def value_range(self, column: str) -> tuple[Any, Any] | None:
         """(min, max) of a column's non-null values, or None when empty."""

@@ -1,9 +1,11 @@
 """EXPLAIN-style snapshot tests for logical → physical plan lowering.
 
-These tests pin the operator pipeline the executor actually runs: hash joins
-with extracted equi-keys (and residual predicates), vectorized nested loops
-for non-equi conditions, hash aggregation with HAVING above it, CTE
-materialization, correlated-subquery filters and set operations.
+These tests pin the operator pipeline the *lowerer* produces from a verbatim
+logical plan (``explain(..., optimize=False)``): hash joins with extracted
+equi-keys (and residual predicates), vectorized nested loops for non-equi
+conditions, hash aggregation with HAVING above it, CTE materialization,
+correlated-subquery filters and set operations.  Snapshots of the shapes the
+logical optimizer rewrites plans into live in ``test_optimizer_rules.py``.
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ class TestJoinLowering:
             "SELECT s.product, r.manager FROM sales s "
             "JOIN regions r ON s.region = r.region AND s.amount > 10",
             physical=True,
+            optimize=False,
         )
         assert plan == (
             "Project(s.product, r.manager)\n"
@@ -54,6 +57,7 @@ class TestJoinLowering:
             "SELECT s.product FROM sales s LEFT JOIN regions r "
             "ON upper(s.region) = upper(r.region)",
             physical=True,
+            optimize=False,
         )
         assert "HashJoin(LEFT, keys=[upper(s.region) = upper(r.region)])" in plan
 
@@ -61,6 +65,7 @@ class TestJoinLowering:
         plan = catalog.explain(
             "SELECT s.product FROM sales s JOIN regions r ON s.amount > 10",
             physical=True,
+            optimize=False,
         )
         assert "NestedLoopJoin(INNER, on=s.amount > 10)" in plan
 
@@ -76,6 +81,7 @@ class TestJoinLowering:
         plan = catalog.explain(
             "SELECT product FROM sales JOIN regions ON region = manager",
             physical=True,
+            optimize=False,
         )
         assert "NestedLoopJoin" in plan
 
@@ -97,6 +103,7 @@ class TestAggregateLowering:
             "SELECT region, count(*) AS n FROM sales WHERE amount > 10 "
             "GROUP BY region HAVING count(*) >= 1 ORDER BY n DESC LIMIT 2",
             physical=True,
+            optimize=False,
         )
         assert plan == (
             "Limit(limit=2, offset=None)\n"
@@ -142,6 +149,7 @@ class TestSubqueryAndCteLowering:
             "SELECT s.product FROM sales s WHERE s.amount >= "
             "(SELECT max(s2.amount) FROM sales s2 WHERE s2.region = s.region)",
             physical=True,
+            optimize=False,
         )
         assert plan == (
             "Project(s.product)\n"
@@ -155,6 +163,7 @@ class TestSubqueryAndCteLowering:
             "WITH t AS (SELECT region, sum(amount) AS total FROM sales GROUP BY region) "
             "SELECT region FROM t WHERE total > 10",
             physical=True,
+            optimize=False,
         )
         assert plan == (
             "MaterializeCtes(t)\n"
@@ -171,6 +180,7 @@ class TestSubqueryAndCteLowering:
             "SELECT big.product FROM (SELECT product, amount FROM sales "
             "WHERE amount > 90) AS big",
             physical=True,
+            optimize=False,
         )
         assert plan == (
             "Project(big.product)\n"
@@ -184,7 +194,9 @@ class TestSubqueryAndCteLowering:
 class TestSetOperationLowering:
     def test_union_lowering(self, catalog):
         plan = catalog.explain(
-            "SELECT region FROM sales UNION SELECT region FROM regions", physical=True
+            "SELECT region FROM sales UNION SELECT region FROM regions",
+            physical=True,
+            optimize=False,
         )
         assert plan == (
             "SetOp(UNION)\n"

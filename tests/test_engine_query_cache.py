@@ -201,3 +201,70 @@ class TestTableStatisticsMemoization:
         assert table.schema() is schema_a
         table.append(["north", "date", 10])
         assert table.schema() is not schema_a
+
+
+class TestOptimizerCacheAgreement:
+    """The result cache and the optimizer must agree (regression tests).
+
+    The canonical cache key is computed from the *AST*, before planning, so
+    optimization can never change which entry a query maps to; and cached
+    entries always correspond to the default (optimized) compile path because
+    ``optimize=False`` executions bypass the cache entirely.
+    """
+
+    def test_unoptimized_execution_bypasses_result_cache(self, catalog):
+        sql = "SELECT region FROM sales WHERE amount > 60"
+        cached = catalog.execute(sql)  # stored by the optimized path
+        before = catalog.cache_stats()
+        raw = catalog.execute(sql, optimize=False)
+        after = catalog.cache_stats()
+        assert raw.rows == cached.rows
+        assert after["bypassed"] == before["bypassed"] + 1
+        assert after["hits"] == before["hits"]
+        assert after["misses"] == before["misses"]
+
+    def test_result_cached_preoptimization_is_not_served_a_stale_shape(self, catalog):
+        # A result stored via the optimized compile path must be invalidated
+        # by data changes exactly like before: the key includes the data
+        # version, so the rewritten plan shape never leaks into staleness.
+        sql = "SELECT region FROM sales WHERE amount > 60"
+        first = catalog.execute(sql)
+        catalog.table("sales").append(["south", "kiwi", 99])
+        second = catalog.execute(sql)
+        assert ("south",) in second.rows and ("south",) not in first.rows
+        unoptimized = catalog.execute(sql, use_cache=False, optimize=False)
+        assert sorted(second.rows) == sorted(unoptimized.rows)
+
+    def test_hit_rate_survives_the_optimizing_compile_step(self, catalog):
+        sql = "SELECT s.region FROM sales s WHERE s.amount > 60"
+        catalog.execute(sql)
+        repeat = catalog.execute(sql)
+        variant = catalog.execute("SELECT region FROM sales WHERE amount > 60")
+        stats = catalog.cache_stats()
+        assert stats["hits"] >= 2  # repeat + canonical variant both hit
+        assert stats["hit_rate"] > 0
+        assert repeat.rows == variant.rows
+
+    def test_plan_cache_keys_optimized_and_verbatim_plans_separately(self, catalog):
+        sql = "SELECT product FROM sales WHERE amount > 60"
+        catalog.execute(sql, use_cache=False)
+        optimized_entries = catalog.cache_stats()["plan_cache_entries"]
+        catalog.execute(sql, use_cache=False, optimize=False)
+        both_entries = catalog.cache_stats()["plan_cache_entries"]
+        assert both_entries == optimized_entries + 1
+        # Re-running either mode reuses its own compiled plan.
+        catalog.execute(sql, use_cache=False)
+        catalog.execute(sql, use_cache=False, optimize=False)
+        assert catalog.cache_stats()["plan_cache_entries"] == both_entries
+        flags = {key[2] for key in catalog._plan_cache}
+        assert flags == {True, False}
+
+    def test_optimized_and_verbatim_results_agree_for_cached_queries(self, catalog):
+        sql = (
+            "SELECT s.region, s.amount FROM sales s "
+            "WHERE s.amount > 40 AND s.region <> 'north'"
+        )
+        cached_twice = [catalog.execute(sql).rows, catalog.execute(sql).rows]
+        verbatim = catalog.execute(sql, use_cache=False, optimize=False).rows
+        assert cached_twice[0] == cached_twice[1]
+        assert sorted(cached_twice[0]) == sorted(verbatim)
