@@ -17,7 +17,7 @@ from conftest import print_table
 
 from repro.cost import CostModel
 from repro.mapping import MappingConfig
-from repro.search import SearchSpace, exhaustive_search, greedy_search, mcts_search
+from repro.search import SearchSpace, beam_search, exhaustive_search, greedy_search, mcts_search
 
 
 def make_space(catalog, queries):
@@ -35,11 +35,13 @@ def make_space(catalog, queries):
 
 def run_strategies(catalog, queries, mcts_iterations=80, exhaustive_states=150):
     results = {}
-    for name in ("greedy", "mcts", "exhaustive"):
+    for name in ("greedy", "beam", "mcts", "exhaustive"):
         space = make_space(catalog, queries)
         started = time.perf_counter()
         if name == "greedy":
             result = greedy_search(space)
+        elif name == "beam":
+            result = beam_search(space, width=3, max_depth=6)
         elif name == "mcts":
             result = mcts_search(space, iterations=mcts_iterations, seed=1)
         else:

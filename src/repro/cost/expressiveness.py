@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 
 from repro.difftree.builder import DifftreeForest
-from repro.difftree.instantiate import binding_space_size, find_binding_for
+from repro.difftree.instantiate import binding_space_size
 
 #: Cost added per input query the interface cannot express.
 MISSING_QUERY_PENALTY = 10.0
@@ -25,25 +25,93 @@ COVERAGE_ENUMERATION_LIMIT = 256
 BINDING_SPACE_CAP = 256
 
 
-#: Cache type used to memoize per-(tree, query) coverage checks across the many
-#: forest states a search evaluates.  Keys are (id(tree), query index); the
-#: cached tree object is stored alongside the result to keep the id stable.
+#: Mapping used to memoize per-tree candidate sets across the many forest
+#: states a search evaluates.  Keys are structural (choice-id-insensitive)
+#: tree signatures, so equal trees rebuilt along different action sequences —
+#: including merges replayed with fresh choice ids — and trees shared by
+#: identity between sibling forest states all share one entry, and the cache
+#: holds no tree objects alive.  Coverage is a deterministic function of
+#: structure alone (binding enumeration never looks at choice ids), which
+#: makes the sharing safe.  Any dict-like mapping works; the cost model
+#: passes a bounded LruDict.
 CoverageCache = dict
 
 
-def _query_covered(
-    tree, query, query_index: int, limit: int, cache: CoverageCache | None
-) -> bool:
+def _tree_candidate_sqls(tree, limit: int, cache: CoverageCache | None) -> frozenset[str] | None:
+    """Canonical SQL of every query the tree can instantiate (None = too many).
+
+    Enumerating the binding space once per tree — instead of once per
+    (tree, target query) pair as ``find_binding_for`` does — turns the
+    coverage check into set membership.  Canonical SQL strings are a precise
+    equality proxy: print-then-parse is the identity, so equal strings imply
+    equal canonical ASTs and vice versa.  The set is cached by the tree's
+    structural signature (bindings never look at choice ids).
+    """
+    from repro.difftree.canonical import canonical_sql
+    from repro.difftree.instantiate import enumerate_bindings, instantiate
+    from repro.difftree.signatures import structural_signature
+
+    key = None
     if cache is not None:
-        key = (id(tree), query_index)
+        key = structural_signature(tree)
         if key in cache:
-            return cache[key][1]
+            return cache[key]
     if binding_space_size(tree) > BINDING_SPACE_CAP:
-        covered = False
+        candidates: frozenset[str] | None = None
     else:
-        covered = find_binding_for(tree, query, limit=limit) is not None
+        rendered: set[str] = set()
+        for bindings in enumerate_bindings(tree, limit=limit):
+            try:
+                candidate = instantiate(tree, bindings)
+                rendered.add(canonical_sql(candidate))
+            except Exception:  # noqa: BLE001 - skip broken/unrenderable bindings
+                continue
+        candidates = frozenset(rendered)
     if cache is not None:
-        cache[(id(tree), query_index)] = (tree, covered)
+        cache[key] = candidates
+    return candidates
+
+
+def _query_covered(tree, query, limit: int, cache: CoverageCache | None) -> bool:
+    candidates = _tree_candidate_sqls(tree, limit, cache)
+    if candidates is None:
+        return False
+    from repro.difftree.canonical import canonical_sql
+
+    return canonical_sql(query) in candidates
+
+
+def tree_covered_count(
+    tree,
+    forest: DifftreeForest,
+    member_indices: list[int],
+    limit: int = COVERAGE_ENUMERATION_LIMIT,
+    cache: CoverageCache | None = None,
+) -> int:
+    """How many of the tree's member queries it can express.
+
+    This is the per-tree piece of the coverage computation: the forest-level
+    ratio/cost recompose from these counts, so an incremental evaluation only
+    pays for the trees an action changed.
+    """
+    covered = 0
+    for query_index in member_indices:
+        if _query_covered(tree, forest.queries[query_index], limit, cache):
+            covered += 1
+    return covered
+
+
+def forest_covered_count(
+    forest: DifftreeForest,
+    limit: int = COVERAGE_ENUMERATION_LIMIT,
+    cache: CoverageCache | None = None,
+) -> int:
+    """Input queries expressible by the tree that owns them, forest-wide."""
+    covered = 0
+    for tree_index, member_indices in enumerate(forest.members):
+        covered += tree_covered_count(
+            forest.trees[tree_index], forest, member_indices, limit, cache
+        )
     return covered
 
 
@@ -55,13 +123,21 @@ def coverage_ratio(
     """Fraction of the input query log expressible by the forest's trees."""
     if not forest.queries:
         return 1.0
-    covered = 0
-    for tree_index, member_indices in enumerate(forest.members):
-        tree = forest.trees[tree_index]
-        for query_index in member_indices:
-            if _query_covered(tree, forest.queries[query_index], query_index, limit, cache):
-                covered += 1
-    return covered / len(forest.queries)
+    return forest_covered_count(forest, limit, cache) / len(forest.queries)
+
+
+def cost_from_covered(covered: int, total: int) -> float:
+    """The expressiveness penalty for ``covered`` of ``total`` queries.
+
+    The single home of the missing-query formula — the standalone
+    :func:`expressiveness_cost` and the cost model's decomposed evaluation
+    both go through it, so the two paths cannot drift.
+    """
+    if total == 0:
+        return 0.0
+    ratio = covered / total
+    missing = round((1.0 - ratio) * total)
+    return missing * MISSING_QUERY_PENALTY
 
 
 def expressiveness_cost(
@@ -70,9 +146,9 @@ def expressiveness_cost(
     cache: CoverageCache | None = None,
 ) -> float:
     """Penalty for input queries the interface cannot re-express."""
-    ratio = coverage_ratio(forest, limit=limit, cache=cache)
-    missing = round((1.0 - ratio) * len(forest.queries))
-    return missing * MISSING_QUERY_PENALTY
+    if not forest.queries:
+        return 0.0
+    return cost_from_covered(forest_covered_count(forest, limit, cache), len(forest.queries))
 
 
 def generality_score(forest: DifftreeForest) -> float:

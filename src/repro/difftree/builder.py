@@ -91,13 +91,15 @@ class DifftreeForest:
         return True
 
     def signature(self) -> tuple:
-        """Hashable identity of the forest structure (used by search visited-sets)."""
-        from repro.difftree.canonical import tree_fingerprint
+        """Hashable identity of the forest structure (used by search visited-sets).
 
-        return tuple(
-            (tuple(members), tree_fingerprint(tree))
-            for members, tree in zip(self.members, self.trees)
-        )
+        Per-tree fingerprints are memoized on the tree objects (see
+        :mod:`repro.difftree.signatures`), so re-signing a forest after an
+        action only pays for the one or two trees the action created.
+        """
+        from repro.difftree.signatures import forest_signature
+
+        return forest_signature(self)
 
 
 def parse_query_log(queries: Sequence[str | SqlNode]) -> list[Select]:

@@ -18,7 +18,6 @@ from repro.sql.ast_nodes import (
     SubqueryRef,
     TableRef,
 )
-from repro.sql.printer import to_sql
 from repro.sql.visitor import transform
 
 
@@ -39,6 +38,17 @@ def strip_redundant_qualifiers(query: Select) -> Select:
     """
     binding = _single_binding_name(query)
     if binding is None:
+        return query
+
+    # Fast path: most queries the search canonicalizes (candidate
+    # instantiations of already-canonical trees) carry no redundant
+    # qualifiers at all — detect that with one traversal and skip the
+    # rebuilding transform entirely.
+    if not any(
+        (isinstance(node, ColumnRef) and node.table == binding)
+        or (isinstance(node, TableRef) and node.binding_name == binding and node.alias)
+        for node in query.walk()
+    ):
         return query
 
     def rewrite(node: SqlNode) -> SqlNode | None:
@@ -62,6 +72,10 @@ def normalize_and_chains(node: SqlNode) -> SqlNode:
     therefore Difftree coverage checks) insensitive to how the user happened to
     parenthesize their filters.
     """
+    if not any(
+        isinstance(descendant, BinaryOp) and descendant.op == "AND" for descendant in node.walk()
+    ):
+        return node
 
     def rewrite(candidate: SqlNode) -> SqlNode | None:
         if isinstance(candidate, BinaryOp) and candidate.op == "AND":
@@ -81,11 +95,52 @@ def canonicalize(query: Select) -> Select:
     return normalized
 
 
+_CANONICAL_ATTR = "_repro_canonical"
+
+
 def canonical_form(node: SqlNode) -> SqlNode:
-    """Canonical shape of an arbitrary query/expression for equality checks."""
+    """Canonical shape of an arbitrary query/expression for equality checks.
+
+    Memoized on the (immutable) node object: coverage checks canonicalize the
+    same target queries thousands of times during a search, and the memo makes
+    every repeat an attribute lookup.
+    """
+    cached = getattr(node, _CANONICAL_ATTR, None)
+    if cached is not None:
+        return cached
     if isinstance(node, Select):
-        return canonicalize(node)
-    return normalize_and_chains(node)
+        result = canonicalize(node)
+    else:
+        result = normalize_and_chains(node)
+    try:
+        object.__setattr__(node, _CANONICAL_ATTR, result)
+    except (AttributeError, TypeError):  # pragma: no cover - slotted nodes
+        pass
+    return result
+
+
+_CANONICAL_SQL_ATTR = "_repro_canonical_sql"
+
+
+def canonical_sql(node: SqlNode) -> str:
+    """Rendered SQL of the node's canonical form, memoized on the node.
+
+    Because printing then re-parsing is the identity (property-tested), two
+    queries have equal canonical SQL iff their canonical ASTs are equal —
+    which makes this string a precise, cheap-to-compare equality proxy for
+    coverage checks.
+    """
+    from repro.sql.printer import to_sql
+
+    cached = getattr(node, _CANONICAL_SQL_ATTR, None)
+    if cached is not None:
+        return cached
+    rendered = to_sql(canonical_form(node))
+    try:
+        object.__setattr__(node, _CANONICAL_SQL_ATTR, rendered)
+    except (AttributeError, TypeError):  # pragma: no cover - slotted nodes
+        pass
+    return rendered
 
 
 def tree_size(node: SqlNode) -> int:
@@ -94,14 +149,15 @@ def tree_size(node: SqlNode) -> int:
 
 
 def tree_fingerprint(node: SqlNode) -> str:
-    """A stable textual fingerprint of a tree (its rendered SQL when possible)."""
-    try:
-        return to_sql(node)
-    except Exception:  # noqa: BLE001 - choice nodes are not renderable as SQL
-        parts = []
-        for descendant in node.walk():
-            parts.append(type(descendant).__name__)
-        return "|".join(parts)
+    """A stable textual fingerprint of a tree (its rendered SQL when possible).
+
+    Delegates to :mod:`repro.difftree.signatures`, which memoizes the
+    fingerprint on the node object — the value is unchanged, computing it
+    twice is now free.
+    """
+    from repro.difftree.signatures import tree_fingerprint as cached_fingerprint
+
+    return cached_fingerprint(node)
 
 
 def shared_node_count(a: SqlNode, b: SqlNode) -> int:

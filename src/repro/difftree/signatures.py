@@ -1,0 +1,257 @@
+"""Per-tree signatures: cached, interned identities of Difftree structures.
+
+The search layer evaluates thousands of candidate forests, but each action
+(a ``merge(i, j)`` or a single-tree transformation) touches one or two trees —
+the rest of the forest is *structure-shared* by object identity.  Signatures
+turn that sharing into cache hits:
+
+* :func:`tree_fingerprint` — the legacy textual fingerprint used by forest
+  signatures and search visited-sets (rendered SQL when possible).  It is
+  computed once per tree *object* and memoized on the node itself, so
+  ``forest.signature()`` costs a handful of attribute lookups instead of a
+  full render per call.
+* :func:`tree_signature` — a *precise* structural signature (node labels,
+  which include choice ids and OPT defaults, plus tree shape).  Two trees
+  with equal signatures are interchangeable for every per-tree computation
+  the search performs: profiling, visualization mapping, widget mapping,
+  coverage checks and data profiling all key their caches on it.
+* signatures are **interned**: structurally equal signatures resolve to one
+  canonical object, so equal trees reached along different action sequences
+  (e.g. the same merge replayed in two MCTS rollouts, which allocates fresh
+  choice nodes each time... but identical structure when ids survive) share
+  cache entries and dict keys stay small.
+
+Both signatures are memoized via ``object.__setattr__`` on the (frozen,
+immutable) AST nodes — a node's structure never changes after construction,
+so the memo can never go stale.  The memo attributes are not dataclass
+fields, so node equality and hashing are unaffected.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Hashable
+
+from repro.sql.ast_nodes import SqlNode
+
+#: Memo attribute names stashed on AST nodes (not dataclass fields).
+_FINGERPRINT_ATTR = "_repro_fingerprint"
+_SIGNATURE_ATTR = "_repro_signature"
+_STRUCTURAL_ATTR = "_repro_structural"
+
+#: Intern table mapping structural signatures to their canonical instance.
+#: Bounded: interning is a pure space/speed optimization — evicting entries
+#: can never change behaviour because signatures compare by value.
+_INTERN_TABLE: dict[tuple, tuple] = {}
+_INTERN_CAPACITY = 8192
+
+
+def intern_signature(signature: tuple) -> tuple:
+    """Return the canonical instance of a structural signature."""
+    if len(_INTERN_TABLE) >= _INTERN_CAPACITY:
+        _INTERN_TABLE.clear()
+    return _INTERN_TABLE.setdefault(signature, signature)
+
+
+def intern_table_size() -> int:
+    """Number of distinct signatures currently interned (diagnostics)."""
+    return len(_INTERN_TABLE)
+
+
+def _compute_fingerprint(node: SqlNode) -> str:
+    from repro.sql.printer import to_sql
+
+    try:
+        return to_sql(node)
+    except Exception:  # noqa: BLE001 - choice nodes are not renderable as SQL
+        parts = []
+        for descendant in node.walk():
+            parts.append(type(descendant).__name__)
+        return "|".join(parts)
+
+
+def tree_fingerprint(node: SqlNode) -> str:
+    """A stable textual fingerprint of a tree (its rendered SQL when possible).
+
+    Memoized per node object and interned, so repeated forest signatures are
+    nearly free.  The fingerprint value is identical to what
+    :func:`repro.difftree.canonical.tree_fingerprint` historically produced.
+    """
+    cached = getattr(node, _FINGERPRINT_ATTR, None)
+    if cached is not None:
+        return cached
+    fingerprint = sys.intern(_compute_fingerprint(node))
+    try:
+        object.__setattr__(node, _FINGERPRINT_ATTR, fingerprint)
+    except (AttributeError, TypeError):  # pragma: no cover - slotted nodes
+        pass
+    return fingerprint
+
+
+def _compute_signature(node: SqlNode) -> tuple:
+    # node.label() covers the class name and every scalar field — including
+    # choice ids and OPT defaults, which widget bindings depend on — so the
+    # recursive (label, children) shape identifies the tree precisely.
+    return (node.label(), tuple(_signature_uncached(child) for child in node.children()))
+
+
+def _signature_uncached(node: SqlNode) -> tuple:
+    cached = getattr(node, _SIGNATURE_ATTR, None)
+    if cached is not None:
+        return cached
+    signature = _compute_signature(node)
+    try:
+        object.__setattr__(node, _SIGNATURE_ATTR, signature)
+    except (AttributeError, TypeError):  # pragma: no cover - slotted nodes
+        pass
+    return signature
+
+
+def tree_signature(node: SqlNode) -> tuple:
+    """Precise structural signature of a Difftree, memoized and interned.
+
+    Equal signatures imply equal node labels — hence equal choice ids, OPT
+    defaults, literals and column names — at every position of the tree.
+    Suitable as a cache key for values that *embed choice ids* (widget
+    mapping pieces, transformation lists); for choice-id-insensitive values
+    use :func:`structural_signature`, which shares entries across replayed
+    merges that allocate fresh choice ids.
+    """
+    return intern_signature(_signature_uncached(node))
+
+
+def _structural_label(node: SqlNode) -> tuple:
+    from repro.difftree.nodes import ChoiceNode
+
+    label = node.label()
+    if not isinstance(node, ChoiceNode):
+        return label
+    name, scalars = label
+    return (name, tuple(pair for pair in scalars if pair[0] != "choice_id"))
+
+
+def _structural_uncached(node: SqlNode) -> tuple:
+    cached = getattr(node, _STRUCTURAL_ATTR, None)
+    if cached is not None:
+        return cached
+    signature = (
+        _structural_label(node),
+        tuple(_structural_uncached(child) for child in node.children()),
+    )
+    try:
+        object.__setattr__(node, _STRUCTURAL_ATTR, signature)
+    except (AttributeError, TypeError):  # pragma: no cover - slotted nodes
+        pass
+    return signature
+
+
+def structural_signature(node: SqlNode) -> tuple:
+    """Choice-id-*insensitive* signature of a Difftree, memoized and interned.
+
+    Identical to :func:`tree_signature` except that choice ids are erased
+    (OPT defaults and everything else are kept).  The search replays the same
+    merge along many action sequences, allocating fresh choice ids each time;
+    values that do not depend on the ids — coverage checks, default-query row
+    counts, chart templates, filter-attribute sets — key their caches on this
+    signature so all those replays share one entry.  Choice nodes correspond
+    *positionally* (pre-order) between equal-signature trees, which is what
+    profile reuse relies on to remap ids.
+    """
+    return intern_signature(_structural_uncached(node))
+
+
+def forest_signature(forest) -> tuple:
+    """Hashable identity of a forest: per-tree fingerprints plus membership.
+
+    This is the (unchanged) value of ``DifftreeForest.signature()``; the
+    per-tree fingerprints come from the node memo so recomputing a forest
+    signature after an action costs O(trees), not O(nodes).
+
+    Caveat: for trees *with choice nodes* the legacy fingerprint falls back
+    to a type-name walk, so structurally different difftrees can collide.
+    The historical search strategies (and their evaluation memo / visited
+    sets) deliberately keep this granularity for reproducibility; new code
+    that needs exact forest identity should use
+    :func:`precise_forest_signature` instead.
+    """
+    return tuple(
+        (tuple(members), tree_fingerprint(tree))
+        for members, tree in zip(forest.members, forest.trees)
+    )
+
+
+def precise_forest_signature(forest) -> tuple:
+    """Exact forest identity: per-tree precise signatures plus membership.
+
+    Unlike :func:`forest_signature` this never collides distinct structures
+    (choice ids, OPT defaults and literals all participate); the beam
+    strategy keys its visited-set on it.
+    """
+    return tuple(
+        (tuple(members), tree_signature(tree))
+        for members, tree in zip(forest.members, forest.trees)
+    )
+
+
+class LruDict:
+    """A minimal bounded mapping with LRU eviction (insertion-order based).
+
+    Used by the search layer's per-tree caches: signature-keyed entries are
+    recency-promoted on access and the oldest entries are evicted past
+    ``capacity``, so long searches cannot grow memory without bound.
+    """
+
+    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("LruDict capacity must be positive")
+        self.capacity = capacity
+        self._entries: dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        if key in self._entries:
+            value = self._entries.pop(key)
+            self._entries[key] = value  # re-insert: most recently used
+            self.hits += 1
+            return value
+        self.misses += 1
+        return default
+
+    def __getitem__(self, key: Hashable) -> Any:
+        if key not in self._entries:
+            raise KeyError(key)
+        return self.get(key)
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        self.put(key, value)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._entries:
+            self._entries.pop(key)
+        elif len(self._entries) >= self.capacity:
+            oldest = next(iter(self._entries))
+            self._entries.pop(oldest)
+            self.evictions += 1
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

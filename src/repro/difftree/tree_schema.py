@@ -282,32 +282,132 @@ def tree_profile(
     )
 
 
+class TreeProfileCache:
+    """Signature-keyed, LRU-bounded cache of per-tree profiles.
+
+    A tree's profile is a deterministic function of the tree structure and
+    the fixed catalog schemas, so it can be shared across every forest state
+    a search visits.  Lookups take an identity fast path first (neighbouring
+    forest states share unchanged trees by object identity), then fall back
+    to the *structural* (choice-id-insensitive) signature, which also catches
+    equal trees rebuilt along different action sequences with fresh choice
+    ids — their choice nodes correspond positionally (pre-order), so the
+    cached profile's choice contexts are remapped to the new tree's ids.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        from repro.difftree.signatures import LruDict
+
+        self._by_signature = LruDict(capacity)
+        self._by_id: dict[int, tuple[SqlNode, TreeProfile]] = {}
+        self._id_capacity = capacity
+
+    @property
+    def hits(self) -> int:
+        return self._by_signature.hits
+
+    @property
+    def misses(self) -> int:
+        return self._by_signature.misses
+
+    def get(self, tree: SqlNode) -> TreeProfile | None:
+        entry = self._by_id.get(id(tree))
+        if entry is not None and entry[0] is tree:
+            self._by_signature.hits += 1
+            return entry[1]
+        from repro.difftree.signatures import structural_signature
+
+        cached = self._by_signature.get(structural_signature(tree))
+        if cached is None:
+            return None
+        cached_ids, profile = cached
+        tree_ids = tuple(node.choice_id for node in collect_choice_nodes(tree))
+        if tree_ids == cached_ids:
+            return profile
+        return _remap_profile(profile, cached_ids, tree_ids)
+
+    def put(self, tree: SqlNode, profile: TreeProfile) -> None:
+        from repro.difftree.signatures import structural_signature
+
+        tree_ids = tuple(node.choice_id for node in collect_choice_nodes(tree))
+        self._by_signature.put(structural_signature(tree), (tree_ids, profile))
+        if len(self._by_id) >= self._id_capacity:
+            self._by_id.clear()
+        self._by_id[id(tree)] = (tree, profile)
+
+    def stats(self) -> dict[str, int]:
+        return self._by_signature.stats()
+
+
+def _remap_profile(
+    profile: TreeProfile, cached_ids: tuple[str, ...], tree_ids: tuple[str, ...]
+) -> TreeProfile:
+    """Rebind a cached profile's choice contexts to a structurally equal tree.
+
+    The two trees differ only in choice ids; choice nodes correspond
+    positionally, so every id-bearing field is translated through the
+    positional map.  The result is exactly the profile a from-scratch
+    ``tree_profile`` call on the new tree would produce.
+    """
+    from dataclasses import replace
+
+    mapping = dict(zip(cached_ids, tree_ids))
+    choices = [
+        replace(
+            context,
+            choice_id=mapping[context.choice_id],
+            range_partner=mapping.get(context.range_partner, context.range_partner)
+            if context.range_partner is not None
+            else None,
+        )
+        for context in profile.choices
+    ]
+    return TreeProfile(
+        tree_index=profile.tree_index,
+        default_query=profile.default_query,
+        query_profile=profile.query_profile,
+        choices=choices,
+    )
+
+
+def _reindexed(profile: TreeProfile, index: int) -> TreeProfile:
+    if profile.tree_index == index:
+        return profile
+    return TreeProfile(
+        tree_index=index,
+        default_query=profile.default_query,
+        query_profile=profile.query_profile,
+        choices=profile.choices,
+    )
+
+
 def forest_schema(
     forest: DifftreeForest,
     table_schemas: dict[str, TableSchema],
-    profile_cache: dict | None = None,
+    profile_cache: "dict | TreeProfileCache | None" = None,
 ) -> ForestSchema:
     """Profiles for every tree of a forest.
 
-    ``profile_cache`` (keyed by tree object identity) lets the search layer
-    reuse profiles of trees that are shared between neighbouring forest
-    states; a tree's profile depends only on the tree and the fixed catalog
-    schemas, so identity-keyed reuse is safe.
+    ``profile_cache`` lets the search layer reuse profiles of trees shared
+    between neighbouring forest states.  It accepts either a
+    :class:`TreeProfileCache` (signature-keyed, LRU-bounded — what the search
+    layer uses) or a plain identity-keyed dict (the legacy protocol).
     """
     profiles = []
+    use_tree_cache = isinstance(profile_cache, TreeProfileCache)
     for index, tree in enumerate(forest.trees):
-        cached = profile_cache.get(id(tree)) if profile_cache is not None else None
-        if cached is not None:
-            cached_profile = cached[1]
-            profile = TreeProfile(
-                tree_index=index,
-                default_query=cached_profile.default_query,
-                query_profile=cached_profile.query_profile,
-                choices=cached_profile.choices,
-            )
+        if use_tree_cache:
+            cached_profile = profile_cache.get(tree)
+        else:
+            cached = profile_cache.get(id(tree)) if profile_cache is not None else None
+            cached_profile = cached[1] if cached is not None else None
+        if cached_profile is not None:
+            profile = _reindexed(cached_profile, index)
         else:
             profile = tree_profile(tree, index, table_schemas)
-            if profile_cache is not None:
+            if use_tree_cache:
+                profile_cache.put(tree, profile)
+            elif profile_cache is not None:
                 profile_cache[id(tree)] = (tree, profile)
         profiles.append(profile)
     return ForestSchema(profiles=profiles)

@@ -13,9 +13,10 @@ from repro.mapping.interaction_mapping import (
     InteractionMapper,
     InteractionMappingResult,
     MappingPolicy,
+    compose_interaction_mapping,
 )
 from repro.mapping.layout_mapping import map_layout, order_visualizations, size_visualizations
-from repro.mapping.schema_matching import MappingConfig, map_forest_to_interface
+from repro.mapping.schema_matching import MappingCaches, MappingConfig, map_forest_to_interface
 from repro.mapping.vis_mapping import map_forest_to_visualizations, map_tree_to_visualization
 
 __all__ = [
@@ -29,9 +30,11 @@ __all__ = [
     "InteractionMapper",
     "InteractionMappingResult",
     "MappingPolicy",
+    "compose_interaction_mapping",
     "map_layout",
     "order_visualizations",
     "size_visualizations",
+    "MappingCaches",
     "MappingConfig",
     "map_forest_to_interface",
     "map_forest_to_visualizations",

@@ -63,6 +63,33 @@ class InteractionMappingResult:
     interactions: list[VisInteraction] = field(default_factory=list)
 
 
+def compose_interaction_mapping(
+    pieces: list[InteractionMappingResult],
+) -> InteractionMappingResult:
+    """Recompose per-tree mapping pieces into one forest-level mapping.
+
+    Widget and interaction ids are renumbered globally in piece order
+    (``W1..``, ``I1..``), reproducing exactly the numbering a monolithic
+    mapping pass over the same trees would assign.  Components are shallow-
+    copied so cached pieces are never aliased into a live interface.
+    """
+    from dataclasses import replace
+
+    result = InteractionMappingResult()
+    widget_count = 0
+    interaction_count = 0
+    for piece in pieces:
+        for widget in piece.widgets:
+            widget_count += 1
+            result.widgets.append(replace(widget, widget_id=f"W{widget_count}"))
+        for interaction in piece.interactions:
+            interaction_count += 1
+            result.interactions.append(
+                replace(interaction, interaction_id=f"I{interaction_count}")
+            )
+    return result
+
+
 class InteractionMapper:
     """Maps every choice node of a forest to a widget or a vis interaction."""
 
@@ -81,9 +108,33 @@ class InteractionMapper:
         schema: ForestSchema,
         visualizations: list[Visualization],
     ) -> InteractionMappingResult:
+        pieces = [
+            self.map_tree_piece(profile, forest, visualizations) for profile in schema.profiles
+        ]
+        return compose_interaction_mapping(pieces)
+
+    def map_tree_piece(
+        self,
+        profile: TreeProfile,
+        forest: DifftreeForest,
+        visualizations: list[Visualization],
+    ) -> InteractionMappingResult:
+        """Map one tree's choices in isolation, with locally-numbered ids.
+
+        The mapping decisions depend on the tree's profile and on the *shapes*
+        of all charts (linked brushes and click-selects target other trees'
+        charts), but never on the id counters — so per-tree pieces can be
+        cached and recomposed with :func:`compose_interaction_mapping`, which
+        renumbers ids exactly as a monolithic ``map_forest`` run would.
+        """
         result = InteractionMappingResult()
-        for profile in schema.profiles:
+        saved = (self._widget_counter, self._interaction_counter)
+        self._widget_counter = 0
+        self._interaction_counter = 0
+        try:
             self._map_tree(profile, forest, visualizations, result)
+        finally:
+            self._widget_counter, self._interaction_counter = saved
         return result
 
     # ------------------------------------------------------------------ #

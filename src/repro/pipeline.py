@@ -30,6 +30,7 @@ from repro.interface.layout import MEDIUM_SCREEN, ScreenSize
 from repro.interface.state import InterfaceState
 from repro.mapping.interaction_mapping import MappingPolicy
 from repro.mapping.schema_matching import MappingConfig, map_forest_to_interface
+from repro.search.beam import beam_search
 from repro.search.exhaustive import exhaustive_search
 from repro.search.greedy import greedy_search
 from repro.search.mcts import mcts_search
@@ -41,13 +42,15 @@ class PipelineConfig:
     """Configuration of the end-to-end generation pipeline."""
 
     screen: ScreenSize = MEDIUM_SCREEN
-    method: str = "mcts"  # "mcts" | "greedy" | "exhaustive" | "none"
+    method: str = "mcts"  # "mcts" | "greedy" | "beam" | "exhaustive" | "none"
     mcts_iterations: int = 60
     mcts_rollout_depth: int = 2
     mcts_max_depth: int = 6
     exhaustive_depth: int = 3
     exhaustive_max_states: int = 300
     greedy_max_steps: int = 12
+    beam_width: int = 4
+    beam_depth: int = 8
     seed: int = 0
     cost_weights: CostWeights = field(default_factory=CostWeights)
     mapping_policy: MappingPolicy = field(default_factory=MappingPolicy)
@@ -89,6 +92,12 @@ class GenerationResult:
             "interactions": self.interface.interaction_count,
             "trees": self.forest.tree_count,
             "candidates_evaluated": self.stats.evaluations,
+            "evaluation_cache_hits": self.stats.cache_hits,
+            "queries_executed": self.stats.queries_executed,
+            "query_cache_hits": self.stats.query_cache_hits,
+            "profile_cache_hits": self.stats.profile_cache_hits,
+            "tree_evals_reused": self.stats.tree_evals_reused,
+            "tree_evals_computed": self.stats.tree_evals_computed,
             "elapsed_seconds": round(self.elapsed_seconds, 4),
             "actions": list(self.action_trace),
         }
@@ -140,6 +149,8 @@ def generate_interface(
         )
     elif config.method == "greedy":
         result = greedy_search(space, max_steps=config.greedy_max_steps)
+    elif config.method == "beam":
+        result = beam_search(space, width=config.beam_width, max_depth=config.beam_depth)
     elif config.method == "exhaustive":
         result = exhaustive_search(
             space, max_depth=config.exhaustive_depth, max_states=config.exhaustive_max_states

@@ -1,0 +1,102 @@
+"""Beam search over Difftree forests.
+
+A width-``k`` beam sits between greedy hill climbing and bounded exhaustive
+enumeration: at every depth it expands *all* actions of the ``k`` best frontier
+states, keeps the ``k`` cheapest distinct successors, and remembers the best
+state seen anywhere.  Unlike greedy it can cross a temporarily-worse
+intermediate state (a merge that only pays off after a subsequent factoring)
+as long as that state stays within the beam; unlike exhaustive search its
+frontier is bounded, so the work per depth is ``O(k · branching)``.
+
+Beam search is the strategy that benefits most from incremental evaluation:
+sibling candidates in one frontier expansion share all but one or two trees
+with their parent, so per-tree caches turn a frontier sweep into mostly
+O(changed trees) work.
+
+Being new code with no reproducibility debt, beam uses *exact* state
+identity: its visited-set keys on :func:`precise_forest_signature` (the
+legacy fingerprint collides structurally different choice trees), and
+successor evaluations bypass the legacy-keyed forest memo (per-tree caches
+still apply; the visited-set already guarantees each distinct state is
+evaluated at most once).
+
+Determinism: candidates are ranked by (cost, discovery order), so a fixed
+query log always yields the same interface — there is no randomness at all.
+"""
+
+from __future__ import annotations
+
+from repro.difftree.signatures import precise_forest_signature
+from repro.errors import SearchError
+from repro.search.space import SearchResult, SearchSpace
+
+#: Default number of frontier states kept per depth.
+DEFAULT_BEAM_WIDTH = 4
+
+
+def beam_search(
+    space: SearchSpace,
+    width: int = DEFAULT_BEAM_WIDTH,
+    max_depth: int = 8,
+) -> SearchResult:
+    """Run beam search from the space's initial state."""
+    if width < 1:
+        raise SearchError("Beam search requires a beam width of at least 1")
+    if max_depth < 0:
+        raise SearchError("Beam search requires a non-negative depth")
+
+    initial = space.initial_state
+    best_forest = initial
+    best_evaluation = space.evaluate(initial)
+    best_cost = best_evaluation.total_cost
+    best_trace: list[str] = []
+
+    visited = {precise_forest_signature(initial)}
+    # Frontier entries: (cost, discovery order, forest, trace).
+    beam = [(best_cost, 0, initial, [])]
+
+    for _depth in range(max_depth):
+        candidates = []
+        discovered = 0
+        for _cost, _order, forest, trace in beam:
+            space.stats.states_expanded += 1
+            for action in space.actions(forest):
+                successor = space.apply(forest, action)
+                signature = precise_forest_signature(successor)
+                if signature in visited:
+                    continue
+                visited.add(signature)
+                evaluation = space.evaluate(
+                    successor, changed=action.touched, use_cache=False
+                )
+                candidates.append(
+                    (
+                        evaluation.total_cost,
+                        discovered,
+                        successor,
+                        trace + [action.description],
+                        evaluation,
+                    )
+                )
+                discovered += 1
+        if not candidates:
+            break
+        candidates.sort(key=lambda entry: (entry[0], entry[1]))
+        beam = [entry[:4] for entry in candidates[:width]]
+        frontier = candidates[0]
+        if frontier[0] < best_cost:
+            best_cost = frontier[0]
+            best_forest = frontier[2]
+            best_trace = frontier[3]
+            best_evaluation = frontier[4]
+
+    # Build the result from the held evaluation: a final evaluate() round
+    # trip could hand back a legacy-fingerprint-colliding neighbour's entry.
+    return SearchResult(
+        interface=best_evaluation.interface,
+        cost=best_evaluation.cost,
+        forest=best_forest,
+        stats=space.stats,
+        strategy="beam",
+        action_trace=best_trace,
+    )

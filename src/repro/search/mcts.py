@@ -127,7 +127,7 @@ class MctsSearcher:
         )
         node.children.append(child)
         child_trace = trace + [action.description]
-        self._observe(child_forest, child_trace)
+        self._observe(child_forest, child_trace, changed=action.touched)
         return child, child_trace
 
     def _rollout(self, node: MctsNode, trace: list[str]) -> float:
@@ -140,7 +140,7 @@ class MctsSearcher:
             action = self.rng.choice(actions)
             forest = self.space.apply(forest, action)
             rollout_trace.append(action.description)
-            self._observe(forest, rollout_trace)
+            self._observe(forest, rollout_trace, changed=action.touched)
         evaluation = self.space.evaluate(forest)
         return 1.0 / (1.0 + evaluation.total_cost)
 
@@ -154,8 +154,13 @@ class MctsSearcher:
     # Best-state tracking
     # ------------------------------------------------------------------ #
 
-    def _observe(self, forest: DifftreeForest, trace: list[str]) -> None:
-        evaluation = self.space.evaluate(forest)
+    def _observe(
+        self,
+        forest: DifftreeForest,
+        trace: list[str],
+        changed: tuple[int, ...] | None = None,
+    ) -> None:
+        evaluation = self.space.evaluate(forest, changed=changed)
         if evaluation.total_cost < self.best_cost:
             self.best_cost = evaluation.total_cost
             self.best_forest = forest

@@ -13,6 +13,15 @@ Evaluating a state maps the forest to a candidate interface (the mapping step)
 and scores it with the cost model; evaluations are memoized by forest
 signature, so the different search strategies can be compared on the number of
 *distinct* candidates they explore.
+
+Evaluation is **incremental**: every action touches one or two trees (its
+:attr:`Action.touched` delta) while the rest of the forest is structure-shared
+with the parent state, so all per-tree work — profiling, chart templates,
+widget mapping pieces, coverage checks, and default-query data profiling — is
+cached by interned per-tree signature (:mod:`repro.difftree.signatures`) and
+reused for unchanged trees.  Only the genuinely tree-coupled steps (layout,
+the duplicate-chart penalty, id renumbering) run globally per candidate, which
+makes one evaluation O(changed trees) instead of O(forest).
 """
 
 from __future__ import annotations
@@ -24,20 +33,35 @@ from typing import Callable, Sequence
 from repro.cost.model import CostBreakdown, CostModel
 from repro.difftree.builder import DifftreeForest, build_forest
 from repro.difftree.canonical import queries_share_source, structural_similarity
+from repro.difftree.signatures import LruDict, structural_signature, tree_signature
 from repro.difftree.transformations import applicable_transformations
 from repro.errors import SearchError
 from repro.interface.interface import Interface
-from repro.mapping.schema_matching import MappingConfig, map_forest_to_interface
+from repro.mapping.schema_matching import MappingCaches, MappingConfig, map_forest_to_interface
 from repro.sql.schema import TableSchema
+
+#: Bound on the signature-keyed transformation cache (entries, LRU-evicted).
+TRANSFORMATION_CACHE_CAPACITY = 512
+#: Bound on the per-tree data-profile (row count) cache.
+ROWS_CACHE_CAPACITY = 4096
 
 
 @dataclass(frozen=True)
 class Action:
-    """One applicable state transition."""
+    """One applicable state transition.
+
+    ``touched`` is the action's *delta*: the indices (in the **result**
+    forest) of the trees the action created.  Every other tree of the result
+    is shared by object identity with the source forest, which is what the
+    per-tree evaluation caches exploit.  Strategies thread the delta through
+    :meth:`SearchSpace.evaluate` so the incremental-reuse accounting in
+    :class:`SearchStats` reflects what each strategy actually re-evaluated.
+    """
 
     kind: str  # "merge" | "transform"
     description: str
     apply: Callable[[DifftreeForest], DifftreeForest] = field(compare=False)
+    touched: tuple[int, ...] = ()
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return self.description
@@ -63,13 +87,28 @@ class Evaluation:
 
 @dataclass
 class SearchStats:
-    """Bookkeeping shared by all search strategies."""
+    """Bookkeeping shared by all search strategies.
+
+    ``queries_executed`` counts queries the engine *actually executed* during
+    data profiling; ``query_cache_hits`` counts profiling queries answered by
+    the catalog's canonical-query result cache (both sourced from
+    ``Catalog.cache_stats()`` deltas).  ``profile_cache_hits`` counts trees
+    whose row counts were reused from the per-tree profile cache without
+    touching the catalog at all.  ``tree_evals_reused`` / ``tree_evals_computed``
+    account per-tree incremental reuse across candidate evaluations,
+    observed from the per-tree profile cache rather than inferred from
+    action deltas.
+    """
 
     evaluations: int = 0
     cache_hits: int = 0
     states_expanded: int = 0
     elapsed_seconds: float = 0.0
     queries_executed: int = 0
+    query_cache_hits: int = 0
+    profile_cache_hits: int = 0
+    tree_evals_reused: int = 0
+    tree_evals_computed: int = 0
 
 
 @dataclass
@@ -113,8 +152,17 @@ class SearchSpace:
         self.cost_model = cost_model or CostModel()
         self.initial_state = build_forest(queries, strategy=initial_strategy)
         self._cache: dict[tuple, Evaluation] = {}
-        self._profile_cache: dict = {}
-        self._transformation_cache: dict = {}
+        #: Per-tree mapping caches (profiles, chart templates, widget pieces),
+        #: keyed by interned tree signature — see MappingCaches.
+        self.mapping_caches = MappingCaches()
+        #: Per-tree default-instantiation row counts, keyed by
+        #: (tree signature, catalog data version) so catalog mutations
+        #: invalidate entries implicitly.
+        self._rows_cache = LruDict(ROWS_CACHE_CAPACITY)
+        #: Applicable transformations per tree, keyed by tree signature and
+        #: LRU-bounded (the transformations close over choice ids only, so
+        #: they are reusable across equal-signature trees).
+        self._transformation_cache = LruDict(TRANSFORMATION_CACHE_CAPACITY)
         self._pair_similarity: dict[tuple[int, int], float] = {}
         self.stats = SearchStats()
         self.min_merge_similarity = 0.3
@@ -158,6 +206,8 @@ class SearchSpace:
                         kind="merge",
                         description=f"merge(t{first}, t{second})",
                         apply=lambda f, i=first, j=second: f.merge_trees(i, j),
+                        # The merged tree lands at min(i, j) in the result.
+                        touched=(min(first, second),),
                     )
                 )
         for tree_index, tree in enumerate(forest.trees):
@@ -169,6 +219,7 @@ class SearchSpace:
                         apply=lambda f, idx=tree_index, tr=transformation: f.replace_tree(
                             idx, tr(f.trees[idx])
                         ),
+                        touched=(tree_index,),
                     )
                 )
         return actions
@@ -177,53 +228,121 @@ class SearchSpace:
         return action.apply(forest)
 
     def _transformations_for(self, tree):
-        """Applicable transformations of one tree, cached by tree identity."""
-        key = id(tree)
+        """Applicable transformations of one tree, cached by tree signature.
+
+        Transformation instances close over choice ids (not tree objects), so
+        equal-signature trees — which have equal choice ids at equal positions
+        — share one entry.  The cache is LRU-bounded: it can no longer hold
+        every tree a long search ever saw alive.
+        """
+        key = tree_signature(tree)
         cached = self._transformation_cache.get(key)
-        if cached is not None and cached[0] is tree:
-            return cached[1]
+        if cached is not None:
+            return cached
         transformations = applicable_transformations(tree)
-        self._transformation_cache[key] = (tree, transformations)
+        self._transformation_cache.put(key, transformations)
         return transformations
 
     # ------------------------------------------------------------------ #
     # Evaluation
     # ------------------------------------------------------------------ #
 
-    def evaluate(self, forest: DifftreeForest) -> Evaluation:
-        """Map the forest to an interface and cost it (memoized)."""
+    def evaluate(
+        self,
+        forest: DifftreeForest,
+        changed: tuple[int, ...] | None = None,
+        use_cache: bool = True,
+    ) -> Evaluation:
+        """Map the forest to an interface and cost it (memoized).
+
+        ``changed`` is the action delta that produced this forest (see
+        :attr:`Action.touched`); trees outside the delta are structure-shared
+        with an already-evaluated neighbour, which is what makes the per-tree
+        caches hit.  The delta is the caller's contract, not a directive —
+        reuse is *observed* from the profile cache, so the
+        ``tree_evals_reused`` / ``tree_evals_computed`` counters reflect what
+        actually happened (a changed chart context, say, forces widget-piece
+        recomputation regardless of the delta).
+
+        ``use_cache=False`` bypasses the forest-level memo (but not the
+        per-tree caches) — the beam strategy and the differential test
+        harness use it where the memo's historical fingerprint granularity
+        would get in the way.
+        """
         key = forest.signature()
-        if key in self._cache:
+        if use_cache and key in self._cache:
             self.stats.cache_hits += 1
             return self._cache[key]
         started = time.perf_counter()
+        profile_stats = self.mapping_caches.profiles
+        hits_before = profile_stats.hits
+        misses_before = profile_stats.misses
         interface = map_forest_to_interface(
-            forest, self.table_schemas, self.mapping_config, profile_cache=self._profile_cache
+            forest,
+            self.table_schemas,
+            self.mapping_config,
+            caches=self.mapping_caches,
         )
         cost = self.cost_model.evaluate(interface, forest.queries)
         evaluation = Evaluation(
             interface=interface, cost=cost, data_rows=self._profile_data(forest)
         )
-        self._cache[key] = evaluation
+        if use_cache:
+            self._cache[key] = evaluation
         self.stats.evaluations += 1
+        self.stats.tree_evals_reused += profile_stats.hits - hits_before
+        self.stats.tree_evals_computed += profile_stats.misses - misses_before
         self.stats.elapsed_seconds += time.perf_counter() - started
         return evaluation
 
     def _profile_data(self, forest: DifftreeForest) -> tuple[int, ...] | None:
-        """Execute each tree's default instantiation through the query cache."""
+        """Row counts of each tree's default instantiation, incrementally.
+
+        Per-tree results are cached by (tree signature, catalog data version),
+        so a candidate evaluation only executes the trees its action changed —
+        and those usually hit the catalog's canonical-query result cache in
+        turn.  Execution/hit counts are attributed from the catalog's cache
+        statistics so ``SearchStats`` separates real executions from result-
+        cache hits.
+        """
         if self.catalog is None:
             return None
         from repro.difftree.instantiate import instantiate_and_execute
 
+        version = self.catalog.data_version()
+        cache_stats = self.catalog.query_cache.stats
         row_counts: list[int] = []
         for tree in forest.trees:
+            # Default instantiations never depend on choice ids, so row
+            # counts are shared across replayed merges too.
+            key = (structural_signature(tree), version)
+            cached = self._rows_cache.get(key)
+            if cached is not None:
+                self.stats.profile_cache_hits += 1
+                row_counts.append(cached)
+                continue
+            hits_before = cache_stats.hits
+            executed_before = cache_stats.misses + cache_stats.bypassed
             try:
                 result = instantiate_and_execute(tree, self.catalog)
-                row_counts.append(result.row_count)
+                count = result.row_count
             except Exception:  # noqa: BLE001 - odd instantiations must not kill search
-                row_counts.append(-1)
-            self.stats.queries_executed += 1
+                count = -1
+            self.stats.query_cache_hits += cache_stats.hits - hits_before
+            self.stats.queries_executed += (
+                cache_stats.misses + cache_stats.bypassed - executed_before
+            )
+            self._rows_cache.put(key, count)
+            row_counts.append(count)
         return tuple(row_counts)
+
+    def cache_info(self) -> dict:
+        """Hit/size statistics of every per-tree cache (for benches/debugging)."""
+        info = self.mapping_caches.stats()
+        info["rows"] = self._rows_cache.stats()
+        info["transformations"] = self._transformation_cache.stats()
+        info["evaluations"] = {"entries": len(self._cache)}
+        return info
 
     def result(
         self, forest: DifftreeForest, strategy: str, action_trace: list[str] | None = None

@@ -16,6 +16,11 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Iterator, Sequence
 
 
+#: Dataclass field names per node class (fields() re-derives them per call,
+#: which shows up hot in tree-heavy paths like Difftree instantiation).
+_FIELD_NAMES_CACHE: dict[type, tuple[str, ...]] = {}
+
+
 class SqlNode:
     """Base class for all SQL AST nodes.
 
@@ -33,8 +38,12 @@ class SqlNode:
     """
 
     def child_slots(self) -> Iterator[tuple[str, Any]]:
-        for f in fields(self):  # type: ignore[arg-type]
-            yield f.name, getattr(self, f.name)
+        names = _FIELD_NAMES_CACHE.get(type(self))
+        if names is None:
+            names = tuple(f.name for f in fields(self))  # type: ignore[arg-type]
+            _FIELD_NAMES_CACHE[type(self)] = names
+        for name in names:
+            yield name, getattr(self, name)
 
     def children(self) -> list["SqlNode"]:
         result: list[SqlNode] = []

@@ -43,8 +43,12 @@ class NodeTransformer:
     """
 
     def transform(self, node: SqlNode) -> SqlNode:
-        new_children = [self.transform(child) for child in node.children()]
-        rebuilt = node.with_children(new_children) if new_children else node
+        children = node.children()
+        new_children = [self.transform(child) for child in children]
+        if any(new is not old for new, old in zip(new_children, children)):
+            rebuilt = node.with_children(new_children)
+        else:
+            rebuilt = node  # nothing changed below: keep the original object
         method = getattr(self, f"visit_{type(rebuilt).__name__}", None)
         if method is not None:
             result = method(rebuilt)
@@ -57,10 +61,17 @@ def transform(node: SqlNode, fn: Callable[[SqlNode], SqlNode | None]) -> SqlNode
     """Rewrite ``node`` bottom-up with ``fn``.
 
     ``fn`` receives each node after its children have been rewritten; returning
-    ``None`` keeps the node, returning a node replaces it.
+    ``None`` keeps the node, returning a node replaces it.  Subtrees with no
+    rewrites anywhere below them are returned *as the original objects* (not
+    equal copies), so no-op passes cost one traversal instead of a full
+    rebuild — and downstream structure-sharing caches keep working.
     """
-    new_children = [transform(child, fn) for child in node.children()]
-    rebuilt = node.with_children(new_children) if new_children else node
+    children = node.children()
+    new_children = [transform(child, fn) for child in children]
+    if any(new is not old for new, old in zip(new_children, children)):
+        rebuilt = node.with_children(new_children)
+    else:
+        rebuilt = node
     replacement = fn(rebuilt)
     return rebuilt if replacement is None else replacement
 
