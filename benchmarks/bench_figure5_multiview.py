@@ -13,7 +13,6 @@ from conftest import print_table
 
 from repro.engine.catalog import Catalog
 from repro.interface import ChartType, InteractionType
-from repro.interface.state import InterfaceState
 from repro.pipeline import PipelineConfig, generate_interface
 
 FIG5_QUERIES = [

@@ -2,21 +2,46 @@
 
 Measures the compile-then-run pipeline on the demo workloads: cold execution
 (plan + vectorized operators), plan-cache-warm execution, and fully cached
-execution through the canonical-query result cache.  Emits a JSON summary
-(rows/sec, speedups, hit rate) alongside the usual table so dashboards can
-track the numbers over time.
+execution through the canonical-query result cache, plus a scan-dominated
+workload over a large synthetic SDSS sample that exercises the columnar
+storage layer directly (zero-copy scans, fused filters, hash aggregation).
+
+Emits a JSON summary (rows/sec, speedups, hit rate) alongside the usual
+tables.  Set ``BENCH_ENGINE_JSON=/path/to/BENCH_engine.json`` to also write
+the gateable metrics as JSON — CI compares that file against
+``benchmarks/baselines/BENCH_engine.json`` and fails on >25% throughput
+regressions (see ``benchmarks/check_perf_regression.py``).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
 import time
+from typing import Any
 
-from conftest import print_table
+from conftest import calibration_ops_per_sec, print_table
 
 from repro.datasets import load_covid_catalog, load_sdss_catalog
+from repro.datasets.sdss import SdssConfig, generate_photo_obj
 from repro.engine.catalog import Catalog
+
+#: Gateable metrics accumulated across this module's tests; every update
+#: rewrites the JSON file (when requested) so a partial run still uploads a
+#: well-formed artifact.
+_ENGINE_JSON: dict[str, Any] = {"benchmark": "engine", "metrics": {}}
+
+
+def _record_metrics(**metrics: float) -> None:
+    _ENGINE_JSON["metrics"].update(metrics)
+    path = os.environ.get("BENCH_ENGINE_JSON")
+    if not path:
+        return
+    if "calibration_ops_per_sec" not in _ENGINE_JSON:
+        _ENGINE_JSON["calibration_ops_per_sec"] = calibration_ops_per_sec()
+    with open(path, "w") as handle:
+        json.dump(_ENGINE_JSON, handle, indent=1, sort_keys=True)
 
 
 def _measure(catalog_loader, queries, repeats=5):
@@ -177,6 +202,7 @@ def test_perf_executor_optimizer_on_vs_off(benchmark):
     for result in results:
         print(json.dumps({"benchmark": "perf_optimizer", **result}))
     best = max(result["speedup"] for result in results)
+    _record_metrics(optimizer_best_speedup=best)
     assert best >= 2.0, f"expected >=2x on some workload, best was {best:.2f}x"
 
 
@@ -185,6 +211,16 @@ def test_perf_executor_covid_workload(benchmark, covid_log):
         lambda: _measure(load_covid_catalog, covid_log), rounds=1, iterations=1
     )
     _report("covid", measurement)
+    # Cold throughput is a single unrepeated pass — too noisy to gate, so its
+    # key avoids the gated ``_per_sec`` suffix; plan-warm is repeat-averaged.
+    _record_metrics(
+        covid_cold_rows_per_sec_single_shot=measurement["cold_rows_per_sec"],
+        covid_plan_warm_rows_per_sec=(
+            measurement["result_rows"] / measurement["plan_warm_seconds"]
+            if measurement["plan_warm_seconds"]
+            else 0.0
+        ),
+    )
     assert measurement["cache_hit_rate"] > 0
     assert measurement["cached_seconds"] < measurement["cold_seconds"]
 
@@ -194,5 +230,81 @@ def test_perf_executor_sdss_workload(benchmark, sdss_log):
         lambda: _measure(load_sdss_catalog, sdss_log), rounds=1, iterations=1
     )
     _report("sdss", measurement)
+    _record_metrics(
+        sdss_cold_rows_per_sec_single_shot=measurement["cold_rows_per_sec"],
+        sdss_plan_warm_rows_per_sec=(
+            measurement["result_rows"] / measurement["plan_warm_seconds"]
+            if measurement["plan_warm_seconds"]
+            else 0.0
+        ),
+    )
     assert measurement["cache_hit_rate"] > 0
     assert measurement["cached_seconds"] < measurement["cold_seconds"]
+
+
+# --------------------------------------------------------------------------- #
+# Scan-dominated workload (columnar storage layer)
+# --------------------------------------------------------------------------- #
+
+#: Row count of the synthetic SDSS sample the scan workload runs against.
+SCAN_TABLE_ROWS = 20_000
+
+#: Filter/aggregate-heavy queries whose cost is dominated by scanning the
+#: photoobj columns: range filters, categorical filters, hash aggregation.
+SCAN_WORKLOAD = [
+    "SELECT ra, dec, r FROM photoobj "
+    "WHERE ra BETWEEN 140.0 AND 160.0 AND dec BETWEEN -2.0 AND 6.0",
+    "SELECT objid, ra, dec FROM photoobj WHERE r < 18.0",
+    "SELECT class, count(*) AS n, avg(r) AS mean_r FROM photoobj GROUP BY class",
+    "SELECT ra, dec FROM photoobj WHERE class = 'GALAXY' AND redshift > 0.2",
+    "SELECT count(*) AS n FROM photoobj WHERE g < 20.0 AND u > 15.0",
+]
+
+
+def _measure_scan(repeats: int = 5, attempts: int = 3):
+    catalog = Catalog()
+    table = generate_photo_obj(SdssConfig(object_count=SCAN_TABLE_ROWS))
+    catalog.register(table)
+    for sql in SCAN_WORKLOAD:
+        catalog.execute(sql, use_cache=False)  # warm the compiled-plan cache
+    # Best of several repeat-averaged attempts: this number is gated in CI,
+    # so it must not wobble with scheduler noise.
+    elapsed = float("inf")
+    for _attempt in range(attempts):
+        started = time.perf_counter()
+        for _ in range(repeats):
+            for sql in SCAN_WORKLOAD:
+                catalog.execute(sql, use_cache=False)
+        elapsed = min(elapsed, (time.perf_counter() - started) / repeats)
+    rows_scanned = SCAN_TABLE_ROWS * len(SCAN_WORKLOAD)
+    return {
+        "queries": len(SCAN_WORKLOAD),
+        "table_rows": SCAN_TABLE_ROWS,
+        "seconds_per_pass": elapsed,
+        "rows_scanned_per_sec": rows_scanned / elapsed if elapsed else 0.0,
+        "table_memory_bytes": table.memory_footprint(),
+    }
+
+
+def test_perf_executor_scan_dominated(benchmark):
+    """Plan-warm throughput of the scan/filter/aggregate workload."""
+    measurement = benchmark.pedantic(_measure_scan, rounds=1, iterations=1)
+    print_table(
+        "Perf P3: scan-dominated workload (columnar storage)",
+        ["Queries", "Table rows", "Per pass", "Rows scanned/sec", "Table memory"],
+        [
+            [
+                measurement["queries"],
+                measurement["table_rows"],
+                f"{measurement['seconds_per_pass'] * 1000:.1f} ms",
+                f"{measurement['rows_scanned_per_sec']:,.0f}",
+                f"{measurement['table_memory_bytes'] / 1024:.0f} KiB",
+            ]
+        ],
+    )
+    print(json.dumps({"benchmark": "perf_executor", "workload": "scan_dominated", **measurement}))
+    _record_metrics(
+        scan_rows_per_sec=measurement["rows_scanned_per_sec"],
+        sdss_table_memory_bytes=float(measurement["table_memory_bytes"]),
+    )
+    assert measurement["rows_scanned_per_sec"] > 0

@@ -23,7 +23,7 @@ import json
 import os
 import time
 
-from conftest import print_table
+from conftest import calibration_ops_per_sec, print_table
 
 from repro.cost import CostModel
 from repro.mapping import MappingConfig
@@ -183,8 +183,14 @@ def _maybe_write_json(measurements):
     path = os.environ.get("BENCH_SEARCH_JSON")
     if not path:
         return
+    payload = {
+        "measurements": measurements,
+        # Machine-speed score consumed by check_perf_regression.py so the
+        # candidates/sec gate compares machine-normalized numbers.
+        "calibration_ops_per_sec": calibration_ops_per_sec(),
+    }
     with open(path, "w") as handle:
-        json.dump({"measurements": measurements}, handle, indent=1, sort_keys=True)
+        json.dump(payload, handle, indent=1, sort_keys=True)
     print(f"\nwrote {len(measurements)} measurements to {path}")
 
 

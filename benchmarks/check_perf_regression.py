@@ -1,0 +1,156 @@
+"""CI perf-regression gate: compare a benchmark JSON against its baseline.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py BASELINE CANDIDATE [--label NAME]
+
+Reads two benchmark JSON files (either the engine shape written by
+``bench_perf_executor.py`` — ``{"metrics": {...}, "calibration_ops_per_sec"}``
+— or the search shape written by ``bench_perf_search.py`` —
+``{"measurements": [...], "calibration_ops_per_sec"}``) and fails (exit 1)
+when any **gated metric** regressed by more than the tolerance.
+
+Gated metrics are the higher-is-better ones: keys ending in ``_per_sec``
+(throughput, machine-normalized by the calibration score when both files
+carry one) and ``_speedup`` (ratios, compared raw).  Everything else —
+memory footprints, row counts — is reported but never gated.
+
+Environment overrides:
+
+* ``PERF_GATE_SKIP=1`` — skip the gate entirely (exit 0).  Use this to land a
+  change with a **known and accepted** perf regression; the override is
+  visible in the CI invocation, and the follow-up commit should refresh the
+  baselines under ``benchmarks/baselines/``.
+* ``PERF_GATE_TOLERANCE`` — maximum allowed fractional drop (default 0.25,
+  i.e. a gated metric may lose up to 25% before the gate trips).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any
+
+DEFAULT_TOLERANCE = 0.25
+
+#: Suffixes of gated (higher-is-better) metric names.
+GATED_SUFFIXES = ("_per_sec", "_speedup")
+
+#: Throughput metrics (``_per_sec``) are divided by the file's calibration
+#: score before comparison; ratio metrics (``_speedup``) are compared raw.
+NORMALIZED_SUFFIX = "_per_sec"
+
+
+def extract_metrics(payload: dict[str, Any]) -> dict[str, float]:
+    """Flatten a benchmark JSON payload into a name -> value metric map."""
+    metrics: dict[str, float] = {}
+    for name, value in payload.get("metrics", {}).items():
+        if isinstance(value, (int, float)):
+            metrics[name] = float(value)
+    for measurement in payload.get("measurements", []):
+        strategy = measurement.get("strategy", "run")
+        queries = measurement.get("queries", "")
+        prefix = f"search_{strategy}_{queries}"
+        for name, value in measurement.items():
+            if name.endswith(GATED_SUFFIXES) and isinstance(value, (int, float)):
+                metrics[f"{prefix}_{name}"] = float(value)
+    return metrics
+
+
+def compare(
+    baseline: dict[str, Any], candidate: dict[str, Any], tolerance: float, label: str
+) -> list[str]:
+    """Return a list of failure descriptions (empty when the gate passes)."""
+    base_metrics = extract_metrics(baseline)
+    cand_metrics = extract_metrics(candidate)
+    base_cal = float(baseline.get("calibration_ops_per_sec") or 0.0)
+    cand_cal = float(candidate.get("calibration_ops_per_sec") or 0.0)
+    normalize = base_cal > 0.0 and cand_cal > 0.0
+
+    failures: list[str] = []
+    rows: list[tuple[str, float, float, float, str]] = []
+    for name in sorted(base_metrics):
+        if not name.endswith(GATED_SUFFIXES):
+            continue
+        if name not in cand_metrics:
+            failures.append(f"{label}: gated metric {name!r} missing from candidate")
+            continue
+        base_value = base_metrics[name]
+        cand_value = cand_metrics[name]
+        if normalize and name.endswith(NORMALIZED_SUFFIX):
+            base_score = base_value / base_cal
+            cand_score = cand_value / cand_cal
+        else:
+            base_score = base_value
+            cand_score = cand_value
+        if base_score <= 0.0:
+            continue
+        change = cand_score / base_score - 1.0
+        status = "ok"
+        if change < -tolerance:
+            status = "FAIL"
+            failures.append(
+                f"{label}: {name} regressed {-change * 100:.1f}% "
+                f"(baseline {base_value:,.1f}, candidate {cand_value:,.1f}, "
+                f"tolerance {tolerance * 100:.0f}%)"
+            )
+        rows.append((name, base_value, cand_value, change, status))
+
+    print(f"== perf gate: {label} (tolerance {tolerance * 100:.0f}%) ==")
+    if normalize:
+        print(f"   machine-normalized (calibration {base_cal:,.0f} -> {cand_cal:,.0f} ops/sec)")
+    for name, base_value, cand_value, change, status in rows:
+        print(
+            f"   {status:>4}  {name:<45} {base_value:>15,.1f} -> {cand_value:>15,.1f} "
+            f"({change * +100:+.1f}%)"
+        )
+    if not rows:
+        print("   (no gated metrics in baseline)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument("--label", default=None, help="name used in the report")
+    parser.add_argument("--tolerance", type=float, default=None)
+    args = parser.parse_args(argv)
+
+    if os.environ.get("PERF_GATE_SKIP") == "1":
+        print("PERF_GATE_SKIP=1 set; skipping the perf-regression gate.")
+        return 0
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(os.environ.get("PERF_GATE_TOLERANCE", DEFAULT_TOLERANCE))
+    label = args.label or args.candidate.name
+
+    if not args.baseline.exists():
+        print(f"Baseline {args.baseline} does not exist; nothing to gate against.")
+        return 0
+    if not args.candidate.exists():
+        print(f"Candidate {args.candidate} does not exist — did the benchmark run?")
+        return 1
+
+    baseline = json.loads(args.baseline.read_text())
+    candidate = json.loads(args.candidate.read_text())
+    failures = compare(baseline, candidate, tolerance, label)
+    if failures:
+        print("\nPerf-regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        print(
+            "\nIf this regression is understood and accepted, re-run with "
+            "PERF_GATE_SKIP=1 and refresh benchmarks/baselines/ in a follow-up."
+        )
+        return 1
+    print("\nPerf-regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,7 +57,14 @@ class CovidConfig:
         return (self.end - self.start).days + 1
 
 
-def _daily_cases(baseline: float, growth: float, day_index: int, total_days: int, rng: random.Random, noise: float) -> int:
+def _daily_cases(
+    baseline: float,
+    growth: float,
+    day_index: int,
+    total_days: int,
+    rng: random.Random,
+    noise: float,
+) -> int:
     """Cases for one state-day: weekly seasonality + December surge + noise."""
     weekly = 1.0 + 0.15 * math.sin(2 * math.pi * day_index / 7.0)
     progress = day_index / max(total_days - 1, 1)
@@ -69,23 +76,38 @@ def _daily_cases(baseline: float, growth: float, day_index: int, total_days: int
 
 
 def generate_covid_cases(config: CovidConfig | None = None) -> Table:
-    """Generate the ``covid_cases(state, date, cases)`` table."""
+    """Generate the ``covid_cases(state, date, cases)`` table (column-major)."""
     config = config or CovidConfig()
     rng = random.Random(config.seed)
     total_days = config.day_count()
-    rows: list[list[object]] = []
+    dates = [(config.start + timedelta(days=index)).isoformat() for index in range(total_days)]
+    state_column: list[object] = []
+    date_column: list[object] = []
+    cases_column: list[object] = []
     for state, _region, baseline, growth in STATE_PROFILES:
-        for day_index in range(total_days):
-            day = config.start + timedelta(days=day_index)
-            cases = _daily_cases(baseline, growth, day_index, total_days, rng, config.noise)
-            rows.append([state, day.isoformat(), cases])
-    return Table(name="covid_cases", columns=["state", "date", "cases"], rows=rows)
+        state_column.extend([state] * total_days)
+        date_column.extend(dates)
+        cases_column.extend(
+            _daily_cases(baseline, growth, day_index, total_days, rng, config.noise)
+            for day_index in range(total_days)
+        )
+    return Table.from_columns(
+        "covid_cases",
+        {"state": state_column, "date": date_column, "cases": cases_column},
+        adopt=True,
+    )
 
 
 def generate_state_regions() -> Table:
     """Generate the ``state_regions(state, region)`` lookup table."""
-    rows = [[state, region] for state, region, _baseline, _growth in STATE_PROFILES]
-    return Table(name="state_regions", columns=["state", "region"], rows=rows)
+    return Table.from_columns(
+        "state_regions",
+        {
+            "state": [state for state, _region, _baseline, _growth in STATE_PROFILES],
+            "region": [region for _state, region, _baseline, _growth in STATE_PROFILES],
+        },
+        adopt=True,
+    )
 
 
 def covid_query_log() -> list[str]:

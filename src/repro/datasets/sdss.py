@@ -43,7 +43,8 @@ def generate_photo_obj(config: SdssConfig | None = None) -> Table:
     """Generate the ``photoobj`` table of celestial objects."""
     config = config or SdssConfig()
     rng = random.Random(config.seed)
-    rows: list[list[object]] = []
+    names = ["objid", "ra", "dec", "u", "g", "r", "i", "z", "class", "redshift"]
+    columns: dict[str, list[object]] = {name: [] for name in names}
     cluster_weight = sum(weight for _ra, _dec, weight in CLUSTER_CENTERS)
     for object_id in range(1, config.object_count + 1):
         draw = rng.random()
@@ -67,25 +68,17 @@ def generate_photo_obj(config: SdssConfig | None = None) -> Table:
         dec = min(max(dec, config.dec_min), config.dec_max)
         base_magnitude = rng.uniform(14.0, 22.0)
         redshift = abs(rng.gauss(0.15, 0.1)) if object_class != "STAR" else 0.0
-        rows.append(
-            [
-                object_id,
-                round(ra, 4),
-                round(dec, 4),
-                round(base_magnitude + rng.gauss(0.4, 0.1), 3),   # u band
-                round(base_magnitude + rng.gauss(0.1, 0.1), 3),   # g band
-                round(base_magnitude, 3),                          # r band
-                round(base_magnitude - rng.gauss(0.1, 0.1), 3),   # i band
-                round(base_magnitude - rng.gauss(0.2, 0.1), 3),   # z band
-                object_class,
-                round(redshift, 4),
-            ]
-        )
-    return Table(
-        name="photoobj",
-        columns=["objid", "ra", "dec", "u", "g", "r", "i", "z", "class", "redshift"],
-        rows=rows,
-    )
+        columns["objid"].append(object_id)
+        columns["ra"].append(round(ra, 4))
+        columns["dec"].append(round(dec, 4))
+        columns["u"].append(round(base_magnitude + rng.gauss(0.4, 0.1), 3))
+        columns["g"].append(round(base_magnitude + rng.gauss(0.1, 0.1), 3))
+        columns["r"].append(round(base_magnitude, 3))
+        columns["i"].append(round(base_magnitude - rng.gauss(0.1, 0.1), 3))
+        columns["z"].append(round(base_magnitude - rng.gauss(0.2, 0.1), 3))
+        columns["class"].append(object_class)
+        columns["redshift"].append(round(redshift, 4))
+    return Table.from_columns("photoobj", columns, adopt=True)
 
 
 def sdss_query_log() -> list[str]:

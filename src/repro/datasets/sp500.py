@@ -62,11 +62,15 @@ def generate_prices(config: Sp500Config | None = None) -> Table:
     config = config or Sp500Config()
     rng = random.Random(config.seed)
     dates = _trading_dates(config.start, config.trading_days)
-    rows: list[list[object]] = []
+    date_strings = [day.isoformat() for day in dates]
+    names = ["ticker", "date", "open", "high", "low", "close", "volume"]
+    columns: dict[str, list[object]] = {name: [] for name in names}
     daily_factor = 1.0 / 252.0
     for ticker, _sector, initial, drift, volatility in TICKER_PROFILES:
         price = initial
-        for day in dates:
+        columns["ticker"].extend([ticker] * len(dates))
+        columns["date"].extend(date_strings)
+        for _day in dates:
             shock = rng.gauss(0.0, 1.0)
             log_return = (drift - 0.5 * volatility**2) * daily_factor + volatility * math.sqrt(
                 daily_factor
@@ -75,30 +79,25 @@ def generate_prices(config: Sp500Config | None = None) -> Table:
             close_price = price * math.exp(log_return)
             high = max(open_price, close_price) * (1.0 + abs(rng.gauss(0.0, 0.004)))
             low = min(open_price, close_price) * (1.0 - abs(rng.gauss(0.0, 0.004)))
-            volume = int(abs(rng.gauss(3_000_000, 800_000)))
-            rows.append(
-                [
-                    ticker,
-                    day.isoformat(),
-                    round(open_price, 2),
-                    round(high, 2),
-                    round(low, 2),
-                    round(close_price, 2),
-                    volume,
-                ]
-            )
+            columns["open"].append(round(open_price, 2))
+            columns["high"].append(round(high, 2))
+            columns["low"].append(round(low, 2))
+            columns["close"].append(round(close_price, 2))
+            columns["volume"].append(int(abs(rng.gauss(3_000_000, 800_000))))
             price = close_price
-    return Table(
-        name="prices",
-        columns=["ticker", "date", "open", "high", "low", "close", "volume"],
-        rows=rows,
-    )
+    return Table.from_columns("prices", columns, adopt=True)
 
 
 def generate_sectors() -> Table:
     """Generate the ``sectors(ticker, sector)`` lookup table."""
-    rows = [[ticker, sector] for ticker, sector, _initial, _drift, _vol in TICKER_PROFILES]
-    return Table(name="sectors", columns=["ticker", "sector"], rows=rows)
+    return Table.from_columns(
+        "sectors",
+        {
+            "ticker": [ticker for ticker, _sector, _initial, _drift, _vol in TICKER_PROFILES],
+            "sector": [sector for _ticker, sector, _initial, _drift, _vol in TICKER_PROFILES],
+        },
+        adopt=True,
+    )
 
 
 def sp500_query_log() -> list[str]:

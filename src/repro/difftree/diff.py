@@ -22,10 +22,8 @@ from typing import Sequence
 
 from repro.errors import MergeError
 from repro.difftree.canonical import join_conjuncts, split_conjuncts
-from repro.difftree.nodes import AnyNode, ChoiceNode, OptNode
+from repro.difftree.nodes import AnyNode, OptNode
 from repro.sql.ast_nodes import (
-    Literal,
-    OrderItem,
     Select,
     SelectItem,
     SqlNode,

@@ -20,10 +20,9 @@ import itertools
 from typing import Any, Iterator, Mapping, Sequence
 
 from repro.errors import BindingError
-from repro.difftree.nodes import AnyNode, ChoiceNode, OptNode, collect_choice_nodes
+from repro.difftree.nodes import AnyNode, OptNode, collect_choice_nodes
 from repro.sql.ast_nodes import (
     BinaryOp,
-    Join,
     OrderItem,
     Select,
     SelectItem,

@@ -16,7 +16,6 @@ search for a compatible match.  This module computes the Difftree side:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.difftree.builder import DifftreeForest
 from repro.difftree.instantiate import default_bindings, instantiate

@@ -2,6 +2,7 @@
 
 from repro.engine.aggregates import is_aggregate_function, make_accumulator
 from repro.engine.catalog import Catalog
+from repro.engine.column import Column, ColumnStats
 from repro.engine.csvio import load_table, save_table, table_from_csv, table_to_csv
 from repro.engine.executor import ExecutionContext, Executor, lower_plan
 from repro.engine.expressions import (
@@ -30,6 +31,8 @@ __all__ = [
     "cache_key",
     "QueryResult",
     "Table",
+    "Column",
+    "ColumnStats",
     "result_from_table",
     "Batch",
     "BatchRowView",

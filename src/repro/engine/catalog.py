@@ -24,6 +24,14 @@ from repro.sql.parser import parse
 from repro.sql.schema import TableSchema
 
 
+#: FIFO capacity of the parsed-AST cache.  Query texts repeat heavily in the
+#: interface/search workloads, and parsing is a measurable slice of warm
+#: execution; parsed ASTs are immutable by engine convention, so sharing one
+#: node tree across executions is safe (and lets the executor's identity-keyed
+#: memos hit too).
+AST_CACHE_CAPACITY = 512
+
+
 class Catalog:
     """A named collection of tables plus query execution facilities."""
 
@@ -31,7 +39,18 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._schema_version = 0
         self._plan_cache: dict = {}
+        self._ast_cache: dict[str, SqlNode] = {}
         self._query_cache = QueryCache(capacity=query_cache_capacity)
+
+    def _parse(self, text: str) -> SqlNode:
+        """Parse SQL text with a bounded FIFO memo of the resulting AST."""
+        node = self._ast_cache.get(text)
+        if node is None:
+            node = parse(text)
+            self._ast_cache[text] = node
+            while len(self._ast_cache) > AST_CACHE_CAPACITY:
+                self._ast_cache.pop(next(iter(self._ast_cache)))
+        return node
 
     # ------------------------------------------------------------------ #
     # Table management
@@ -124,7 +143,7 @@ class Catalog:
         # catalog type for scans.
         from repro.engine.executor import Executor
 
-        node = parse(query) if isinstance(query, str) else query
+        node = self._parse(query) if isinstance(query, str) else query
         if not isinstance(node, (Select, SetOperation)):
             raise CatalogError(f"Only SELECT queries can be executed, got {type(node).__name__}")
 
@@ -164,7 +183,7 @@ class Catalog:
         from repro.engine.optimizer import optimize_plan
         from repro.engine.planner import Planner
 
-        node = parse(query) if isinstance(query, str) else query
+        node = self._parse(query) if isinstance(query, str) else query
         if not isinstance(node, (Select, SetOperation)):
             raise CatalogError(f"Only SELECT queries can be planned, got {type(node).__name__}")
         if not physical:
@@ -202,9 +221,10 @@ class Catalog:
         return stats
 
     def clear_caches(self) -> None:
-        """Drop all cached results and compiled plans."""
+        """Drop all cached results, compiled plans and parsed ASTs."""
         self._query_cache.clear()
         self._plan_cache.clear()
+        self._ast_cache.clear()
 
     def __contains__(self, name: str) -> bool:
         return self.has_table(name)

@@ -1,0 +1,234 @@
+"""Typed per-column storage: value vector, null mask and incremental statistics.
+
+A :class:`Column` is the engine's primary storage unit.  It owns
+
+* ``values`` — the raw value vector (a plain Python list, which is the zero-copy
+  currency of the vectorized executor: scan batches alias these lists directly);
+* a **null mask** (parallel ``bool`` list) and a null count, both built lazily
+  and maintained incrementally once built;
+* a :class:`ColumnStats` block caching the column's **dtype tag** (the unified
+  :class:`~repro.sql.schema.DataType`), the comparison-safe value type used by
+  the optimizer's predicate-motion proofs, the min/max range, and the distinct
+  value set.
+
+Statistics follow a *lazy-then-incremental* protocol: nothing is computed until
+a stat is first requested (so bulk loads pay no per-value overhead), after
+which every :meth:`Column.append` folds the new value into the cached block in
+O(1) instead of invalidating it.  This is what keeps optimizer statistics hot
+under the append-heavy interface workloads — the old implementation rebuilt
+every stat from scratch after each mutation.
+
+Values that break a stat's invariant (unhashable values poison the distinct
+set, pairwise-incomparable mixtures poison the range) degrade that single stat
+to the slow recomputed path while leaving the others incremental.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.sql.schema import DataType
+
+#: Comparison groups for the optimizer's value-type proof: numbers/booleans
+#: unify among themselves (to FLOAT when mixed), text and dates unify to TEXT,
+#: and any cross-group mixture makes the column unsafe for predicate motion.
+_NUMERIC_GROUP = {DataType.INTEGER, DataType.FLOAT, DataType.BOOLEAN}
+_TEXTUAL_GROUP = {DataType.TEXT, DataType.DATE}
+
+
+class ColumnStats:
+    """Incrementally maintained statistics of one column.
+
+    Attributes:
+        dtype: least-upper-bound storage type of all values seen (NULL when
+            the column is empty or all-null).
+        value_type: comparison-safe type (see :meth:`merge_value_type`), or
+            None when the column mixes comparison groups; ``value_type_valid``
+            distinguishes "mixed" from "not yet computed".
+        minimum / maximum: extremes of the non-null values; ``range_poisoned``
+            is set when a pairwise-incomparable mixture was observed, in which
+            case the owner recomputes (and re-raises) on demand.
+        distinct: set of distinct non-null values, or None once an unhashable
+            value poisoned it.
+    """
+
+    __slots__ = (
+        "dtype",
+        "value_type",
+        "minimum",
+        "maximum",
+        "has_range",
+        "range_poisoned",
+        "distinct",
+    )
+
+    def __init__(self) -> None:
+        self.dtype = DataType.NULL
+        self.value_type: DataType | None = DataType.NULL
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self.has_range = False
+        self.range_poisoned = False
+        self.distinct: set[Any] | None = set()
+
+    @classmethod
+    def from_values(cls, values: Iterable[Any]) -> "ColumnStats":
+        """Compute a full statistics block with one pass over ``values``."""
+        stats = cls()
+        for value in values:
+            stats.observe(value)
+        return stats
+
+    def observe(self, value: Any) -> None:
+        """Fold one appended value into the cached statistics (O(1))."""
+        if value is None:
+            return
+        candidate = DataType.of_value(value)
+        self.dtype = DataType.unify(self.dtype, candidate)
+        if self.value_type is not None:
+            self.value_type = self._merge_value_type(self.value_type, candidate)
+        if not self.range_poisoned:
+            if not self.has_range:
+                self.minimum = value
+                self.maximum = value
+                self.has_range = True
+            else:
+                try:
+                    if value < self.minimum:
+                        self.minimum = value
+                    elif value > self.maximum:
+                        self.maximum = value
+                except TypeError:
+                    self.range_poisoned = True
+                    self.minimum = None
+                    self.maximum = None
+        if self.distinct is not None:
+            try:
+                self.distinct.add(value)
+            except TypeError:
+                self.distinct = None
+
+    @staticmethod
+    def _merge_value_type(current: DataType, candidate: DataType) -> DataType | None:
+        """Unify within comparison groups; None when the groups mix."""
+        if current is DataType.NULL or candidate is current:
+            return candidate
+        if {candidate, current} <= _NUMERIC_GROUP:
+            return DataType.FLOAT if DataType.FLOAT in (candidate, current) else DataType.INTEGER
+        if {candidate, current} <= _TEXTUAL_GROUP:
+            return DataType.TEXT
+        return None
+
+
+class Column:
+    """One table column: value vector, null accounting and cached statistics.
+
+    Args:
+        values: initial values.  With ``adopt=True`` the provided list becomes
+            the column's backing storage without a copy — callers hand over
+            ownership and must not mutate the list afterwards (the engine uses
+            this for CSV ingest, dataset generation and CTE materialization,
+            where the source list is freshly built and then discarded).
+    """
+
+    __slots__ = ("values", "_null_count", "_mask", "_stats")
+
+    def __init__(self, values: Sequence[Any] | None = None, adopt: bool = False) -> None:
+        if values is None:
+            self.values: list[Any] = []
+        elif adopt and type(values) is list:
+            self.values = values
+        else:
+            self.values = list(values)
+        self._null_count: int | None = None
+        self._mask: list[bool] | None = None
+        self._stats: ColumnStats | None = None
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def append(self, value: Any) -> None:
+        """Append one value, folding it into whatever caches exist."""
+        self.values.append(value)
+        if self._null_count is not None and value is None:
+            self._null_count += 1
+        if self._mask is not None:
+            self._mask.append(value is None)
+        if self._stats is not None:
+            self._stats.observe(value)
+
+    def extend(self, values: Iterable[Any]) -> None:
+        for value in values:
+            self.append(value)
+
+    # ------------------------------------------------------------------ #
+    # Null accounting
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def null_count(self) -> int:
+        """Number of NULLs (computed on first access, then kept in step)."""
+        if self._null_count is None:
+            self._null_count = sum(1 for value in self.values if value is None)
+        return self._null_count
+
+    @property
+    def has_nulls(self) -> bool:
+        return self.null_count > 0
+
+    def null_mask(self) -> list[bool]:
+        """Parallel True-where-NULL mask (built once, then kept in step)."""
+        if self._mask is None or len(self._mask) != len(self.values):
+            self._mask = [value is None for value in self.values]
+        return self._mask
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> ColumnStats:
+        """The statistics block, computing it on first access."""
+        if self._stats is None:
+            self._stats = ColumnStats.from_values(self.values)
+        return self._stats
+
+    def dtype(self) -> DataType:
+        """Cached least-upper-bound storage type of the column's values."""
+        return self.stats().dtype
+
+    def value_type(self) -> DataType | None:
+        """Comparison-safe type, or None when comparison groups mix."""
+        return self.stats().value_type
+
+    def value_range(self) -> tuple[Any, Any] | None:
+        """(min, max) of the non-null values, or None when all-null/empty.
+
+        A column whose values stopped being pairwise comparable recomputes
+        from scratch, which re-raises the same TypeError a direct
+        ``min()``/``max()`` over the values would.
+        """
+        stats = self.stats()
+        if stats.range_poisoned:
+            values = [value for value in self.values if value is not None]
+            return (min(values), max(values)) if values else None
+        if not stats.has_range:
+            return None
+        return (stats.minimum, stats.maximum)
+
+    def distinct_set(self) -> set[Any]:
+        """The maintained distinct non-null value set.
+
+        Unhashable values poison the incremental set; recomputing then raises
+        the same TypeError building a set directly would.
+        """
+        stats = self.stats()
+        if stats.distinct is None:
+            return {value for value in self.values if value is not None}
+        return stats.distinct
+
+    def distinct_count(self) -> int:
+        return len(self.distinct_set())

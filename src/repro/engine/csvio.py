@@ -3,6 +3,10 @@
 The demo datasets can be persisted to disk and reloaded, which the examples
 use to show a realistic load-analyze-visualize loop.  Values are round-tripped
 through a light type sniffing pass (int → float → ISO date → text).
+
+Ingest is column-major: cells are sniffed straight into per-column value
+vectors which are then **adopted** by the table (no row staging, no copy), so
+loading a CSV is a single pass that ends in zero-copy column hand-off.
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ import io
 from pathlib import Path
 from typing import Any
 
-from repro.errors import DatasetError
+from repro.errors import CatalogError, DatasetError
 from repro.engine.table import Table
 
 
@@ -55,14 +59,33 @@ def table_to_csv(table: Table) -> str:
 
 
 def table_from_csv(name: str, text: str) -> Table:
-    """Parse CSV text into a table; the first row is the header."""
+    """Parse CSV text into a table; the first row is the header.
+
+    Raises :class:`DatasetError` for inputs that cannot form a rectangular
+    table: a missing header row (empty input) or a data row whose cell count
+    differs from the header width (ragged row, reported with its line number).
+    Blank rows are skipped.
+    """
     reader = csv.reader(io.StringIO(text))
     try:
         header = next(reader)
     except StopIteration as exc:
         raise DatasetError("CSV input is empty; expected a header row") from exc
-    rows = [[_parse_value(cell) for cell in row] for row in reader if row]
-    return Table(name=name, columns=header, rows=rows)
+    if len(set(header)) != len(header):
+        raise CatalogError(f"Duplicate column names in table {name!r}")
+    width = len(header)
+    columns: list[list[Any]] = [[] for _ in range(width)]
+    for line_number, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != width:
+            raise DatasetError(
+                f"CSV line {line_number} has {len(row)} cells; expected {width} "
+                f"(ragged rows cannot form table {name!r})"
+            )
+        for target, cell in zip(columns, row):
+            target.append(_parse_value(cell))
+    return Table.from_columns(name, dict(zip(header, columns)), adopt=True)
 
 
 def save_table(table: Table, path: str | Path) -> Path:

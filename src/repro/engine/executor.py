@@ -383,9 +383,17 @@ class Executor:
         )
         batch = plan.execute(ctx)
         columns = [name for _, name in batch.slots]
-        rows = batch.rows()
-        schema = self._result_schema(_leftmost_select(node), columns, rows)
-        return QueryResult(columns=columns, rows=rows, schema=schema)
+        schema = self._result_schema(_leftmost_select(node), columns, batch.columns)
+        # Column hand-off: the result keeps the vectors and derives the row
+        # view lazily.  The copy detaches the result from any vector that
+        # aliases live table storage (pass-through scans), so later table
+        # mutations cannot bleed into a held result.
+        return QueryResult(
+            columns=columns,
+            schema=schema,
+            column_data=[list(column) for column in batch.columns],
+            row_count=batch.length,
+        )
 
     def compile(self, node: SqlNode) -> PhysicalNode:
         """Compile a query AST to its physical plan (no execution)."""
@@ -500,7 +508,7 @@ class Executor:
     # ------------------------------------------------------------------ #
 
     def _result_schema(
-        self, query: Select, columns: list[str], rows: list[tuple[Any, ...]]
+        self, query: Select, columns: list[str], column_vectors: list[list[Any]]
     ) -> ResultSchema:
         try:
             analyzer = Analyzer(self._catalog.schemas())
@@ -513,10 +521,10 @@ class Executor:
                 return ResultSchema(columns=renamed)
         except Exception:  # noqa: BLE001 - schema inference is best effort
             pass
-        # Fall back to inferring types from the materialized values.
+        # Fall back to inferring types from the materialized column vectors.
         schemas = []
         for index, name in enumerate(columns):
-            values = [row[index] for row in rows if index < len(row)]
+            values = column_vectors[index] if index < len(column_vectors) else []
             data_type = DataType.NULL
             for value in values:
                 data_type = DataType.unify(data_type, DataType.of_value(value))

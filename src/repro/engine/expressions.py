@@ -12,6 +12,8 @@ ASTs against an environment, with hooks for
 from __future__ import annotations
 
 import re
+from itertools import compress
+from operator import and_, or_
 from typing import Any, Callable
 
 from repro.errors import ExecutionError
@@ -446,6 +448,24 @@ class Batch:
             },
         )
 
+    def filter(self, keep: list[bool], count: int) -> "Batch":
+        """Apply a boolean selection mask (``count`` = number of True entries).
+
+        Equivalent to ``take`` on the mask's index positions but gathers with
+        ``itertools.compress``, which walks each column once at C speed.
+        """
+        return Batch(
+            slots=self.slots,
+            columns=[list(compress(column, keep)) for column in self.columns],
+            length=count,
+            aliases={
+                name: list(compress(column, keep)) for name, column in self.aliases.items()
+            },
+            aggregates={
+                key: list(compress(column, keep)) for key, column in self.aggregates.items()
+            },
+        )
+
     def slice(self, start: int, stop: int | None) -> "Batch":
         """Row range [start, stop) as a new batch (used by LIMIT/OFFSET)."""
         columns = [column[start:stop] for column in self.columns]
@@ -597,9 +617,180 @@ class VectorEvaluator:
         raise ExecutionError(f"Cannot evaluate expression node {type(node).__name__}")
 
     def eval_predicate(self, node: SqlNode, batch: Batch) -> list[bool]:
-        """Evaluate a predicate per row; NULL counts as false."""
+        """Evaluate a predicate per row; NULL counts as false.
+
+        The common scan-filter shapes — comparisons and BETWEEN with literal
+        bounds, LIKE with a literal pattern, IN over literal lists, IS NULL,
+        and AND/OR compositions of those — are fused into a single selection
+        pass producing booleans directly, instead of materializing the
+        intermediate three-valued column that a generic ``eval()`` plus a
+        booleanize pass would.  Fusion is skipped for aggregate batches
+        (HAVING), where aggregate substitution must stay on the generic path.
+        """
+        if not batch.aggregates:
+            fused = self._fused_predicate(node, batch)
+            if fused is not None:
+                return fused
         values = self.eval(node, batch)
         return [bool(value) if value is not None else False for value in values]
+
+    def _fused_predicate(self, node: SqlNode, batch: Batch) -> list[bool] | None:
+        """Selection vector for a fusable predicate, or None to fall back.
+
+        Each fused form computes ``value IS TRUE`` per row under SQL
+        three-valued logic: a NULL operand can never satisfy a fused
+        comparison, so ``a is not None and a < c`` is exactly the
+        NULL-propagating comparison collapsed with the NULL-counts-as-false
+        rule.  Exceptions mirror the generic path: a raising left conjunct
+        propagates, a raising right conjunct falls back to exact row-wise
+        evaluation (short-circuit semantics).
+        """
+        if isinstance(node, BinaryOp):
+            op = node.op
+            if op in ("AND", "OR"):
+                left = self._fused_predicate(node.left, batch)
+                if left is None:
+                    return None
+                try:
+                    right = self._fused_predicate(node.right, batch)
+                except (ExecutionError, TypeError):
+                    values = self._eval_rowwise(node, batch)
+                    return [bool(value) if value is not None else False for value in values]
+                if right is None:
+                    return None
+                # Fused sub-predicates are guaranteed bool vectors, so the
+                # bitwise operators compute the logical merge at C speed.
+                if op == "AND":
+                    return list(map(and_, left, right))
+                return list(map(or_, left, right))
+            if op in ("=", "<>", "<", "<=", ">", ">="):
+                return self._fused_comparison(node, batch)
+            if op == "LIKE" and isinstance(node.right, Literal):
+                pattern = node.right.value
+                if pattern is None:
+                    return [False] * batch.length
+                compiled = self._like_pattern(str(pattern))
+                values = self.eval(node.left, batch)
+                return [
+                    value is not None and compiled.match(str(value)) is not None
+                    for value in values
+                ]
+            return None
+        if isinstance(node, BetweenOp):
+            return self._fused_between(node, batch)
+        if isinstance(node, IsNull):
+            values = self.eval(node.expr, batch)
+            if node.negated:
+                return [value is not None for value in values]
+            return [value is None for value in values]
+        if isinstance(node, InList):
+            return self._fused_in_list(node, batch)
+        return None
+
+    def _fused_comparison(self, node: BinaryOp, batch: Batch) -> list[bool] | None:
+        op = node.op
+        if isinstance(node.right, Literal):
+            constant = node.right.value
+            if constant is None:
+                return [False] * batch.length
+            values = self.eval(node.left, batch)
+        elif isinstance(node.left, Literal):
+            constant = node.left.value
+            if constant is None:
+                return [False] * batch.length
+            values = self.eval(node.right, batch)
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        else:
+            left = self.eval(node.left, batch)
+            right = self.eval(node.right, batch)
+            pairs = zip(left, right)
+            if op == "=":
+                return [a is not None and b is not None and a == b for a, b in pairs]
+            if op == "<>":
+                return [a is not None and b is not None and a != b for a, b in pairs]
+            if op == "<":
+                return [a is not None and b is not None and a < b for a, b in pairs]
+            if op == "<=":
+                return [a is not None and b is not None and a <= b for a, b in pairs]
+            if op == ">":
+                return [a is not None and b is not None and a > b for a, b in pairs]
+            return [a is not None and b is not None and a >= b for a, b in pairs]
+        constant_value = constant
+        if None not in values:
+            # Null-free column (the common case for base-table scans): drop
+            # the per-row NULL test entirely.  ``in`` does an identity-first
+            # C-speed sweep, so the precheck costs one pass, not a listcomp.
+            if op == "=":
+                return [value == constant_value for value in values]
+            if op == "<>":
+                return [value != constant_value for value in values]
+            if op == "<":
+                return [value < constant_value for value in values]
+            if op == "<=":
+                return [value <= constant_value for value in values]
+            if op == ">":
+                return [value > constant_value for value in values]
+            return [value >= constant_value for value in values]
+        if op == "=":
+            return [value is not None and value == constant_value for value in values]
+        if op == "<>":
+            return [value is not None and value != constant_value for value in values]
+        if op == "<":
+            return [value is not None and value < constant_value for value in values]
+        if op == "<=":
+            return [value is not None and value <= constant_value for value in values]
+        if op == ">":
+            return [value is not None and value > constant_value for value in values]
+        return [value is not None and value >= constant_value for value in values]
+
+    def _fused_between(self, node: BetweenOp, batch: Batch) -> list[bool] | None:
+        if isinstance(node.low, Literal) and isinstance(node.high, Literal):
+            low, high = node.low.value, node.high.value
+            if low is None or high is None:
+                return [False] * batch.length
+            values = self.eval(node.expr, batch)
+            if None not in values:
+                if node.negated:
+                    return [not low <= value <= high for value in values]
+                return [low <= value <= high for value in values]
+            if node.negated:
+                return [
+                    value is not None and not (low <= value <= high) for value in values
+                ]
+            return [value is not None and low <= value <= high for value in values]
+        values = self.eval(node.expr, batch)
+        lows = self.eval(node.low, batch)
+        highs = self.eval(node.high, batch)
+        out: list[bool] = []
+        for value, low, high in zip(values, lows, highs):
+            if value is None or low is None or high is None:
+                out.append(False)
+            else:
+                inside = low <= value <= high
+                out.append(not inside if node.negated else inside)
+        return out
+
+    def _fused_in_list(self, node: InList, batch: Batch) -> list[bool] | None:
+        if not all(isinstance(item, Literal) for item in node.items):
+            return None
+        items = [item.value for item in node.items]
+        has_null_item = any(item is None for item in items)
+        if node.negated and has_null_item:
+            # value NOT IN (..., NULL, ...) is never true: either the value
+            # matches (false) or the NULL comparison makes the result NULL.
+            return [False] * batch.length
+        try:
+            members = {item for item in items if item is not None}
+        except TypeError:
+            return None
+        values = self.eval(node.expr, batch)
+        try:
+            if node.negated:
+                return [value is not None and value not in members for value in values]
+            return [value is not None and value in members for value in values]
+        except TypeError:
+            # An unhashable probe value: the generic equality loop handles it.
+            return None
 
     # ------------------------------------------------------------------ #
     # Column resolution
@@ -770,14 +961,35 @@ class VectorEvaluator:
     def _eval_in_subquery(self, node: InSubquery, batch: Batch) -> list[Any]:
         values = self.eval(node.expr, batch)
         out: list[Any] = []
+        # Uncorrelated subqueries are memoized by the executor and come back
+        # as the same PlanResult object for every outer row; keep the member
+        # extraction (and the hash set, when the members allow one) keyed to
+        # that identity instead of rebuilding them per row.
+        last_result: Any = None
+        members: list[Any] = []
+        member_set: set[Any] | None = None
+        has_null_member = False
         for index, value in enumerate(values):
             if value is None:
                 out.append(None)
                 continue
             result = self._run_subquery(node.query, batch, index)
-            members = [row[0] for row in result.rows]
-            found = any(item is not None and item == value for item in members)
-            if not found and any(item is None for item in members):
+            if result is not last_result:
+                last_result = result
+                members = [row[0] for row in result.rows]
+                has_null_member = any(item is None for item in members)
+                try:
+                    member_set = {item for item in members if item is not None}
+                except TypeError:
+                    member_set = None
+            if member_set is not None:
+                try:
+                    found = value in member_set
+                except TypeError:
+                    found = any(item is not None and item == value for item in members)
+            else:
+                found = any(item is not None and item == value for item in members)
+            if not found and has_null_member:
                 out.append(None)
             else:
                 out.append(not found if node.negated else found)

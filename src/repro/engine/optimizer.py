@@ -906,7 +906,11 @@ class _Optimizer:
         for node in conjunct.walk():
             if isinstance(node, Select):
                 return False
-            if isinstance(node, FunctionCall) and is_aggregate_function(node.name) and not is_scalar_function(node.name):
+            if (
+                isinstance(node, FunctionCall)
+                and is_aggregate_function(node.name)
+                and not is_scalar_function(node.name)
+            ):
                 return False
             if isinstance(node, ColumnRef):
                 refs.append(node)

@@ -11,6 +11,7 @@ executor's job is reduced to compile-then-run.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -415,7 +416,18 @@ class CteExec(PhysicalNode):
                     f"CTE {name!r} declares {len(columns)} columns but its query "
                     f"produces {len(produced)}"
                 )
-            ctes[name.lower()] = Table(name=name, columns=columns, rows=batch.rows())
+            if len(set(columns)) == len(columns):
+                # Column-major hand-off: the batch's value vectors become the
+                # CTE table's storage without a row round-trip.  Vectors that
+                # alias base-table storage are safe to share — the CTE table
+                # is read-only for the rest of this execution.
+                ctes[name.lower()] = Table.from_columns(
+                    name, dict(zip(columns, batch.columns)), adopt=True
+                )
+            else:
+                # Duplicate output names: fall through to the row constructor,
+                # which reports the same CatalogError it always has.
+                ctes[name.lower()] = Table(name=name, columns=columns, rows=batch.rows())
         return self.input.execute(scoped)
 
 
@@ -438,10 +450,14 @@ class FilterExec(PhysicalNode):
         if batch.length == 0:
             return batch
         keep = VectorEvaluator(ctx).eval_predicate(self.predicate, batch)
-        indices = [index for index, kept in enumerate(keep) if kept]
-        if len(indices) == batch.length:
+        # The boolean keep-mask IS the selection vector; applying it is the
+        # only materialization a filter performs (one compress pass per
+        # column, no row rebuilds).  An all-true mask passes the input batch
+        # through untouched.
+        count = keep.count(True)
+        if count == batch.length:
             return batch
-        return batch.take(indices)
+        return batch.filter(keep, count)
 
 
 @dataclass
@@ -534,21 +550,45 @@ class HashAggregateExec(PhysicalNode):
         aggs = ", ".join(to_sql(call) for call in self.aggregates)
         return f"HashAggregate(group_by=[{groups}], aggregates=[{aggs}])"
 
+    @staticmethod
+    def _partition(key_columns: list[list[Any]], length: int) -> tuple[dict, list]:
+        """Group row indices by key, preserving first-appearance order.
+
+        Keys are raw column values (single key) or C-built value tuples
+        (multi key); the per-value ``hashable()`` shim only runs on the
+        fallback path after an unhashable value is actually seen.
+        """
+        grouped: defaultdict[Any, list[int]] = defaultdict(list)
+        try:
+            if len(key_columns) == 1:
+                for index, key in enumerate(key_columns[0]):
+                    grouped[key].append(index)
+            else:
+                for index, key in enumerate(zip(*key_columns)):
+                    grouped[key].append(index)
+        except TypeError:
+            grouped.clear()
+            for index in range(length):
+                key = tuple(hashable(column[index]) for column in key_columns)
+                grouped[key].append(index)
+        groups = dict(grouped)
+        # Dict insertion order IS first-appearance order.
+        return groups, list(groups)
+
     def execute(self, ctx) -> Batch:
         batch = self.input.execute(ctx)
         evaluator = VectorEvaluator(ctx)
 
         key_columns = [evaluator.eval(expr, batch) for expr in self.group_by]
-        groups: dict[tuple, list[int]] = {}
-        order: list[tuple] = []
-        for index in range(batch.length):
-            key = tuple(hashable(column[index]) for column in key_columns)
-            members = groups.get(key)
-            if members is None:
-                groups[key] = [index]
-                order.append(key)
-            else:
-                members.append(index)
+        if key_columns:
+            groups, order = self._partition(key_columns, batch.length)
+        elif batch.length:
+            # No GROUP BY: every row lands in the single global group (a
+            # range stands in for the member list — len() and indexing are
+            # all the accumulation path needs).
+            groups, order = {(): range(batch.length)}, [()]
+        else:
+            groups, order = {}, []
 
         # A query with aggregates but no GROUP BY forms one global group, even
         # over zero input rows.
@@ -575,7 +615,12 @@ class HashAggregateExec(PhysicalNode):
                 if accumulator.counts_rows:
                     accumulator.add_many(members)
                 elif argument is not None:
-                    accumulator.add_many([argument[index] for index in members])
+                    if len(members) == batch.length:
+                        # The group covers the whole batch: feed the argument
+                        # vector directly instead of gathering a copy.
+                        accumulator.add_many(argument)
+                    else:
+                        accumulator.add_many([argument[index] for index in members])
                 aggregate_columns[key].append(accumulator.result())
 
         if order and not groups[order[0]]:
@@ -677,6 +722,21 @@ class SortExec(PhysicalNode):
             keys = self._key_vector(ctx, batch, item.expr)
             nulls_last = item.nulls_last
 
+            if None not in keys:
+                # Null-free key: try the direct (un-wrapped) comparison, which
+                # sorts at C speed.  A mixed-type key raises TypeError, in
+                # which case the Orderable fallback below provides the total
+                # order.  Sort a scratch list so a failed attempt cannot leave
+                # ``indices`` half-permuted.
+                trial = indices[:]
+                try:
+                    trial.sort(key=keys.__getitem__, reverse=item.descending)
+                except TypeError:
+                    pass
+                else:
+                    indices = trial
+                    continue
+
             def sort_key(index: int, keys=keys, nulls_last=nulls_last):
                 value = keys[index]
                 is_null = value is None
@@ -759,10 +819,20 @@ class JoinExec(PhysicalNode):
     @staticmethod
     def _gather(left: Batch, right: Batch, left_idx, right_idx) -> Batch:
         columns: list[list[Any]] = []
+        # Outer joins pad unmatched rows with None indices; inner/cross index
+        # vectors are padding-free and gather without the per-element test.
+        left_padded = None in left_idx
+        right_padded = None in right_idx
         for column in left.columns:
-            columns.append([column[i] if i is not None else None for i in left_idx])
+            if left_padded:
+                columns.append([column[i] if i is not None else None for i in left_idx])
+            else:
+                columns.append([column[i] for i in left_idx])
         for column in right.columns:
-            columns.append([column[i] if i is not None else None for i in right_idx])
+            if right_padded:
+                columns.append([column[i] if i is not None else None for i in right_idx])
+            else:
+                columns.append([column[i] for i in right_idx])
         return Batch(
             slots=left.slots + right.slots, columns=columns, length=len(left_idx)
         )

@@ -107,11 +107,11 @@ class QueryCache:
 
     @staticmethod
     def _copy(result: QueryResult) -> QueryResult:
-        # Shallow row-list copy: rows are immutable tuples, so sharing them is
-        # safe, but the containing lists must not alias the cached entry.
-        return QueryResult(
-            columns=list(result.columns), rows=list(result.rows), schema=result.schema
-        )
+        # Values are shared (immutable), containers are not: a copy can never
+        # alias the cached entry's lists.  The copy preserves laziness — a
+        # column-backed result is cached column-backed, so the row pivot is
+        # still deferred until some consumer actually reads ``.rows``.
+        return result.copy()
 
     def lookup(self, key: str) -> QueryResult | None:
         """Return a copy of the cached result for ``key``, or None."""

@@ -1,16 +1,19 @@
 """Column-oriented in-memory table and query-result containers.
 
-The engine stores each table as a list of named columns (plain Python lists),
-which keeps scans, projections and aggregation cache-friendly and makes schema
-inference trivial.  Query results reuse the same representation plus the
-inferred :class:`~repro.sql.schema.ResultSchema`.
+The engine stores each table column-major: one :class:`~repro.engine.column.Column`
+per attribute, each owning its value vector, null mask and incrementally
+maintained statistics (dtype tag, comparison-safe value type, min/max range,
+distinct set).  Scans hand the raw value vectors to the vectorized executor
+zero-copy; ``rows()``/``to_dicts()`` are derived views materialized on demand.
+Query results reuse the same representation plus the inferred
+:class:`~repro.sql.schema.ResultSchema`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Sequence
 
+from repro.engine.column import Column
 from repro.errors import CatalogError, EngineError
 from repro.sql.schema import AttributeRole, ColumnSchema, DataType, ResultSchema, TableSchema
 
@@ -29,7 +32,7 @@ def infer_column_role(
     """Infer the visualization role of a column from type and cardinality.
 
     ``distinct_count`` lets callers that already know the cardinality (e.g. a
-    :class:`Table` with memoized statistics) skip rebuilding the distinct set.
+    :class:`Table` with maintained statistics) skip rebuilding the distinct set.
     """
     if distinct_count is None:
         non_null = {value for value in values if value is not None}
@@ -39,6 +42,11 @@ def infer_column_role(
 
 class Table:
     """An in-memory, column-oriented relational table.
+
+    Storage is column-major: one :class:`Column` per attribute.  Mutations go
+    through :meth:`append`/:meth:`extend`, which keep each column's null mask
+    and statistics in step and bump the data-version counter consulted by the
+    plan/result caches.
 
     Args:
         name: Table name used in the catalog and in FROM clauses.
@@ -58,18 +66,15 @@ class Table:
         self.column_names = list(columns)
         if len(set(self.column_names)) != len(self.column_names):
             raise CatalogError(f"Duplicate column names in table {name!r}")
-        self._columns: dict[str, list[Any]] = {column: [] for column in self.column_names}
+        self._columns: dict[str, Column] = {column: Column() for column in self.column_names}
         self._data_version = 0
-        # Statistics memos, each keyed by the data version they were computed
-        # at: distinct sets are expensive to rebuild and are consulted by role
-        # inference, cost statistics and widget-domain construction.
+        # Sorted distinct lists are not incrementally maintainable (an append
+        # can land anywhere), so they stay version-memoized; the underlying
+        # distinct *set* lives in the column statistics and is incremental.
         self._distinct_memo: dict[str, tuple[int, list[Any]]] = {}
-        self._range_memo: dict[str, tuple[int, tuple[Any, Any] | None]] = {}
-        self._value_type_memo: dict[str, tuple[int, DataType | None]] = {}
         self._schema_memo: tuple[int, TableSchema] | None = None
-        for row in rows:
-            self.append(row)
         self._explicit_schema = schema
+        self.extend(rows)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -89,14 +94,25 @@ class Table:
         return cls(name=name, columns=columns, rows=rows)
 
     @classmethod
-    def from_columns(cls, name: str, columns: dict[str, Sequence[Any]]) -> "Table":
-        """Build a table directly from named column sequences."""
+    def from_columns(
+        cls, name: str, columns: dict[str, Sequence[Any]], adopt: bool = False
+    ) -> "Table":
+        """Build a table directly from named column sequences (column-major).
+
+        With ``adopt=True`` the provided lists become the table's backing
+        storage without a copy; callers hand over ownership and must not
+        mutate them afterwards.  The engine's ingest paths (CSV, dataset
+        generators, CTE materialization) use adoption to make loading a
+        pure column hand-off.
+        """
         names = list(columns.keys())
         lengths = {len(values) for values in columns.values()}
         if len(lengths) > 1:
             raise EngineError(f"Column lengths differ in table {name!r}: {sorted(lengths)}")
         table = cls(name=name, columns=names)
-        table._columns = {column: list(values) for column, values in columns.items()}
+        table._columns = {
+            column: Column(values, adopt=adopt) for column, values in columns.items()
+        }
         table._data_version += 1
         return table
 
@@ -105,7 +121,7 @@ class Table:
     # ------------------------------------------------------------------ #
 
     def append(self, row: Sequence[Any]) -> None:
-        """Append one row."""
+        """Append one row, updating null masks and statistics incrementally."""
         if len(row) != len(self.column_names):
             raise EngineError(
                 f"Row width {len(row)} does not match table {self.name!r} "
@@ -139,27 +155,40 @@ class Table:
         """Return a copy of the values of one column.
 
         The copy keeps callers from mutating table storage behind the back of
-        the data-version counter (which would leave stale statistics memos and
-        stale query-cache entries).
+        the data-version counter (which would leave stale statistics and stale
+        query-cache entries).
         """
         return list(self.column_data(name))
 
     def column_data(self, name: str) -> list[Any]:
-        """The live internal value list of one column — read-only by contract.
+        """The live internal value vector of one column — read-only by contract.
 
         Used by the scan operator for zero-copy batches; callers must never
         mutate the returned list (use :meth:`append`/:meth:`extend`).
         """
-        if name not in self._columns:
+        return self.column_store(name).values
+
+    def column_store(self, name: str) -> Column:
+        """The full :class:`Column` (values + null mask + statistics)."""
+        store = self._columns.get(name)
+        if store is None:
             raise CatalogError(f"Table {self.name!r} has no column {name!r}")
-        return self._columns[name]
+        return store
+
+    def null_count(self, name: str) -> int:
+        """Number of NULLs in one column (maintained eagerly)."""
+        return self.column_store(name).null_count
+
+    def null_mask(self, name: str) -> list[bool]:
+        """True-where-NULL mask of one column — read-only by contract."""
+        return self.column_store(name).null_mask()
 
     def has_column(self, name: str) -> bool:
         return name in self._columns
 
     def rows(self) -> Iterator[tuple[Any, ...]]:
-        """Iterate over rows as tuples."""
-        columns = [self._columns[name] for name in self.column_names]
+        """Iterate over rows as tuples (a derived view of the column vectors)."""
+        columns = [self._columns[name].values for name in self.column_names]
         for values in zip(*columns) if columns else iter(()):
             yield values
 
@@ -167,23 +196,27 @@ class Table:
         """Return one row by position."""
         if index < 0 or index >= self.row_count:
             raise EngineError(f"Row index {index} out of range for table {self.name!r}")
-        return tuple(self._columns[name][index] for name in self.column_names)
+        return tuple(self._columns[name].values[index] for name in self.column_names)
 
     def to_dicts(self) -> list[dict[str, Any]]:
         """Materialize rows as dictionaries."""
         return [dict(zip(self.column_names, row)) for row in self.rows()]
 
     def schema(self) -> TableSchema:
-        """Return the (explicit or inferred) table schema (memoized)."""
+        """Return the (explicit or inferred) table schema (memoized).
+
+        Inference reads each column's maintained dtype tag and distinct count,
+        so rebuilding the schema after a mutation is O(columns), not O(data).
+        """
         if self._explicit_schema is not None:
             return self._explicit_schema
         if self._schema_memo is not None and self._schema_memo[0] == self._data_version:
             return self._schema_memo[1]
         columns = []
         for name in self.column_names:
-            values = self._columns[name]
-            data_type = infer_column_type(values)
-            role = infer_column_role(data_type, values, distinct_count=self.distinct_count(name))
+            store = self._columns[name]
+            data_type = store.dtype()
+            role = AttributeRole.from_data_type(data_type, store.distinct_count())
             columns.append(ColumnSchema(name=name, data_type=data_type, role=role))
         schema = TableSchema(name=self.name, columns=tuple(columns))
         self._schema_memo = (self._data_version, schema)
@@ -193,7 +226,7 @@ class Table:
         memo = self._distinct_memo.get(column)
         if memo is not None and memo[0] == self._data_version:
             return memo[1]
-        values = {value for value in self.column_data(column) if value is not None}
+        values = self.column_store(column).distinct_set()
         try:
             ordered = sorted(values)
         except TypeError:
@@ -206,50 +239,39 @@ class Table:
         return list(self._distinct_sorted(column))
 
     def distinct_count(self, column: str) -> int:
-        """Number of distinct non-null values of a column (memoized)."""
-        return len(self._distinct_sorted(column))
+        """Number of distinct non-null values of a column (maintained)."""
+        return self.column_store(column).distinct_count()
 
     def value_type(self, column: str) -> DataType | None:
         """The comparison-safe storage type of a column's values, or None.
 
         Unlike :func:`infer_column_type`, which unifies mixed columns into
-        ``TEXT``, this memo answers the question the logical optimizer asks:
-        *can every non-null value of this column be compared against a value of
-        the reported type without a runtime type error?*  Columns mixing
-        comparison groups (numbers alongside strings) report ``None`` so the
-        optimizer refuses to move predicates over them.
+        ``TEXT``, this statistic answers the question the logical optimizer
+        asks: *can every non-null value of this column be compared against a
+        value of the reported type without a runtime type error?*  Columns
+        mixing comparison groups (numbers alongside strings) report ``None``
+        so the optimizer refuses to move predicates over them.
         """
-        memo = self._value_type_memo.get(column)
-        if memo is not None and memo[0] == self._data_version:
-            return memo[1]
-        result: DataType | None = DataType.NULL
-        for value in self.column_data(column):
-            if value is None:
-                continue
-            candidate = DataType.of_value(value)
-            if result is DataType.NULL or candidate is result:
-                result = candidate
-                continue
-            if {candidate, result} <= {DataType.INTEGER, DataType.FLOAT, DataType.BOOLEAN}:
-                result = DataType.FLOAT if DataType.FLOAT in (candidate, result) else DataType.INTEGER
-                continue
-            if {candidate, result} <= {DataType.TEXT, DataType.DATE}:
-                result = DataType.TEXT
-                continue
-            result = None
-            break
-        self._value_type_memo[column] = (self._data_version, result)
-        return result
+        return self.column_store(column).value_type()
 
     def value_range(self, column: str) -> tuple[Any, Any] | None:
         """(min, max) of a column's non-null values, or None when empty."""
-        memo = self._range_memo.get(column)
-        if memo is not None and memo[0] == self._data_version:
-            return memo[1]
-        values = [value for value in self.column_data(column) if value is not None]
-        result = (min(values), max(values)) if values else None
-        self._range_memo[column] = (self._data_version, result)
-        return result
+        return self.column_store(column).value_range()
+
+    def memory_footprint(self) -> int:
+        """Approximate bytes held by the column storage (vectors + containers)."""
+        import sys
+
+        total = 0
+        for store in self._columns.values():
+            total += sys.getsizeof(store.values)
+            seen: set[int] = set()
+            for value in store.values:
+                identity = id(value)
+                if identity not in seen:
+                    seen.add(identity)
+                    total += sys.getsizeof(value)
+        return total
 
     def __len__(self) -> int:
         return self.row_count
@@ -258,29 +280,73 @@ class Table:
         return f"Table({self.name!r}, columns={self.column_names}, rows={self.row_count})"
 
 
-@dataclass
 class QueryResult:
-    """The materialized result of executing a query.
+    """The result of executing a query, stored column-major.
+
+    The executor hands results over as column vectors; the row-tuple view is
+    **derived lazily** the first time ``rows`` is read (and memoized), so
+    consumers that read columns — chart data binding, domain construction —
+    never pay for a row pivot.  Results built from rows (tests, cache copies)
+    behave exactly as before.
 
     Attributes:
         columns: Output column names, in SELECT order.
-        rows: Result rows as tuples.
+        rows: Result rows as tuples (lazily derived from the column vectors).
         schema: The inferred result schema (types and visualization roles).
     """
 
-    columns: list[str]
-    rows: list[tuple[Any, ...]]
-    schema: ResultSchema
+    __slots__ = ("columns", "schema", "_rows", "_column_data", "_row_count")
+
+    def __init__(
+        self,
+        columns: list[str],
+        rows: list[tuple[Any, ...]] | None = None,
+        schema: ResultSchema | None = None,
+        column_data: list[list[Any]] | None = None,
+        row_count: int | None = None,
+    ) -> None:
+        self.columns = columns
+        self.schema = schema
+        if rows is not None:
+            self._rows: list[tuple[Any, ...]] | None = (
+                rows if type(rows) is list else list(rows)
+            )
+            self._column_data: list[list[Any]] | None = None
+            self._row_count = len(self._rows)
+        elif column_data is not None:
+            self._rows = None
+            self._column_data = column_data
+            if row_count is not None:
+                self._row_count = row_count
+            else:
+                self._row_count = len(column_data[0]) if column_data else 0
+        else:
+            raise EngineError("QueryResult requires either rows or column_data")
+
+    @property
+    def rows(self) -> list[tuple[Any, ...]]:
+        """Row tuples, pivoted from the column vectors on first access."""
+        if self._rows is None:
+            columns = self._column_data or []
+            if columns:
+                self._rows = list(zip(*columns))
+            else:
+                self._rows = [() for _ in range(self._row_count)]
+        return self._rows
 
     @property
     def row_count(self) -> int:
-        return len(self.rows)
+        if self._rows is not None:
+            return len(self._rows)
+        return self._row_count
 
     def column_values(self, name: str) -> list[Any]:
         """All values of one output column."""
         if name not in self.columns:
             raise EngineError(f"Result has no column {name!r}")
         index = self.columns.index(name)
+        if self._rows is None and self._column_data is not None:
+            return list(self._column_data[index])
         return [row[index] for row in self.rows]
 
     def to_dicts(self) -> list[dict[str, Any]]:
@@ -288,23 +354,47 @@ class QueryResult:
 
     def to_table(self, name: str = "result") -> Table:
         """Convert the result into a Table (used for chart data binding)."""
+        if self._rows is None and self._column_data is not None:
+            if len(set(self.columns)) == len(self.columns):
+                return Table.from_columns(name, dict(zip(self.columns, self._column_data)))
         return Table(name=name, columns=self.columns, rows=self.rows, schema=None)
+
+    def copy(self) -> "QueryResult":
+        """An independent copy sharing immutable values but no containers.
+
+        A still-lazy result stays lazy: the column vectors are copied
+        shallowly and the row pivot remains deferred, so caching a result
+        (the query cache copies on store and on hit) does not force the
+        pivot or downgrade the copy to row-backed storage.
+        """
+        if self._rows is None and self._column_data is not None:
+            return QueryResult(
+                columns=list(self.columns),
+                schema=self.schema,
+                column_data=[list(column) for column in self._column_data],
+                row_count=self._row_count,
+            )
+        return QueryResult(columns=list(self.columns), rows=list(self.rows), schema=self.schema)
 
     def first(self) -> tuple[Any, ...] | None:
         return self.rows[0] if self.rows else None
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self.row_count
 
     def __iter__(self) -> Iterator[tuple[Any, ...]]:
         return iter(self.rows)
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryResult(columns={self.columns}, rows={self.row_count})"
+
 
 def result_from_table(table: Table) -> QueryResult:
-    """Wrap a full table scan as a QueryResult."""
+    """Wrap a full table scan as a QueryResult (column hand-off, no pivot)."""
     schema = table.schema()
     return QueryResult(
         columns=list(table.column_names),
-        rows=list(table.rows()),
         schema=ResultSchema(columns=schema.columns),
+        column_data=[list(table.column_data(name)) for name in table.column_names],
+        row_count=table.row_count,
     )

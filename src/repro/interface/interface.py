@@ -19,7 +19,7 @@ from typing import Iterator
 from repro.errors import InterfaceError
 from repro.difftree.builder import DifftreeForest
 from repro.interface.interactions import VisInteraction
-from repro.interface.layout import Layout, ScreenSize
+from repro.interface.layout import Layout
 from repro.interface.visualizations import Visualization
 from repro.interface.widgets import ChoiceBinding, Widget
 

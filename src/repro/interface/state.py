@@ -24,7 +24,7 @@ from repro.engine.catalog import Catalog
 from repro.engine.table import QueryResult
 from repro.interface.interactions import InteractionType, VisInteraction
 from repro.interface.interface import Interface
-from repro.interface.widgets import ChoiceBinding, Widget, WidgetType
+from repro.interface.widgets import ChoiceBinding, WidgetType
 from repro.sql.ast_nodes import Select
 from repro.sql.printer import to_sql
 

@@ -15,7 +15,7 @@ from typing import Any
 from repro.engine.table import QueryResult
 from repro.interface.interactions import InteractionType, VisInteraction
 from repro.interface.interface import Interface
-from repro.interface.visualizations import Channel, ChartType, Visualization
+from repro.interface.visualizations import ChartType, Visualization
 from repro.interface.widgets import Widget, WidgetType
 from repro.sql.schema import AttributeRole
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-from repro.difftree.nodes import AnyNode, ChoiceNode, OptNode, choice_node_by_id
+from repro.difftree.nodes import AnyNode, OptNode, choice_node_by_id
 from repro.difftree.tree_schema import ChoiceContext
 from repro.interface.visualizations import Channel, Visualization
 from repro.sql.ast_nodes import SqlNode

@@ -41,7 +41,6 @@ from repro.mapping.attributes import (
     option_labels,
     widget_label,
 )
-from repro.sql.schema import AttributeRole
 
 
 @dataclass

@@ -34,7 +34,6 @@ from repro.difftree.signatures import (
     tree_signature,
 )
 from repro.difftree.tree_schema import (
-    ForestSchema,
     TreeProfileCache,
     forest_schema,
 )

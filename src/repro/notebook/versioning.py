@@ -11,7 +11,7 @@ reverting to (or forking from) any previous version.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import NotebookError

@@ -424,7 +424,7 @@ class QueryGenerator:
         threshold = self.rng.randrange(0, 80)
         inner = self.choice(
             [
-                f"SELECT id AS a, val AS v, grp AS g FROM t WHERE val IS NOT NULL",
+                "SELECT id AS a, val AS v, grp AS g FROM t WHERE val IS NOT NULL",
                 f"SELECT sid AS a, amount AS v, cat AS g FROM s WHERE amount > {threshold}",
                 "SELECT grp AS g, count(*) AS v, min(id) AS a FROM t GROUP BY grp",
             ]

@@ -19,7 +19,7 @@ from repro.difftree import (
     parse_query_log,
 )
 from repro.errors import BindingError, DifftreeError
-from repro.sql.ast_nodes import Literal, Select
+from repro.sql.ast_nodes import Select
 from repro.sql.parser import parse_select
 from repro.sql.printer import to_sql
 

@@ -2,15 +2,12 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.difftree import (
     build_forest,
     choice_contexts,
-    collect_choice_nodes,
     forest_schema,
     merge_nodes,
-    parse_query_log,
     tree_profile,
 )
 from repro.difftree.transformations import applicable_transformations

@@ -1,0 +1,240 @@
+"""Tests for the columnar storage layer (Column, null masks, incremental stats).
+
+The storage contract under test (see docs/ENGINE.md "Storage"):
+
+* tables are column-major; ``rows()``/``to_dicts()`` are derived views and the
+  row→column→row round trip is the identity;
+* every column carries a lazily built, incrementally maintained null mask and
+  null count;
+* statistics (dtype tag, comparison-safe value type, min/max range, distinct
+  set) are computed once on demand and then folded forward in O(1) per append
+  — never recomputed from scratch after a mutation;
+* ``column_data`` / ``Batch.from_table`` alias live storage (zero-copy scans);
+* CSV ingest is column-major and rejects non-rectangular input.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.column import Column, ColumnStats
+from repro.engine.csvio import table_from_csv
+from repro.engine.expressions import Batch
+from repro.engine.table import QueryResult, Table
+from repro.errors import CatalogError, DatasetError
+from repro.sql.schema import DataType
+
+
+class TestColumnRoundTrip:
+    def test_rows_to_columns_to_rows_identity(self):
+        rows = [[1, "a", None], [2, "b", 2.5], [None, None, -1.0]]
+        table = Table("t", ["x", "y", "z"], rows)
+        assert [list(row) for row in table.rows()] == rows
+        rebuilt = Table.from_columns(
+            "t2", {name: table.column(name) for name in table.column_names}
+        )
+        assert list(rebuilt.rows()) == list(table.rows())
+
+    def test_from_columns_adoption_shares_storage(self):
+        values = [1, 2, 3]
+        adopted = Table.from_columns("t", {"x": values}, adopt=True)
+        assert adopted.column_data("x") is values
+        copied = Table.from_columns("t", {"x": values})
+        assert copied.column_data("x") is not values
+
+    def test_zero_copy_scan_batch_aliases_storage(self):
+        table = Table("t", ["x", "y"], [[1, "a"], [2, "b"]])
+        batch = Batch.from_table(table, "t")
+        assert batch.columns[0] is table.column_data("x")
+        assert batch.columns[1] is table.column_data("y")
+
+    def test_column_accessor_copies_but_column_data_aliases(self):
+        table = Table("t", ["x"], [[1], [2]])
+        assert table.column("x") is not table.column_data("x")
+        assert table.column_data("x") is table.column_data("x")
+
+
+class TestNullMasks:
+    def test_null_mask_and_count(self):
+        column = Column([1, None, 3, None])
+        assert column.null_count == 2
+        assert column.has_nulls
+        assert column.null_mask() == [False, True, False, True]
+
+    def test_mask_maintained_incrementally_after_build(self):
+        column = Column([1, None])
+        mask = column.null_mask()
+        assert mask == [False, True]
+        column.append(None)
+        column.append(5)
+        assert column.null_mask() == [False, True, True, False]
+        assert column.null_count == 2
+
+    def test_table_null_accessors(self):
+        table = Table("t", ["x"], [[None], [1], [None]])
+        assert table.null_count("x") == 2
+        assert table.null_mask("x") == [True, False, True]
+        table.append([None])
+        assert table.null_count("x") == 3
+        assert table.null_mask("x") == [True, False, True, True]
+
+    def test_all_null_column_stats(self):
+        table = Table("t", ["x"], [[None], [None]])
+        assert table.value_range("x") is None
+        assert table.distinct_count("x") == 0
+        assert table.schema().column("x").data_type is DataType.NULL
+
+
+class TestMixedTypeColumns:
+    def test_dtype_unifies_but_value_type_refuses(self):
+        table = Table("t", ["x"], [[1], ["oops"], [3]])
+        # Storage dtype unifies to TEXT; the optimizer-facing value type
+        # reports None because numbers and strings cannot be compared.
+        assert table.schema().column("x").data_type is DataType.TEXT
+        assert table.value_type("x") is None
+
+    def test_numeric_mix_unifies_to_float(self):
+        table = Table("t", ["x"], [[1], [2.5], [True]])
+        assert table.value_type("x") is DataType.FLOAT
+
+    def test_mixed_range_raises_like_min_would(self):
+        table = Table("t", ["x"], [[1], ["oops"]])
+        with pytest.raises(TypeError):
+            table.value_range("x")
+
+    def test_unhashable_values_poison_distinct_but_not_append(self):
+        table = Table("t", ["x"], [[1]])
+        assert table.distinct_count("x") == 1  # stats now live
+        table.append([[2, 3]])  # unhashable value must not raise at append
+        with pytest.raises(TypeError):
+            table.distinct_count("x")
+
+    def test_heterogeneous_distinct_values_sorted_by_repr(self):
+        table = Table("t", ["x"], [[2], ["b"], [1]])
+        assert table.distinct_values("x") == sorted({2, "b", 1}, key=repr)
+
+
+class TestIncrementalStats:
+    def test_stats_fold_forward_under_appends(self):
+        table = Table("t", ["x"], [[3], [1]])
+        # Force the stats block into existence, then mutate.
+        assert table.value_range("x") == (1, 3)
+        assert table.distinct_count("x") == 2
+        store = table.column_store("x")
+        stats_before = store.stats()
+        table.append([7])
+        table.append([1])
+        table.append([None])
+        # Same stats object — folded forward, not rebuilt.
+        assert store.stats() is stats_before
+        assert table.value_range("x") == (1, 7)
+        assert table.distinct_count("x") == 3
+        assert table.null_count("x") == 1
+        assert table.value_type("x") is DataType.INTEGER
+
+    def test_value_type_narrowing_under_appends(self):
+        table = Table("t", ["x"], [[1]])
+        assert table.value_type("x") is DataType.INTEGER
+        table.append([2.5])
+        assert table.value_type("x") is DataType.FLOAT
+        table.append(["oops"])
+        assert table.value_type("x") is None
+
+    def test_schema_reflects_appends(self):
+        table = Table("t", ["x"], [[1], [2]])
+        assert table.schema().column("x").data_type is DataType.INTEGER
+        table.append([2.5])
+        assert table.schema().column("x").data_type is DataType.FLOAT
+
+    def test_data_version_bumps_per_append(self):
+        table = Table("t", ["x"], [[1]])
+        version = table.data_version
+        table.append([2])
+        assert table.data_version == version + 1
+
+    def test_full_stats_match_incremental_stats(self):
+        values = [3, None, 1, 2.0, 2, None, 9]
+        incremental = Column()
+        for value in values:
+            incremental.stats()  # force eager folding from the first append
+            incremental.append(value)
+        full = ColumnStats.from_values(values)
+        assert incremental.stats().dtype is full.dtype
+        assert incremental.stats().value_type is full.value_type
+        assert incremental.value_range() == (1, 9)
+        assert incremental.distinct_set() == full.distinct
+
+
+class TestCsvIngestEdgeCases:
+    def test_empty_input_raises(self):
+        with pytest.raises(DatasetError):
+            table_from_csv("t", "")
+
+    def test_header_only_is_empty_table(self):
+        table = table_from_csv("t", "a,b\n")
+        assert table.column_names == ["a", "b"]
+        assert table.row_count == 0
+
+    def test_ragged_row_raises_with_line_number(self):
+        with pytest.raises(DatasetError, match="line 3"):
+            table_from_csv("t", "a,b\n1,2\n1,2,3\n")
+
+    def test_blank_lines_skipped(self):
+        table = table_from_csv("t", "a,b\n1,2\n\n3,4\n")
+        assert list(table.rows()) == [(1, 2), (3, 4)]
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(CatalogError):
+            table_from_csv("t", "a,a\n1,2\n")
+
+    def test_empty_cells_become_nulls_with_mask(self):
+        table = table_from_csv("t", "a,b\n1,\n,x\n")
+        assert list(table.rows()) == [(1, None), (None, "x")]
+        assert table.null_mask("a") == [False, True]
+        assert table.null_mask("b") == [True, False]
+
+
+class TestLazyQueryResult:
+    def test_column_handoff_defers_row_pivot(self):
+        result = QueryResult(
+            columns=["a", "b"], schema=None, column_data=[[1, 2], ["x", "y"]]
+        )
+        assert result.row_count == 2
+        assert result.column_values("b") == ["x", "y"]  # no pivot needed
+        assert result._rows is None
+        assert result.rows == [(1, "x"), (2, "y")]  # pivot on demand
+        assert result.rows is result.rows  # memoized
+
+    def test_row_construction_still_works(self):
+        result = QueryResult(columns=["a"], rows=[(1,), (2,)], schema=None)
+        assert result.row_count == 2
+        assert result.column_values("a") == [1, 2]
+
+    def test_empty_projection_rows(self):
+        result = QueryResult(columns=[], schema=None, column_data=[], row_count=3)
+        assert result.rows == [(), (), ()]
+
+    def test_to_table_from_columns(self):
+        result = QueryResult(columns=["a"], schema=None, column_data=[[1, 2]])
+        table = result.to_table("round")
+        assert table.column("a") == [1, 2]
+
+    def test_copy_preserves_laziness_and_isolation(self):
+        result = QueryResult(columns=["a"], schema=None, column_data=[[1, 2]])
+        duplicate = result.copy()
+        assert duplicate._rows is None  # still column-backed, pivot deferred
+        assert duplicate._column_data is not result._column_data
+        assert duplicate._column_data[0] is not result._column_data[0]
+        duplicate.rows.append((3,))
+        assert result.row_count == 2  # copies never alias each other
+
+    def test_query_cache_round_trip_stays_columnar(self):
+        from repro.engine.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.create_table("t", ["a"], [[1], [2]])
+        catalog.execute("SELECT a FROM t")  # store
+        hit = catalog.execute("SELECT a FROM t")  # cache hit
+        assert hit._rows is None  # served column-backed, no forced pivot
+        assert hit.column_values("a") == [1, 2]
+        assert hit.rows == [(1,), (2,)]

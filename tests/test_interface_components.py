@@ -13,7 +13,6 @@ from repro.interface import (
     InteractionType,
     VisInteraction,
     Visualization,
-    Widget,
     WidgetType,
     default_widget_for_cardinality,
     make_widget,

@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.difftree import build_forest, forest_schema
 from repro.difftree.transformations import applicable_transformations
 from repro.interface import Channel, ChartType, InteractionType, LARGE_SCREEN, SMALL_SCREEN, WidgetType
 from repro.mapping import (
-    InteractionMapper,
     MappingConfig,
     MappingPolicy,
     map_forest_to_interface,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import NotebookError
-from repro.notebook import Cell, NotebookSession, Pi2Extension, VersionHistory
+from repro.notebook import NotebookSession, Pi2Extension, VersionHistory
 from repro.pipeline import PipelineConfig
 
 

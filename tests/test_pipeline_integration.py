@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ReproError
-from repro.interface import ChartType, InteractionType, WidgetType, LARGE_SCREEN, SMALL_SCREEN
+from repro.interface import ChartType, InteractionType, LARGE_SCREEN, SMALL_SCREEN
 from repro.pipeline import PipelineConfig, generate_interface, map_queries_statically
 
 

@@ -19,7 +19,6 @@ from repro.sql.ast_nodes import (
     Join,
     Literal,
     ScalarSubquery,
-    Select,
     SetOperation,
     Star,
     SubqueryRef,
