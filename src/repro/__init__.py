@@ -14,7 +14,9 @@ The package layers, bottom to top:
 * :mod:`repro.search` — MCTS / greedy / exhaustive search over Difftrees,
 * :mod:`repro.baselines` — Lux-like and Hex-like comparison systems,
 * :mod:`repro.notebook` — notebook session, query-log snapshots, versioning,
-* :mod:`repro.pipeline` — the end-to-end :func:`generate_interface` facade.
+* :mod:`repro.pipeline` — the end-to-end :func:`generate_interface` facade,
+* :mod:`repro.serving` — concurrent multi-session serving layer
+  (snapshot-isolated sessions, bounded worker pool, admission control).
 
 Quickstart::
 
@@ -28,7 +30,7 @@ Quickstart::
 
 from repro.cost.model import CostBreakdown, CostModel, CostWeights
 from repro.difftree.builder import DifftreeForest, build_forest
-from repro.engine.catalog import Catalog
+from repro.engine.catalog import Catalog, CatalogSnapshot
 from repro.engine.table import QueryResult, Table
 from repro.errors import ReproError
 from repro.interface.interface import Interface
@@ -50,6 +52,7 @@ __all__ = [
     "DifftreeForest",
     "build_forest",
     "Catalog",
+    "CatalogSnapshot",
     "QueryResult",
     "Table",
     "ReproError",

@@ -10,10 +10,30 @@ or ASTs through the planner/executor.  It also owns the two execution caches:
   canonical SQL plus the catalog data version, so repeated equivalent queries
   — the dominant pattern in interface instantiation and search — skip
   execution entirely.
+
+Concurrency model (the serving layer's contract — see ``docs/SERVING.md``):
+
+* **Readers pin snapshots.**  Every ``execute`` atomically pins a
+  :class:`CatalogSnapshot` — the table map plus its data-version fingerprint,
+  captured under the catalog lock — and runs against it, so the version the
+  cache key embeds, the data the executor scans and the version the result is
+  stored under are always the same, even while writers swap tables.
+* **Writers copy-on-write.**  Concurrent mutation goes through
+  :meth:`Catalog.append_rows` / :meth:`Catalog.register` ``(replace=True)`` /
+  :meth:`Catalog.drop`: the new table version is built off to the side (a
+  clone carrying the incremental statistics forward) and swapped into the
+  table map atomically under the catalog lock.  In-place ``Table.append`` is
+  still supported for single-threaded use, but raises once the table has been
+  frozen by an explicit snapshot.
+* **Lock hierarchy.**  ``_write_lock`` (serializes writers, held across the
+  clone+extend) → ``_lock`` (guards the table map, version reads and snapshot
+  pinning, held only for pointer swaps).  Cache objects have their own
+  internal locks and are never touched while holding ``_lock``.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Sequence
 
 from repro.errors import CatalogError
@@ -41,34 +61,46 @@ class Catalog:
         self._plan_cache: dict = {}
         self._ast_cache: dict[str, SqlNode] = {}
         self._query_cache = QueryCache(capacity=query_cache_capacity)
+        #: Guards the table map, version reads and snapshot pinning.  Held
+        #: only for pointer swaps and O(tables) bookkeeping — never across
+        #: execution, parsing or table cloning.
+        self._lock = threading.RLock()
+        #: Serializes copy-on-write writers (held across the off-to-the-side
+        #: clone+extend so concurrent writers cannot lose each other's rows).
+        #: Always acquired *before* ``_lock`` — see the module docstring.
+        self._write_lock = threading.RLock()
+        self._snapshot_memo: CatalogSnapshot | None = None
 
     def _parse(self, text: str) -> SqlNode:
         """Parse SQL text with a bounded FIFO memo of the resulting AST."""
         node = self._ast_cache.get(text)
         if node is None:
             node = parse(text)
-            self._ast_cache[text] = node
-            while len(self._ast_cache) > AST_CACHE_CAPACITY:
-                self._ast_cache.pop(next(iter(self._ast_cache)))
+            with self._lock:
+                self._ast_cache[text] = node
+                while len(self._ast_cache) > AST_CACHE_CAPACITY:
+                    self._ast_cache.pop(next(iter(self._ast_cache)), None)
         return node
 
     # ------------------------------------------------------------------ #
     # Table management
     # ------------------------------------------------------------------ #
 
-    def _bump_schema_version(self) -> None:
+    def _bump_schema_version_locked(self) -> None:
         self._schema_version += 1
+        self._snapshot_memo = None
         # Compiled plans may have baked in join-key side analysis against the
         # old table set; recompile rather than risk a stale classification.
         self._plan_cache.clear()
 
     def register(self, table: Table, replace: bool = False) -> None:
-        """Register a table under its own name."""
+        """Register a table under its own name (an atomic swap when replacing)."""
         key = table.name.lower()
-        if key in self._tables and not replace:
-            raise CatalogError(f"Table {table.name!r} already exists in the catalog")
-        self._tables[key] = table
-        self._bump_schema_version()
+        with self._write_lock, self._lock:
+            if key in self._tables and not replace:
+                raise CatalogError(f"Table {table.name!r} already exists in the catalog")
+            self._tables[key] = table
+            self._bump_schema_version_locked()
 
     def create_table(
         self,
@@ -84,26 +116,62 @@ class Catalog:
 
     def drop(self, name: str) -> None:
         key = name.lower()
-        if key not in self._tables:
-            raise CatalogError(f"Cannot drop unknown table {name!r}")
-        del self._tables[key]
-        self._bump_schema_version()
+        with self._write_lock, self._lock:
+            if key not in self._tables:
+                raise CatalogError(f"Cannot drop unknown table {name!r}")
+            del self._tables[key]
+            self._bump_schema_version_locked()
+
+    def append_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Append rows to a table via copy-on-write (the concurrent write path).
+
+        The current table is cloned off to the side (statistics carried
+        forward), the clone is extended, and the new version is swapped into
+        the table map atomically — readers that pinned a snapshot keep seeing
+        the old table object untouched.  Only the pointer swap happens under
+        the catalog lock; concurrent writers serialize on the write lock.
+
+        The clone makes every call **O(existing table size)** regardless of
+        batch size, so writers should batch rows rather than append one at a
+        time; single-row trickle ingest into a large table is quadratic in
+        total rows (see ``docs/SERVING.md``).
+
+        Returns the number of rows appended.
+        """
+        with self._write_lock:
+            with self._lock:
+                key = name.lower()
+                current = self._tables.get(key)
+                if current is None:
+                    raise CatalogError(f"Cannot append to unknown table {name!r}")
+            clone = current.clone()
+            clone.extend(rows)
+            appended = clone.row_count - current.row_count
+            with self._lock:
+                self._tables[key] = clone
+                self._snapshot_memo = None
+        return appended
 
     def table(self, name: str) -> Table:
         key = name.lower()
-        if key not in self._tables:
-            raise CatalogError(f"Unknown table {name!r}")
-        return self._tables[key]
+        with self._lock:
+            if key not in self._tables:
+                raise CatalogError(f"Unknown table {name!r}")
+            return self._tables[key]
 
     def has_table(self, name: str) -> bool:
-        return name.lower() in self._tables
+        with self._lock:
+            return name.lower() in self._tables
 
     def table_names(self) -> list[str]:
-        return sorted(table.name for table in self._tables.values())
+        with self._lock:
+            return sorted(table.name for table in self._tables.values())
 
     def schemas(self) -> dict[str, TableSchema]:
         """Schemas of every registered table, keyed by table name."""
-        return {table.name: table.schema() for table in self._tables.values()}
+        with self._lock:
+            tables = list(self._tables.values())
+        return {table.name: table.schema() for table in tables}
 
     def data_version(self) -> tuple:
         """A hashable fingerprint of the current table set and their data.
@@ -112,10 +180,53 @@ class Catalog:
         table's rows are mutated — used to key (and thereby invalidate)
         cached query results.
         """
+        with self._lock:
+            return self._fingerprint_locked()
+
+    def _fingerprint_locked(self) -> tuple:
         return (
             self._schema_version,
             tuple(sorted((name, table.data_version) for name, table in self._tables.items())),
         )
+
+    def schema_version(self) -> int:
+        """Counter bumped by register/drop/replace (keys verbatim plan-cache entries)."""
+        with self._lock:
+            return self._schema_version
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, freeze: bool = True) -> "CatalogSnapshot":
+        """Pin an immutable view of the catalog at its current data version.
+
+        Snapshots are cheap — a copy of the table map plus the version
+        fingerprint, memoized per version — and share the catalog's
+        (thread-safe) result cache and plan cache; cache keys embed the
+        pinned version, so entries from different versions never collide.
+
+        ``freeze=True`` (the default, and what serving sessions use) also
+        freezes the pinned tables so a stray in-place ``Table.append`` raises
+        instead of tearing concurrent readers.  The internal pin every
+        ``execute`` performs uses ``freeze=False`` to keep single-threaded
+        callers free to mutate tables directly between queries.
+        """
+        with self._lock:
+            fingerprint = self._fingerprint_locked()
+            snapshot = self._snapshot_memo
+            if snapshot is None or snapshot.data_version() != fingerprint:
+                snapshot = CatalogSnapshot(
+                    tables=dict(self._tables),
+                    version=fingerprint,
+                    plan_cache=self._plan_cache,
+                    query_cache=self._query_cache,
+                    parse=self._parse,
+                )
+                self._snapshot_memo = snapshot
+        if freeze:
+            snapshot.freeze_tables()
+        return snapshot
 
     # ------------------------------------------------------------------ #
     # Query execution
@@ -138,31 +249,14 @@ class Catalog:
         compare optimized against unoptimized execution.  Unoptimized runs
         never consult or populate the result cache: cached results must
         always correspond to the default compile path.
+
+        Execution runs against an atomically pinned snapshot: the data
+        version the cache key embeds, the tables the executor scans and the
+        version the result is stored under all come from one consistent pin,
+        so a concurrent writer swap can neither serve a stale hit nor poison
+        the cache with a result computed from newer data.
         """
-        # Imported here to avoid a circular import: the executor needs the
-        # catalog type for scans.
-        from repro.engine.executor import Executor
-
-        node = self._parse(query) if isinstance(query, str) else query
-        if not isinstance(node, (Select, SetOperation)):
-            raise CatalogError(f"Only SELECT queries can be executed, got {type(node).__name__}")
-
-        if not optimize:
-            if use_cache:
-                self._query_cache.note_bypass()
-            return Executor(self, plan_cache=self._plan_cache, optimize=False).execute(node)
-
-        key = cache_key(node, self.data_version()) if use_cache else None
-        if key is None:
-            if use_cache:
-                self._query_cache.note_bypass()
-            return Executor(self, plan_cache=self._plan_cache).execute(node)
-        cached = self._query_cache.lookup(key)
-        if cached is not None:
-            return cached
-        result = Executor(self, plan_cache=self._plan_cache).execute(node)
-        self._query_cache.store(key, result)
-        return result
+        return self.snapshot(freeze=False).execute(query, use_cache=use_cache, optimize=optimize)
 
     def explain(
         self,
@@ -222,12 +316,131 @@ class Catalog:
 
     def clear_caches(self) -> None:
         """Drop all cached results, compiled plans and parsed ASTs."""
+        # The result cache has its own lock and is cleared outside _lock,
+        # keeping the invariant that cache-internal locks are never acquired
+        # while a catalog lock is held.
         self._query_cache.clear()
-        self._plan_cache.clear()
-        self._ast_cache.clear()
+        with self._lock:
+            self._plan_cache.clear()
+            self._ast_cache.clear()
 
     def __contains__(self, name: str) -> bool:
         return self.has_table(name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Catalog(tables={self.table_names()})"
+
+
+class CatalogSnapshot:
+    """An immutable view of a catalog pinned at one data version.
+
+    A snapshot exposes the read-side catalog interface the executor, planner
+    and optimizer consume — :meth:`table`, :meth:`has_table`, :meth:`schemas`,
+    :meth:`data_version`, :meth:`execute` — over a private copy of the table
+    *map*.  The table objects themselves are shared (column stores are
+    immutable on read; concurrent writers swap new table objects into the live
+    catalog rather than mutating pinned ones), which is what makes pinning
+    O(tables), not O(data).
+
+    Snapshots share the owning catalog's thread-safe result cache and its
+    compiled-plan cache: both key entries by the *pinned* data version, so
+    readers at different versions populate disjoint entries and a snapshot can
+    never be served a result or an optimized plan computed from data it cannot
+    see.
+    """
+
+    def __init__(
+        self,
+        tables: dict[str, Table],
+        version: tuple,
+        plan_cache: dict,
+        query_cache: QueryCache,
+        parse,
+    ) -> None:
+        self._tables = tables
+        self._version = version
+        self._plan_cache = plan_cache
+        self._query_cache = query_cache
+        self._parse = parse
+        self._schemas_memo: dict[str, TableSchema] | None = None
+
+    def freeze_tables(self) -> None:
+        """Freeze every pinned table (idempotent) — see :meth:`Table.freeze`."""
+        for table in self._tables.values():
+            table.freeze()
+
+    # ------------------------------------------------------------------ #
+    # Read-side catalog interface
+    # ------------------------------------------------------------------ #
+
+    def table(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"Unknown table {name!r}")
+        return self._tables[key]
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(table.name for table in self._tables.values())
+
+    def schemas(self) -> dict[str, TableSchema]:
+        """Schemas of every pinned table (memoized — the snapshot is immutable)."""
+        if self._schemas_memo is None:
+            self._schemas_memo = {table.name: table.schema() for table in self._tables.values()}
+        return self._schemas_memo
+
+    def data_version(self) -> tuple:
+        """The pinned fingerprint (constant for the snapshot's lifetime)."""
+        return self._version
+
+    def schema_version(self) -> int:
+        """The pinned schema-version component of the fingerprint."""
+        return self._version[0]
+
+    @property
+    def query_cache(self) -> QueryCache:
+        return self._query_cache
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_table(name)
+
+    def execute(
+        self,
+        query: str | SqlNode,
+        use_cache: bool = True,
+        optimize: bool = True,
+    ) -> QueryResult:
+        """Execute a query against the pinned table versions.
+
+        Semantics match :meth:`Catalog.execute`, with every read — cache key,
+        scans, optimizer statistics — anchored to the snapshot's version.
+        """
+        # Imported here to avoid a circular import: the executor needs the
+        # catalog types for scans.
+        from repro.engine.executor import Executor
+
+        node = self._parse(query) if isinstance(query, str) else query
+        if not isinstance(node, (Select, SetOperation)):
+            raise CatalogError(f"Only SELECT queries can be executed, got {type(node).__name__}")
+
+        if not optimize:
+            if use_cache:
+                self._query_cache.note_bypass()
+            return Executor(self, plan_cache=self._plan_cache, optimize=False).execute(node)
+
+        key = cache_key(node, self._version) if use_cache else None
+        if key is None:
+            if use_cache:
+                self._query_cache.note_bypass()
+            return Executor(self, plan_cache=self._plan_cache).execute(node)
+        cached = self._query_cache.lookup(key)
+        if cached is not None:
+            return cached
+        result = Executor(self, plan_cache=self._plan_cache).execute(node)
+        self._query_cache.store(key, result)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CatalogSnapshot(tables={self.table_names()})"

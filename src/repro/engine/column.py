@@ -119,6 +119,18 @@ class ColumnStats:
             return DataType.TEXT
         return None
 
+    def copy(self) -> "ColumnStats":
+        """An independent copy (own distinct set) sharing immutable values."""
+        copied = ColumnStats()
+        copied.dtype = self.dtype
+        copied.value_type = self.value_type
+        copied.minimum = self.minimum
+        copied.maximum = self.maximum
+        copied.has_range = self.has_range
+        copied.range_poisoned = self.range_poisoned
+        copied.distinct = set(self.distinct) if self.distinct is not None else None
+        return copied
+
 
 class Column:
     """One table column: value vector, null accounting and cached statistics.
@@ -161,6 +173,20 @@ class Column:
     def extend(self, values: Iterable[Any]) -> None:
         for value in values:
             self.append(value)
+
+    def clone(self) -> "Column":
+        """An independent copy carrying the incremental caches forward.
+
+        The copy-on-write table swap of the serving layer clones every column
+        before extending the clone; copying the null accounting and the
+        statistics block (instead of letting the clone rebuild them lazily)
+        preserves the never-rebuilt-after-mutation property across swaps.
+        """
+        clone = Column(self.values)
+        clone._null_count = self._null_count
+        clone._mask = list(self._mask) if self._mask is not None else None
+        clone._stats = self._stats.copy() if self._stats is not None else None
+        return clone
 
     # ------------------------------------------------------------------ #
     # Null accounting

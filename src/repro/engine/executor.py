@@ -431,13 +431,17 @@ class Executor:
             # keyed by the catalog data version: row mutations bump it
             # without clearing the plan cache, and a stale rewritten plan
             # could otherwise crash or mis-order where a fresh compile would
-            # not.  Verbatim lowering depends only on column names, which the
-            # schema-version clearing already covers.
-            version = (
-                self._catalog.data_version()
-                if self._optimize and hasattr(self._catalog, "data_version")
-                else None
-            )
+            # not.  Verbatim lowering depends only on column names, so its
+            # entries are keyed by the schema version alone (appends reuse
+            # them); clear-on-schema-bump is not enough on its own now that
+            # pinned snapshots can outlive the clear and repopulate the
+            # shared cache with old-schema plans.
+            if self._optimize and hasattr(self._catalog, "data_version"):
+                version = self._catalog.data_version()
+            elif not self._optimize and hasattr(self._catalog, "schema_version"):
+                version = ("schema", self._catalog.schema_version())
+            else:
+                version = None
             key = (self._sql_key(node), signature, self._optimize, version)
             cached = shared.get(key)
             if cached is not None:
@@ -448,8 +452,14 @@ class Executor:
         physical = lower_plan(logical, self._catalog, cte_columns)
         if shared is not None and key is not None:
             shared[key] = physical
+            # Concurrent executors trim the shared cache cooperatively; a key
+            # another thread already evicted (or a clear racing the iterator)
+            # must not abort this thread's store.
             while len(shared) > PLAN_CACHE_CAPACITY:
-                shared.pop(next(iter(shared)))
+                try:
+                    shared.pop(next(iter(shared)), None)
+                except (StopIteration, RuntimeError):
+                    break
         return physical
 
     # ------------------------------------------------------------------ #

@@ -19,6 +19,7 @@ on values outside the SQL text).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable
@@ -93,7 +94,14 @@ def _canonical_for_cache(node: SqlNode) -> SqlNode:
 
 
 class QueryCache:
-    """A bounded LRU cache of materialized query results."""
+    """A bounded, thread-safe LRU cache of materialized query results.
+
+    One internal lock serializes every probe/store/stat mutation so the cache
+    can be shared by the serving layer's worker pool: concurrent readers at
+    different catalog snapshots hit disjoint keys (the key embeds the data
+    version), and the lock only guards the OrderedDict bookkeeping — the
+    defensive result copies happen outside it.
+    """
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity <= 0:
@@ -101,9 +109,11 @@ class QueryCache:
         self.capacity = capacity
         self.stats = QueryCacheStats()
         self._entries: OrderedDict[str, QueryResult] = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @staticmethod
     def _copy(result: QueryResult) -> QueryResult:
@@ -115,32 +125,38 @@ class QueryCache:
 
     def lookup(self, key: str) -> QueryResult | None:
         """Return a copy of the cached result for ``key``, or None."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
         return self._copy(entry)
 
     def store(self, key: str, result: QueryResult) -> None:
         """Cache a result under ``key``, evicting the LRU entry when full."""
-        self._entries[key] = self._copy(result)
-        self._entries.move_to_end(key)
-        self.stats.stores += 1
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        copied = self._copy(result)
+        with self._lock:
+            self._entries[key] = copied
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def note_bypass(self) -> None:
         """Record an execution that skipped the cache (uncacheable query)."""
-        self.stats.bypassed += 1
+        with self._lock:
+            self.stats.bypassed += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def snapshot(self) -> dict[str, Any]:
-        data = self.stats.as_dict()
-        data["entries"] = len(self._entries)
+        with self._lock:
+            data = self.stats.as_dict()
+            data["entries"] = len(self._entries)
         data["capacity"] = self.capacity
         return data

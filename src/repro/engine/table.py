@@ -74,6 +74,7 @@ class Table:
         self._distinct_memo: dict[str, tuple[int, list[Any]]] = {}
         self._schema_memo: tuple[int, TableSchema] | None = None
         self._explicit_schema = schema
+        self._frozen = False
         self.extend(rows)
 
     # ------------------------------------------------------------------ #
@@ -122,6 +123,11 @@ class Table:
 
     def append(self, row: Sequence[Any]) -> None:
         """Append one row, updating null masks and statistics incrementally."""
+        if self._frozen:
+            raise EngineError(
+                f"Table {self.name!r} is frozen (pinned by a catalog snapshot); "
+                f"write through Catalog.append_rows / register(replace=True) instead"
+            )
         if len(row) != len(self.column_names):
             raise EngineError(
                 f"Row width {len(row)} does not match table {self.name!r} "
@@ -140,6 +146,43 @@ class Table:
     def data_version(self) -> int:
         """Monotonic counter bumped by every mutation (used for cache keys)."""
         return self._data_version
+
+    # ------------------------------------------------------------------ #
+    # Snapshot support
+    # ------------------------------------------------------------------ #
+
+    @property
+    def frozen(self) -> bool:
+        """True once the table was pinned by a catalog snapshot."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Make the table immutable (idempotent).
+
+        Pinning a :class:`~repro.engine.catalog.CatalogSnapshot` freezes the
+        pinned tables so that an in-place ``append`` *starting after the pin*
+        raises instead of corrupting the snapshot.  This is a tripwire for
+        misuse, not a synchronization primitive: the flag is read without a
+        lock, so an append already past the check when ``freeze`` runs still
+        completes — in-place mutation concurrent with readers is unsupported
+        full stop.  Concurrent writers must use the catalog's copy-on-write
+        path (:meth:`~repro.engine.catalog.Catalog.append_rows`), which
+        clones the frozen table, extends the clone and swaps it in
+        atomically.
+        """
+        self._frozen = True
+
+    def clone(self, name: str | None = None) -> "Table":
+        """A deep, *unfrozen* copy sharing immutable values but no containers.
+
+        Column clones carry the incremental null masks and statistics forward,
+        so a copy-on-write swap does not degrade a hot table to the lazy
+        rebuild path.
+        """
+        clone = Table(name=name or self.name, columns=self.column_names, schema=self._explicit_schema)
+        clone._columns = {column: store.clone() for column, store in self._columns.items()}
+        clone._data_version = self._data_version
+        return clone
 
     # ------------------------------------------------------------------ #
     # Access

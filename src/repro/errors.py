@@ -92,3 +92,15 @@ class NotebookError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a synthetic dataset cannot be generated or loaded."""
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the serving layer (``repro.serving``)."""
+
+
+class AdmissionError(ServingError):
+    """Raised when admission control rejects a session or a submitted task."""
+
+
+class SessionError(ServingError):
+    """Raised for unknown, closed or misused serving sessions."""

@@ -176,6 +176,62 @@ class Interface:
             "choice_count": self.forest.choice_count(),
         }
 
+    def fingerprint(self) -> tuple:
+        """A hashable structural identity, normalized over gensym choice ids.
+
+        Choice ids are allocation labels (``any_417``): two generations of the
+        same structure legitimately differ in the numbers while being the same
+        interface.  The fingerprint renames them by order of first appearance,
+        so equality means "byte-identical modulo gensym ids" — the property
+        the serving layer's determinism gates (concurrent generation vs the
+        serial pipeline) assert.
+        """
+        renames: dict[str, str] = {}
+
+        def rename(choice_id: str) -> str:
+            if choice_id not in renames:
+                renames[choice_id] = f"c#{len(renames) + 1}"
+            return renames[choice_id]
+
+        return (
+            tuple(
+                (
+                    vis.vis_id,
+                    vis.chart_type.value,
+                    tuple(encoding.describe() for encoding in vis.encodings),
+                    vis.tree_index,
+                    vis.title,
+                    vis.width,
+                    vis.height,
+                )
+                for vis in self.visualizations
+            ),
+            tuple(
+                (
+                    widget.widget_id,
+                    widget.widget_type.value,
+                    widget.label,
+                    tuple((b.tree_index, rename(b.choice_id)) for b in widget.bindings),
+                    tuple(str(option) for option in widget.options),
+                    widget.domain,
+                    str(widget.default),
+                )
+                for widget in self.widgets
+            ),
+            tuple(
+                (
+                    interaction.interaction_id,
+                    interaction.interaction_type.value,
+                    interaction.source_vis_id,
+                    interaction.attribute,
+                    interaction.secondary_attribute,
+                    tuple((b.tree_index, rename(b.choice_id)) for b in interaction.bindings),
+                    tuple(interaction.target_vis_ids),
+                )
+                for interaction in self.interactions
+            ),
+        )
+
     def describe(self) -> str:
         lines = [f"Interface {self.name!r}"]
         lines.append(f"  trees: {self.forest.tree_count}, choices: {self.forest.choice_count()}")

@@ -107,6 +107,7 @@ def generate_interface(
     queries: Sequence[str],
     catalog: Catalog,
     config: PipelineConfig | None = None,
+    profile_executor=None,
 ) -> GenerationResult:
     """Generate an interactive visualization interface from a SQL query log.
 
@@ -114,8 +115,14 @@ def generate_interface(
         queries: The selected notebook queries (SQL strings), in log order.
         catalog: The catalog the queries run against (schemas drive the
             visualization mapping; data cardinalities inform the cost model).
+            May be a pinned :class:`~repro.engine.catalog.CatalogSnapshot` —
+            the serving layer passes one so a whole generation run reads a
+            single consistent data version while writers keep ingesting.
         config: Pipeline configuration; defaults to MCTS search on a
             medium-sized screen.
+        profile_executor: optional ``concurrent.futures`` executor the search
+            fans per-tree data profiling out on (must not be the pool this
+            call itself runs on — see :class:`~repro.search.space.SearchSpace`).
     """
     if not queries:
         raise ReproError("generate_interface requires at least one query")
@@ -137,6 +144,7 @@ def generate_interface(
         cost_model=cost_model,
         initial_strategy=config.initial_strategy,
         catalog=catalog if config.profile_data else None,
+        profile_executor=profile_executor if config.profile_data else None,
     )
 
     if config.method == "mcts":

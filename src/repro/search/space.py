@@ -138,16 +138,29 @@ class SearchSpace:
         cost_model: CostModel | None = None,
         initial_strategy: str = "per_query",
         catalog=None,
+        profile_executor=None,
     ) -> None:
         if not queries:
             raise SearchError("Cannot search over an empty query log")
         self.table_schemas = table_schemas
-        #: Optional live catalog.  When present, every candidate evaluation
-        #: also executes each tree's default instantiation through the
-        #: catalog's canonical-query cache — sibling candidates share most
-        #: trees, so the repeated queries are cache hits and the search gets
-        #: real data profiles (row counts) almost for free.
+        #: Optional live catalog (or a pinned
+        #: :class:`~repro.engine.catalog.CatalogSnapshot`, which the serving
+        #: layer passes so one generation run sees one consistent data
+        #: version).  When present, every candidate evaluation also executes
+        #: each tree's default instantiation through the catalog's
+        #: canonical-query cache — sibling candidates share most trees, so
+        #: the repeated queries are cache hits and the search gets real data
+        #: profiles (row counts) almost for free.
         self.catalog = catalog
+        #: Optional ``concurrent.futures`` executor.  When set, the per-tree
+        #: default-query executions a candidate evaluation actually misses on
+        #: (the signature-cache decomposition already de-duplicates the rest)
+        #: are fanned out across its workers.  Results are deterministic —
+        #: row counts do not depend on completion order — but the executor
+        #: must not be the pool the evaluation itself runs on (a saturated
+        #: pool waiting on itself deadlocks); the serving layer dedicates a
+        #: separate profile pool.
+        self.profile_executor = profile_executor
         self.mapping_config = mapping_config or MappingConfig()
         self.cost_model = cost_model or CostModel()
         self.initial_state = build_forest(queries, strategy=initial_strategy)
@@ -311,29 +324,48 @@ class SearchSpace:
 
         version = self.catalog.data_version()
         cache_stats = self.catalog.query_cache.stats
-        row_counts: list[int] = []
-        for tree in forest.trees:
+        row_counts: list[int | None] = [None] * forest.tree_count
+        missed: list[tuple[int, object, tuple]] = []
+        for index, tree in enumerate(forest.trees):
             # Default instantiations never depend on choice ids, so row
             # counts are shared across replayed merges too.
             key = (structural_signature(tree), version)
             cached = self._rows_cache.get(key)
             if cached is not None:
                 self.stats.profile_cache_hits += 1
-                row_counts.append(cached)
-                continue
+                row_counts[index] = cached
+            else:
+                missed.append((index, tree, key))
+        if missed:
             hits_before = cache_stats.hits
             executed_before = cache_stats.misses + cache_stats.bypassed
-            try:
-                result = instantiate_and_execute(tree, self.catalog)
-                count = result.row_count
-            except Exception:  # noqa: BLE001 - odd instantiations must not kill search
-                count = -1
+
+            def run(tree) -> int:
+                try:
+                    return instantiate_and_execute(tree, self.catalog).row_count
+                except Exception:  # noqa: BLE001 - odd instantiations must not kill search
+                    return -1
+
+            pool = self.profile_executor
+            if pool is not None and len(missed) > 1:
+                # Fan the cache-missing trees out across the pool.  Duplicate
+                # signatures within one batch execute redundantly (the serial
+                # path would hit the rows cache on the second), but the
+                # engine's result cache makes the repeat nearly free and the
+                # counts are identical either way.
+                counts = list(pool.map(run, [tree for _, tree, _ in missed]))
+            else:
+                counts = [run(tree) for _, tree, _ in missed]
+            for (index, _tree, key), count in zip(missed, counts):
+                self._rows_cache.put(key, count)
+                row_counts[index] = count
+            # Bulk attribution: under a shared serving catalog these counters
+            # can include concurrent sessions' traffic — they are telemetry,
+            # not part of the evaluation result.
             self.stats.query_cache_hits += cache_stats.hits - hits_before
             self.stats.queries_executed += (
                 cache_stats.misses + cache_stats.bypassed - executed_before
             )
-            self._rows_cache.put(key, count)
-            row_counts.append(count)
         return tuple(row_counts)
 
     def cache_info(self) -> dict:

@@ -1,0 +1,24 @@
+"""Concurrent multi-session serving layer.
+
+Turns the single-threaded PI2 pipeline into a thread-safe service: sessions
+pin snapshot-isolated catalog views, a bounded worker pool runs query
+execution / interface generation / dataset ingest concurrently, and admission
+control sheds load past the configured caps.  See ``docs/SERVING.md`` for the
+session lifecycle, the snapshot contract and the locking hierarchy.
+"""
+
+from repro.serving.loadgen import LoadGenerator, LoadReport, OpResult, WorkloadMix
+from repro.serving.service import InterfaceService, ServiceConfig, ServiceStats
+from repro.serving.session import Session, SessionStats
+
+__all__ = [
+    "InterfaceService",
+    "LoadGenerator",
+    "LoadReport",
+    "OpResult",
+    "ServiceConfig",
+    "ServiceStats",
+    "Session",
+    "SessionStats",
+    "WorkloadMix",
+]

@@ -1,0 +1,298 @@
+"""The multi-session serving service: admission control + bounded worker pool.
+
+:class:`InterfaceService` turns the single-threaded pipeline into a
+concurrent service.  It owns
+
+* the live :class:`~repro.engine.catalog.Catalog` (all writes go through the
+  catalog's copy-on-write path, so readers pinned at older versions are never
+  torn),
+* a bounded **worker pool** (``concurrent.futures.ThreadPoolExecutor``) that
+  runs ad-hoc query execution, interface generation and dataset ingest
+  concurrently,
+* a dedicated **profile pool** the search layer fans per-tree candidate
+  profiling out on — deliberately separate from the worker pool, because a
+  generation task blocking on futures scheduled into its *own* saturated pool
+  would deadlock,
+* **admission control**: a hard cap on live sessions and on in-flight
+  submitted tasks; past either cap, :class:`~repro.errors.AdmissionError` is
+  raised instead of queueing unboundedly.
+
+Lock hierarchy (top to bottom; a thread may only acquire downwards):
+
+1. ``InterfaceService._lock`` — session registry and in-flight accounting,
+2. ``Session._lock`` — per-session state (held across that session's own
+   query execution: serializing one session's reads is intended),
+3. ``Catalog._write_lock`` — copy-on-write writers (ingest),
+4. ``Catalog._lock`` — table-map swaps, version reads, snapshot pinning,
+5. cache-internal locks (``QueryCache``).
+
+The ordering is rooted by the engine never calling back up into the serving
+layer: catalog and cache locks are always acquired at the *bottom* of a call
+chain, so no task body or callback acquires upwards, which is what makes the
+layer deadlock-free by construction (see ``docs/SERVING.md``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.engine.catalog import Catalog
+from repro.engine.table import QueryResult
+from repro.errors import AdmissionError, SessionError
+from repro.pipeline import GenerationResult, PipelineConfig, generate_interface
+from repro.serving.session import Session
+
+
+@dataclass
+class ServiceConfig:
+    """Sizing and admission knobs of one :class:`InterfaceService`."""
+
+    #: Worker threads running queries, generations and ingest.
+    max_workers: int = 4
+    #: Threads of the dedicated per-tree profile pool (0 disables fan-out).
+    profile_workers: int = 2
+    #: Hard cap on concurrently open sessions.
+    max_sessions: int = 16
+    #: Hard cap on submitted-but-unfinished tasks across all sessions.
+    max_pending: int = 64
+    #: Default pipeline configuration for ``submit_generate``.
+    generation: PipelineConfig = field(default_factory=PipelineConfig)
+
+
+@dataclass
+class ServiceStats:
+    """Service-wide counters (reads are snapshots; writes are lock-guarded)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    sessions_opened: int = 0
+    sessions_rejected: int = 0
+
+
+class InterfaceService:
+    """A thread-safe, multi-session facade over the generation pipeline."""
+
+    def __init__(self, catalog: Catalog, config: ServiceConfig | None = None) -> None:
+        self.catalog = catalog
+        self.config = config or ServiceConfig()
+        if self.config.max_workers <= 0:
+            raise AdmissionError("InterfaceService needs at least one worker")
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_workers, thread_name_prefix="serve"
+        )
+        self._profile_pool = (
+            ThreadPoolExecutor(
+                max_workers=self.config.profile_workers, thread_name_prefix="profile"
+            )
+            if self.config.profile_workers > 0
+            else None
+        )
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.Lock()
+        #: Admission slots reserved by in-progress create_session calls (the
+        #: session is constructed outside the registry lock — catalog locks
+        #: rank above service locks — so the slot is held by this counter
+        #: until the session lands in the registry).
+        self._reserved_sessions = 0
+        self._inflight = 0
+        self._ids = itertools.count(1)
+        self._closed = False
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle / admission control
+    # ------------------------------------------------------------------ #
+
+    def create_session(self, user: str = "anonymous") -> Session:
+        """Open a session, pinning a snapshot at the current data version.
+
+        Raises :class:`AdmissionError` once ``max_sessions`` sessions are
+        live — callers are expected to retry after closing one, not to queue.
+        """
+        with self._lock:
+            self._ensure_open()
+            if len(self._sessions) + self._reserved_sessions >= self.config.max_sessions:
+                self.stats.sessions_rejected += 1
+                raise AdmissionError(
+                    f"Session limit reached ({self.config.max_sessions}); "
+                    f"close a session before opening another"
+                )
+            self._reserved_sessions += 1
+            session_id = f"s{next(self._ids)}"
+            self.stats.sessions_opened += 1
+        # Pinning reads the catalog lock; done outside the registry lock so
+        # concurrent creators and submitters never queue behind a snapshot
+        # pin.  The reserved counter keeps concurrent creators from
+        # overshooting the cap in the meantime.
+        try:
+            session = Session(session_id=session_id, user=user, catalog=self.catalog)
+        except BaseException:
+            with self._lock:
+                self._reserved_sessions -= 1
+            raise
+        with self._lock:
+            self._reserved_sessions -= 1
+            self._ensure_open()
+            self._sessions[session_id] = session
+        return session
+
+    def session(self, session_id: str) -> Session:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"Unknown session {session_id!r}")
+        return session
+
+    def close_session(self, session_id: str) -> None:
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise SessionError(f"Unknown session {session_id!r}")
+        session.close()
+
+    def session_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # ------------------------------------------------------------------ #
+    # Task submission
+    # ------------------------------------------------------------------ #
+
+    def submit_execute(
+        self, session_id: str, query: str, use_cache: bool = True
+    ) -> "Future[QueryResult]":
+        """Run one SQL query on the session's pinned snapshot, on the pool."""
+        session = self.session(session_id)
+        return self._submit(lambda: session.execute(query, use_cache=use_cache))
+
+    def execute(self, session_id: str, query: str, use_cache: bool = True) -> QueryResult:
+        return self.submit_execute(session_id, query, use_cache=use_cache).result()
+
+    def submit_generate(
+        self,
+        session_id: str,
+        queries: Sequence[str],
+        config: PipelineConfig | None = None,
+    ) -> "Future[GenerationResult]":
+        """Generate an interface for the session's query log, on the pool.
+
+        The generation runs against the session's pinned snapshot (one
+        consistent data version end to end) with per-tree profiling fanned
+        out across the dedicated profile pool, and attaches the resulting
+        interface to the session on completion.
+        """
+        session = self.session(session_id)
+        generation_config = config or self.config.generation
+
+        def run() -> GenerationResult:
+            result = generate_interface(
+                list(queries),
+                session.snapshot,
+                generation_config,
+                profile_executor=self._profile_pool,
+            )
+            session.attach(result)
+            return result
+
+        return self._submit(run)
+
+    def generate(
+        self,
+        session_id: str,
+        queries: Sequence[str],
+        config: PipelineConfig | None = None,
+    ) -> GenerationResult:
+        return self.submit_generate(session_id, queries, config).result()
+
+    def submit_ingest(
+        self, table_name: str, rows: Iterable[Sequence[Any]]
+    ) -> "Future[int]":
+        """Append rows to a live table via the catalog's copy-on-write path.
+
+        Sessions pinned at older versions keep their view; they observe the
+        new rows after :meth:`Session.refresh`.
+        """
+        materialized = [list(row) for row in rows]
+        return self._submit(lambda: self.catalog.append_rows(table_name, materialized))
+
+    def ingest(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self.submit_ingest(table_name, rows).result()
+
+    def _submit(self, task: Callable[[], Any]) -> Future:
+        """Admission-checked submission onto the worker pool."""
+        with self._lock:
+            self._ensure_open()
+            if self._inflight >= self.config.max_pending:
+                self.stats.rejected += 1
+                raise AdmissionError(
+                    f"Task backlog limit reached ({self.config.max_pending} in flight)"
+                )
+            self._inflight += 1
+            self.stats.submitted += 1
+        try:
+            future = self._pool.submit(task)
+        except BaseException:
+            with self._lock:
+                self._inflight -= 1
+                self.stats.submitted -= 1
+            raise
+        future.add_done_callback(self._task_done)
+        return future
+
+    def _task_done(self, future: Future) -> None:
+        with self._lock:
+            self._inflight -= 1
+            if future.cancelled() or future.exception() is not None:
+                self.stats.failed += 1
+            else:
+                self.stats.completed += 1
+
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SessionError("InterfaceService is shut down")
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the service (idempotent).
+
+        New submissions and sessions are rejected immediately; with
+        ``wait=True`` the pools drain in-flight tasks *before* the sessions
+        are closed, so already-submitted work completes normally instead of
+        failing against a closed session.  ``wait=False`` abandons in-flight
+        work (tasks may then fail with :class:`SessionError`).
+        """
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+        if self._profile_pool is not None:
+            self._profile_pool.shutdown(wait=wait)
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+
+    def __enter__(self) -> "InterfaceService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InterfaceService(sessions={self.session_count()}, "
+            f"inflight={self.inflight()}, workers={self.config.max_workers})"
+        )
