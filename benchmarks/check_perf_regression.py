@@ -10,10 +10,20 @@ Reads two benchmark JSON files (either the engine shape written by
 ``{"measurements": [...], "calibration_ops_per_sec"}``) and fails (exit 1)
 when any **gated metric** regressed by more than the tolerance.
 
-Gated metrics are the higher-is-better ones: keys ending in ``_per_sec``
-(throughput, machine-normalized by the calibration score when both files
-carry one) and ``_speedup`` (ratios, compared raw).  Everything else —
-memory footprints, row counts — is reported but never gated.
+Gated metrics come in two polarities:
+
+* **higher-is-better** — keys ending in ``_per_sec`` (throughput,
+  machine-normalized by *dividing* by the calibration score when both files
+  carry one) and ``_speedup`` (ratios, compared raw);
+* **lower-is-better** — keys ending in ``_p95_ms`` (latency SLOs,
+  machine-normalized by *multiplying* by the calibration score: latency
+  scales inversely with machine speed, so ``ms x ops/sec`` is the
+  machine-independent quantity).
+
+Everything else — memory footprints, row counts, p50s — is reported but
+never gated.  A gated-suffix key present only in the candidate is reported
+as **new, ungated** (refresh the baseline to start gating it) instead of
+being silently ignored; a null value means "no measurement" and is skipped.
 
 Environment overrides:
 
@@ -23,6 +33,13 @@ Environment overrides:
   baselines under ``benchmarks/baselines/``.
 * ``PERF_GATE_TOLERANCE`` — maximum allowed fractional drop (default 0.25,
   i.e. a gated metric may lose up to 25% before the gate trips).
+* ``PERF_GATE_LATENCY_TOLERANCE`` — separate tolerance for the
+  lower-is-better latency metrics (default 1.0, i.e. a normalized p95 may
+  double).  Percentiles of short benchmark runs are far noisier than mean
+  throughput, and the calibration normalization *multiplies* latencies, so
+  machine-speed noise compounds; the latency gate exists to catch the
+  serving layer catastrophically serializing (several-fold regressions),
+  not 30% jitter.
 """
 
 from __future__ import annotations
@@ -35,12 +52,19 @@ from pathlib import Path
 from typing import Any
 
 DEFAULT_TOLERANCE = 0.25
+DEFAULT_LATENCY_TOLERANCE = 1.0
 
-#: Suffixes of gated (higher-is-better) metric names.
-GATED_SUFFIXES = ("_per_sec", "_speedup")
+#: Suffixes of gated higher-is-better metric names.
+GATED_HIGHER_SUFFIXES = ("_per_sec", "_speedup")
+
+#: Suffixes of gated lower-is-better metric names (latency SLOs).
+GATED_LOWER_SUFFIXES = ("_p95_ms",)
+
+GATED_SUFFIXES = GATED_HIGHER_SUFFIXES + GATED_LOWER_SUFFIXES
 
 #: Throughput metrics (``_per_sec``) are divided by the file's calibration
-#: score before comparison; ratio metrics (``_speedup``) are compared raw.
+#: score before comparison; latency metrics (``_p95_ms``) are multiplied by
+#: it; ratio metrics (``_speedup``) are compared raw.
 NORMALIZED_SUFFIX = "_per_sec"
 
 
@@ -61,7 +85,11 @@ def extract_metrics(payload: dict[str, Any]) -> dict[str, float]:
 
 
 def compare(
-    baseline: dict[str, Any], candidate: dict[str, Any], tolerance: float, label: str
+    baseline: dict[str, Any],
+    candidate: dict[str, Any],
+    tolerance: float,
+    label: str,
+    latency_tolerance: float = DEFAULT_LATENCY_TOLERANCE,
 ) -> list[str]:
     """Return a list of failure descriptions (empty when the gate passes)."""
     base_metrics = extract_metrics(baseline)
@@ -80,9 +108,13 @@ def compare(
             continue
         base_value = base_metrics[name]
         cand_value = cand_metrics[name]
+        lower_is_better = name.endswith(GATED_LOWER_SUFFIXES)
         if normalize and name.endswith(NORMALIZED_SUFFIX):
             base_score = base_value / base_cal
             cand_score = cand_value / cand_cal
+        elif normalize and lower_is_better:
+            base_score = base_value * base_cal
+            cand_score = cand_value * cand_cal
         else:
             base_score = base_value
             cand_score = cand_value
@@ -90,16 +122,27 @@ def compare(
             continue
         change = cand_score / base_score - 1.0
         status = "ok"
-        if change < -tolerance:
+        limit = latency_tolerance if lower_is_better else tolerance
+        regressed = change > limit if lower_is_better else change < -limit
+        if regressed:
             status = "FAIL"
             failures.append(
-                f"{label}: {name} regressed {-change * 100:.1f}% "
+                f"{label}: {name} regressed {abs(change) * 100:.1f}% "
                 f"(baseline {base_value:,.1f}, candidate {cand_value:,.1f}, "
-                f"tolerance {tolerance * 100:.0f}%)"
+                f"tolerance {limit * 100:.0f}%)"
             )
         rows.append((name, base_value, cand_value, change, status))
 
-    print(f"== perf gate: {label} (tolerance {tolerance * 100:.0f}%) ==")
+    new_keys = [
+        name
+        for name in sorted(cand_metrics)
+        if name.endswith(GATED_SUFFIXES) and name not in base_metrics
+    ]
+
+    print(
+        f"== perf gate: {label} (tolerance {tolerance * 100:.0f}%, "
+        f"latency {latency_tolerance * 100:.0f}%) =="
+    )
     if normalize:
         print(f"   machine-normalized (calibration {base_cal:,.0f} -> {cand_cal:,.0f} ops/sec)")
     for name, base_value, cand_value, change, status in rows:
@@ -109,6 +152,11 @@ def compare(
         )
     if not rows:
         print("   (no gated metrics in baseline)")
+    for name in new_keys:
+        print(
+            f"    new  {name:<45} {cand_metrics[name]:>15,.1f}  "
+            f"(candidate-only: new, ungated — refresh the baseline to gate it)"
+        )
     return failures
 
 
@@ -118,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("candidate", type=Path)
     parser.add_argument("--label", default=None, help="name used in the report")
     parser.add_argument("--tolerance", type=float, default=None)
+    parser.add_argument("--latency-tolerance", type=float, default=None)
     args = parser.parse_args(argv)
 
     if os.environ.get("PERF_GATE_SKIP") == "1":
@@ -127,6 +176,11 @@ def main(argv: list[str] | None = None) -> int:
     tolerance = args.tolerance
     if tolerance is None:
         tolerance = float(os.environ.get("PERF_GATE_TOLERANCE", DEFAULT_TOLERANCE))
+    latency_tolerance = args.latency_tolerance
+    if latency_tolerance is None:
+        latency_tolerance = float(
+            os.environ.get("PERF_GATE_LATENCY_TOLERANCE", DEFAULT_LATENCY_TOLERANCE)
+        )
     label = args.label or args.candidate.name
 
     if not args.baseline.exists():
@@ -138,7 +192,7 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = json.loads(args.baseline.read_text())
     candidate = json.loads(args.candidate.read_text())
-    failures = compare(baseline, candidate, tolerance, label)
+    failures = compare(baseline, candidate, tolerance, label, latency_tolerance)
     if failures:
         print("\nPerf-regression gate FAILED:")
         for failure in failures:

@@ -33,6 +33,7 @@ Concurrency model (the serving layer's contract — see ``docs/SERVING.md``):
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Any, Iterable, Sequence
 
@@ -51,12 +52,49 @@ from repro.sql.schema import TableSchema
 #: memos hit too).
 AST_CACHE_CAPACITY = 512
 
+#: Process-wide catalog identity counter.  Data-version fingerprints are only
+#: comparable *within* one catalog lineage (two independent catalogs both
+#: start at schema version 1), so anything that caches state across catalogs
+#: — the process-pool execution tier's per-worker snapshot caches — keys by
+#: ``(catalog_id, fingerprint)``, never by the fingerprint alone.
+_CATALOG_IDS = itertools.count(1)
+
+
+class DetachedParser:
+    """A standalone bounded SQL-parse memo for snapshots detached from a catalog.
+
+    A pickled :class:`CatalogSnapshot` cannot carry its owning catalog's bound
+    ``_parse`` method across the process boundary (the catalog holds locks and
+    caches that must not travel).  Workers attach one of these instead: same
+    bounded-FIFO contract as ``Catalog._parse``, no locking (worker processes
+    are single-threaded).
+    """
+
+    __slots__ = ("_memo", "_capacity")
+
+    def __init__(self, capacity: int = AST_CACHE_CAPACITY) -> None:
+        self._memo: dict[str, SqlNode] = {}
+        self._capacity = capacity
+
+    def __call__(self, text: str) -> SqlNode:
+        node = self._memo.get(text)
+        if node is None:
+            node = parse(text)
+            self._memo[text] = node
+            while len(self._memo) > self._capacity:
+                self._memo.pop(next(iter(self._memo)), None)
+        return node
+
 
 class Catalog:
     """A named collection of tables plus query execution facilities."""
 
     def __init__(self, query_cache_capacity: int = 256) -> None:
         self._tables: dict[str, Table] = {}
+        #: Identity token distinguishing this catalog from every other catalog
+        #: in the process (fingerprints alone are lineage-local; see
+        #: ``_CATALOG_IDS``).
+        self.catalog_id = next(_CATALOG_IDS)
         self._schema_version = 0
         self._plan_cache: dict = {}
         self._ast_cache: dict[str, SqlNode] = {}
@@ -222,6 +260,7 @@ class Catalog:
                     plan_cache=self._plan_cache,
                     query_cache=self._query_cache,
                     parse=self._parse,
+                    catalog_id=self.catalog_id,
                 )
                 self._snapshot_memo = snapshot
         if freeze:
@@ -356,13 +395,72 @@ class CatalogSnapshot:
         plan_cache: dict,
         query_cache: QueryCache,
         parse,
+        catalog_id: int = 0,
     ) -> None:
         self._tables = tables
         self._version = version
         self._plan_cache = plan_cache
         self._query_cache = query_cache
         self._parse = parse
+        self.catalog_id = catalog_id
         self._schemas_memo: dict[str, TableSchema] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Pickling contract (the process-tier snapshot transport)
+    # ------------------------------------------------------------------ #
+    #
+    # What crosses the process boundary: the pinned table map (immutable
+    # data + incrementally maintained column statistics), the version
+    # fingerprint and the catalog identity token.  What never crosses:
+    # the caches (they hold locks, and a worker's caches must key off the
+    # worker's own state) and the owning catalog's bound parse memo.  An
+    # unpickled snapshot is self-sufficient — fresh empty caches, a
+    # detached parser — and a worker that wants cross-fingerprint cache
+    # reuse attaches shared caches afterwards via ``attach_caches``.
+
+    def __getstate__(self) -> dict:
+        # Ship *warm* tables: column statistics and null counts are part of
+        # the payload (they are incrementally maintained state, not caches),
+        # so a worker can execute immediately instead of each worker paying
+        # an O(data) statistics rebuild per shipped version.
+        for table in self._tables.values():
+            table.warm_stats()
+        return {
+            "tables": self._tables,
+            "version": self._version,
+            "catalog_id": self.catalog_id,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self._tables = state["tables"]
+        self._version = state["version"]
+        self.catalog_id = state["catalog_id"]
+        self._plan_cache = {}
+        self._query_cache = QueryCache()
+        self._parse = DetachedParser()
+        self._schemas_memo = None
+
+    def attach_caches(
+        self,
+        plan_cache: dict | None = None,
+        query_cache: QueryCache | None = None,
+        parse=None,
+    ) -> None:
+        """Attach shared caches to a detached (unpickled) snapshot.
+
+        The worker handshake: a worker process holding snapshots at several
+        fingerprints shares one result cache (keys embed the pinned version,
+        so entries never collide), one parse memo, and one compiled-plan
+        cache **per schema version** (plans bake in table-set analysis, so
+        they are only reusable while the schema component of the fingerprint
+        is unchanged).
+        """
+        if plan_cache is not None:
+            self._plan_cache = plan_cache
+        if query_cache is not None:
+            self._query_cache = query_cache
+        if parse is not None:
+            self._parse = parse
 
     def freeze_tables(self) -> None:
         """Freeze every pinned table (idempotent) — see :meth:`Table.freeze`."""
@@ -441,6 +539,40 @@ class CatalogSnapshot:
         result = Executor(self, plan_cache=self._plan_cache).execute(node)
         self._query_cache.store(key, result)
         return result
+
+    # ------------------------------------------------------------------ #
+    # Result-cache probe (the process tier's read fast path)
+    # ------------------------------------------------------------------ #
+
+    def cached_result(self, query: str | SqlNode) -> QueryResult | None:
+        """Probe the result cache without executing — ``None`` on miss.
+
+        The process execution tier calls this in the frontend before paying
+        a worker round-trip: a hot read costs exactly what the thread tier's
+        cache-hit path costs (parse memo + cache key), keeping the two tiers
+        at parity on cached reads.
+        """
+        node = self._parse(query) if isinstance(query, str) else query
+        if not isinstance(node, (Select, SetOperation)):
+            return None
+        key = cache_key(node, self._version)
+        if key is None:
+            return None
+        return self._query_cache.lookup(key)
+
+    def store_result(self, query: str | SqlNode, result: QueryResult) -> None:
+        """Insert an externally computed result for ``query`` at this version.
+
+        Used by the process tier to publish a worker's answer into the
+        frontend's shared cache so every session pinned at the same version
+        gets it for free.  Uncacheable queries are a silent no-op.
+        """
+        node = self._parse(query) if isinstance(query, str) else query
+        if not isinstance(node, (Select, SetOperation)):
+            return
+        key = cache_key(node, self._version)
+        if key is not None:
+            self._query_cache.store(key, result)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CatalogSnapshot(tables={self.table_names()})"

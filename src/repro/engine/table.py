@@ -229,6 +229,19 @@ class Table:
     def has_column(self, name: str) -> bool:
         return name in self._columns
 
+    def warm_stats(self) -> None:
+        """Force every column's statistics block and null count into cache.
+
+        One O(data) pass the *first* time; afterwards the incremental
+        maintenance (``append`` observes, ``clone`` carries forward) keeps
+        the blocks warm, so repeat calls are O(columns).  The snapshot
+        shipping path calls this before pickling so worker processes receive
+        ready-to-use statistics instead of each recomputing them.
+        """
+        for store in self._columns.values():
+            store.stats()
+            _ = store.null_count
+
     def rows(self) -> Iterator[tuple[Any, ...]]:
         """Iterate over rows as tuples (a derived view of the column vectors)."""
         columns = [self._columns[name].values for name in self.column_names]

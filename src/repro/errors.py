@@ -102,5 +102,9 @@ class AdmissionError(ServingError):
     """Raised when admission control rejects a session or a submitted task."""
 
 
+class WorkerError(ServingError):
+    """A process-tier worker failed (task error, dead worker, bad handshake)."""
+
+
 class SessionError(ServingError):
     """Raised for unknown, closed or misused serving sessions."""

@@ -3,22 +3,41 @@
 Turns the single-threaded PI2 pipeline into a thread-safe service: sessions
 pin snapshot-isolated catalog views, a bounded worker pool runs query
 execution / interface generation / dataset ingest concurrently, and admission
-control sheds load past the configured caps.  See ``docs/SERVING.md`` for the
-session lifecycle, the snapshot contract and the locking hierarchy.
+control sheds load past the configured caps.  Two execution tiers are
+available — the in-process thread pool, and a process pool
+(:class:`ProcessExecutionTier`) that ships pickled snapshots to stateless
+worker processes so CPU-heavy work escapes the GIL.  An asyncio frontend
+(:class:`AsyncInterfaceService`) multiplexes hundreds of simulated users over
+per-tenant catalog shards.  See ``docs/SERVING.md`` for the session
+lifecycle, the snapshot contract, the locking hierarchy and the process-tier
+shipping contract.
 """
 
-from repro.serving.loadgen import LoadGenerator, LoadReport, OpResult, WorkloadMix
+from repro.serving.async_frontend import AsyncInterfaceService, AsyncSession
+from repro.serving.loadgen import (
+    AsyncLoadGenerator,
+    LoadGenerator,
+    LoadReport,
+    OpResult,
+    WorkloadMix,
+)
 from repro.serving.service import InterfaceService, ServiceConfig, ServiceStats
 from repro.serving.session import Session, SessionStats
+from repro.serving.workers import ProcessExecutionTier, TierStats
 
 __all__ = [
+    "AsyncInterfaceService",
+    "AsyncLoadGenerator",
+    "AsyncSession",
     "InterfaceService",
     "LoadGenerator",
     "LoadReport",
     "OpResult",
+    "ProcessExecutionTier",
     "ServiceConfig",
     "ServiceStats",
     "Session",
     "SessionStats",
+    "TierStats",
     "WorkloadMix",
 ]

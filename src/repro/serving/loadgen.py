@@ -17,6 +17,7 @@ Used by ``benchmarks/bench_perf_serving.py`` (throughput / p50 / p95 for
 
 from __future__ import annotations
 
+import asyncio
 import random
 import threading
 import time
@@ -76,17 +77,27 @@ class LoadReport:
     def ops_per_sec(self) -> float:
         return len(self.ops) / self.elapsed_seconds if self.elapsed_seconds else 0.0
 
-    def latency_percentile(self, kind: str | None, fraction: float) -> float:
-        """Latency percentile (seconds) of one op class (or all ops)."""
+    def latency_percentile(self, kind: str | None, fraction: float) -> float | None:
+        """Latency percentile (seconds) of one op class (or all ops).
+
+        Returns ``None`` when the class has no samples — a mixed workload
+        can legitimately roll zero ops of one class, and 0.0 would read as
+        "infinitely fast" to anything comparing latencies.
+        """
         pool = self.ops if kind is None else self.of_kind(kind)
         if not pool:
-            return 0.0
+            return None
         ordered = sorted(op.seconds for op in pool)
         index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
         return ordered[index]
 
     def as_dict(self) -> dict:
-        """Machine-readable summary (the shape ``BENCH_serving.json`` stores)."""
+        """Machine-readable summary (the shape ``BENCH_serving.json`` stores).
+
+        Latency keys of an op class with zero samples are emitted as null
+        (never 0.0): the perf gate treats null as "no measurement", while a
+        literal 0.0 would silently pass any lower-is-better comparison.
+        """
         summary: dict = {
             "clients": self.clients,
             "operations": len(self.ops),
@@ -97,8 +108,11 @@ class LoadReport:
         for kind in ("read", "write", "generate"):
             pool = self.of_kind(kind)
             summary[f"{kind}_ops"] = len(pool)
-            summary[f"{kind}_p50_ms"] = round(self.latency_percentile(kind, 0.50) * 1000, 2)
-            summary[f"{kind}_p95_ms"] = round(self.latency_percentile(kind, 0.95) * 1000, 2)
+            for label, fraction in (("p50", 0.50), ("p95", 0.95)):
+                value = self.latency_percentile(kind, fraction)
+                summary[f"{kind}_{label}_ms"] = (
+                    None if value is None else round(value * 1000, 2)
+                )
         return summary
 
 
@@ -230,3 +244,118 @@ class LoadGenerator:
         else:
             log = rng.choice(self.generate_logs)
             self.service.generate(session.session_id, log, self.generation_config)
+
+
+class AsyncLoadGenerator:
+    """Drives an :class:`AsyncInterfaceService` with N simulated users.
+
+    Where :class:`LoadGenerator` spends one OS thread per client (and tops
+    out around the thread-spawn budget), this generator runs each user as an
+    asyncio task on one event loop — hundreds to thousands of concurrent
+    users cost hundreds of coroutines, not threads.  User ``i`` connects as
+    tenant ``tenant-{i}`` (spreading users across the frontend's shards via
+    its stable hash) and draws its operation sequence from ``seed + i``, so
+    a run is reproducible the same way the threaded generator is.
+
+    Failed session opens and backpressure (:class:`AdmissionError`) are
+    recorded the same way as in :class:`LoadGenerator`: rejected sessions as
+    failed ``"session"`` ops, backpressured ops as ok-with-error.
+    """
+
+    def __init__(
+        self,
+        frontend,
+        read_queries: Sequence[str],
+        generate_logs: Sequence[Sequence[str]],
+        write_table: str,
+        write_row: Callable[[int, int], Sequence[object]],
+        mix: WorkloadMix | None = None,
+        generation_config: PipelineConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.frontend = frontend
+        self.read_queries = list(read_queries)
+        self.generate_logs = [list(log) for log in generate_logs]
+        self.write_table = write_table
+        self.write_row = write_row
+        self.mix = mix or WorkloadMix()
+        self.generation_config = generation_config or PipelineConfig(
+            method="greedy", greedy_max_steps=4
+        )
+        self.seed = seed
+
+    async def run(self, users: int, ops_per_user: int) -> LoadReport:
+        """Run the storm: sessions open first (a soft barrier), then all ops."""
+        report = LoadReport(clients=users)
+        handles: list = [None] * users
+
+        async def open_one(user: int) -> None:
+            try:
+                handles[user] = await self.frontend.open_session(f"tenant-{user}")
+            except Exception as exc:  # noqa: BLE001 - record, don't sink the storm
+                report.ops.append(OpResult(user, "session", 0.0, ok=False, error=str(exc)))
+
+        started = time.perf_counter()
+        await asyncio.gather(*(open_one(user) for user in range(users)))
+
+        async def user_loop(user: int) -> None:
+            handle = handles[user]
+            if handle is None:
+                return
+            rng = random.Random(self.seed + user)
+            local: list[OpResult] = []
+            try:
+                for sequence in range(ops_per_user):
+                    kind = self.mix.pick(rng)
+                    op_started = time.perf_counter()
+                    try:
+                        await self._one_op(kind, user, sequence, handle, rng)
+                        local.append(
+                            OpResult(user, kind, time.perf_counter() - op_started, ok=True)
+                        )
+                    except AdmissionError as exc:
+                        local.append(
+                            OpResult(
+                                user,
+                                kind,
+                                time.perf_counter() - op_started,
+                                ok=True,
+                                error=f"admission: {exc}",
+                            )
+                        )
+                    except Exception as exc:  # noqa: BLE001 - report, don't die
+                        local.append(
+                            OpResult(
+                                user,
+                                kind,
+                                time.perf_counter() - op_started,
+                                ok=False,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+            finally:
+                try:
+                    await self.frontend.close_session(handle)
+                except Exception:  # noqa: BLE001 - best-effort cleanup
+                    pass
+            # The event loop is single-threaded; no lock needed to append.
+            report.ops.extend(local)
+
+        await asyncio.gather(*(user_loop(user) for user in range(users)))
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    def run_sync(self, users: int, ops_per_user: int) -> LoadReport:
+        """Convenience wrapper for benches/tests not already inside a loop."""
+        return asyncio.run(self.run(users, ops_per_user))
+
+    async def _one_op(self, kind: str, user: int, sequence: int, handle, rng) -> None:
+        if kind == "read":
+            await self.frontend.execute(handle, rng.choice(self.read_queries))
+        elif kind == "write":
+            rows = [self.write_row(user, sequence)]
+            await self.frontend.ingest(handle, self.write_table, rows)
+            await self.frontend.refresh(handle)
+        else:
+            log = rng.choice(self.generate_logs)
+            await self.frontend.generate(handle, log, self.generation_config)

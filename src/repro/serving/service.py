@@ -36,6 +36,8 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
@@ -45,13 +47,16 @@ from repro.engine.table import QueryResult
 from repro.errors import AdmissionError, SessionError
 from repro.pipeline import GenerationResult, PipelineConfig, generate_interface
 from repro.serving.session import Session
+from repro.serving.workers import QUEUE_WAIT_SAMPLE_CAPACITY, ProcessExecutionTier
 
 
 @dataclass
 class ServiceConfig:
     """Sizing and admission knobs of one :class:`InterfaceService`."""
 
-    #: Worker threads running queries, generations and ingest.
+    #: Worker threads running queries, generations and ingest.  In the
+    #: process tier these threads only *marshal* work (they block GIL-free on
+    #: worker pipes), so size this at least as large as ``worker_processes``.
     max_workers: int = 4
     #: Threads of the dedicated per-tree profile pool (0 disables fan-out).
     profile_workers: int = 2
@@ -61,11 +66,31 @@ class ServiceConfig:
     max_pending: int = 64
     #: Default pipeline configuration for ``submit_generate``.
     generation: PipelineConfig = field(default_factory=PipelineConfig)
+    #: Where CPU-heavy ops execute: ``"thread"`` (PR 5 behaviour — queries
+    #: and generations run on the worker threads, GIL-bound) or ``"process"``
+    #: (they dispatch to a :class:`ProcessExecutionTier`; sessions, admission
+    #: control and writes stay in the frontend either way).
+    execution_tier: str = "thread"
+    #: Worker process count of the process tier (ignored for ``"thread"``).
+    worker_processes: int = 4
+    #: ``multiprocessing`` start method for the process tier.
+    worker_start_method: str = "spawn"
+    #: Shard count the async frontend partitions tenants across (each shard
+    #: is one InterfaceService over its own catalog; tenants on different
+    #: shards never contend on one ``Catalog._write_lock``).  Ignored by a
+    #: directly constructed single service.
+    shards: int = 1
 
 
 @dataclass
 class ServiceStats:
-    """Service-wide counters (reads are snapshots; writes are lock-guarded)."""
+    """Service-wide counters (reads are snapshots; writes are lock-guarded).
+
+    ``snapshot_ships`` / ``worker_snapshot_cache_hits`` mirror the process
+    tier (always 0 in the thread tier): how many times a pickled snapshot
+    actually crossed a process boundary versus how many tasks found their
+    fingerprint already cached in the worker.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -73,16 +98,44 @@ class ServiceStats:
     rejected: int = 0
     sessions_opened: int = 0
     sessions_rejected: int = 0
+    snapshot_ships: int = 0
+    worker_snapshot_cache_hits: int = 0
 
 
 class InterfaceService:
     """A thread-safe, multi-session facade over the generation pipeline."""
 
-    def __init__(self, catalog: Catalog, config: ServiceConfig | None = None) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: ServiceConfig | None = None,
+        process_tier: ProcessExecutionTier | None = None,
+    ) -> None:
         self.catalog = catalog
         self.config = config or ServiceConfig()
         if self.config.max_workers <= 0:
             raise AdmissionError("InterfaceService needs at least one worker")
+        if self.config.execution_tier not in ("thread", "process"):
+            raise AdmissionError(
+                f"Unknown execution tier {self.config.execution_tier!r} "
+                f"(expected 'thread' or 'process')"
+            )
+        # The process tier must exist before any frontend thread is spawned
+        # (a 'fork' start method is only safe while the process is still
+        # single-threaded).  A shared tier may be injected — the async
+        # frontend passes one tier to all of its shards so S shards do not
+        # spawn S * worker_processes processes.
+        self._process_tier: ProcessExecutionTier | None = None
+        self._owns_process_tier = False
+        if self.config.execution_tier == "process":
+            if process_tier is not None:
+                self._process_tier = process_tier
+            else:
+                self._process_tier = ProcessExecutionTier(
+                    processes=self.config.worker_processes,
+                    start_method=self.config.worker_start_method,
+                )
+                self._owns_process_tier = True
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.max_workers, thread_name_prefix="serve"
         )
@@ -90,9 +143,10 @@ class InterfaceService:
             ThreadPoolExecutor(
                 max_workers=self.config.profile_workers, thread_name_prefix="profile"
             )
-            if self.config.profile_workers > 0
+            if self.config.profile_workers > 0 and self._process_tier is None
             else None
         )
+        self._queue_waits: deque = deque(maxlen=QUEUE_WAIT_SAMPLE_CAPACITY)
         self._sessions: dict[str, Session] = {}
         self._lock = threading.Lock()
         #: Admission slots reserved by in-progress create_session calls (the
@@ -167,9 +221,39 @@ class InterfaceService:
     def submit_execute(
         self, session_id: str, query: str, use_cache: bool = True
     ) -> "Future[QueryResult]":
-        """Run one SQL query on the session's pinned snapshot, on the pool."""
+        """Run one SQL query on the session's pinned snapshot.
+
+        Thread tier: the query executes on the worker pool.  Process tier:
+        the worker-pool thread only marshals — it ships ``(canonical SQL,
+        fingerprint)`` to a worker process (plus the snapshot itself iff that
+        worker has never seen this fingerprint) and blocks GIL-free on the
+        pipe, so concurrent queries execute truly in parallel.
+        """
         session = self.session(session_id)
-        return self._submit(lambda: session.execute(query, use_cache=use_cache))
+        runner = self._tier_runner()
+        return self._submit(lambda: session.execute(query, use_cache=use_cache, runner=runner))
+
+    def _tier_runner(self):
+        """The session-execute runner for the configured execution tier."""
+        tier = self._process_tier
+        if tier is None:
+            return None
+
+        def run(snapshot, query, use_cache):
+            # Read fast path: hot queries are served from the frontend's
+            # shared result cache at thread-tier cost; only misses pay the
+            # worker round-trip, and their answers are published back so
+            # every session pinned at this version hits next time.
+            if use_cache:
+                cached = snapshot.cached_result(query)
+                if cached is not None:
+                    return cached
+            result = tier.submit_execute(snapshot, query, use_cache).result()
+            if use_cache:
+                snapshot.store_result(query, result)
+            return result
+
+        return run
 
     def execute(self, session_id: str, query: str, use_cache: bool = True) -> QueryResult:
         return self.submit_execute(session_id, query, use_cache=use_cache).result()
@@ -189,16 +273,33 @@ class InterfaceService:
         """
         session = self.session(session_id)
         generation_config = config or self.config.generation
+        tier = self._process_tier
 
-        def run() -> GenerationResult:
-            result = generate_interface(
-                list(queries),
-                session.snapshot,
-                generation_config,
-                profile_executor=self._profile_pool,
-            )
-            session.attach(result)
-            return result
+        if tier is not None:
+
+            def run() -> GenerationResult:
+                # The whole generation is one picklable task descriptor
+                # (query log + config + fingerprint); the search, mapping,
+                # costing and per-tree profiling all run inside one worker
+                # process, so concurrent sessions' generations use separate
+                # cores instead of interleaving under the GIL.
+                result = tier.submit_generate(
+                    session.snapshot, list(queries), generation_config
+                ).result()
+                session.attach(result)
+                return result
+
+        else:
+
+            def run() -> GenerationResult:
+                result = generate_interface(
+                    list(queries),
+                    session.snapshot,
+                    generation_config,
+                    profile_executor=self._profile_pool,
+                )
+                session.attach(result)
+                return result
 
         return self._submit(run)
 
@@ -235,8 +336,18 @@ class InterfaceService:
                 )
             self._inflight += 1
             self.stats.submitted += 1
+        submitted_at = time.perf_counter()
+
+        def timed_task():
+            # Frontend queue wait: submission -> a pool thread picking the
+            # task up.  (The process tier separately samples its own
+            # dispatch-queue wait; both surface in stats_snapshot().)
+            with self._lock:
+                self._queue_waits.append(time.perf_counter() - submitted_at)
+            return task()
+
         try:
-            future = self._pool.submit(task)
+            future = self._pool.submit(timed_task)
         except BaseException:
             with self._lock:
                 self._inflight -= 1
@@ -256,6 +367,59 @@ class InterfaceService:
     def inflight(self) -> int:
         with self._lock:
             return self._inflight
+
+    # ------------------------------------------------------------------ #
+    # Stats
+    # ------------------------------------------------------------------ #
+
+    @property
+    def process_tier(self) -> ProcessExecutionTier | None:
+        """The process execution tier, or None in the thread tier."""
+        return self._process_tier
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Machine-readable service statistics (what the bench JSON stores).
+
+        Includes the admission counters, per-tier queue-wait percentiles
+        (``frontend_queue_wait_*`` always; ``process_queue_wait_*`` in the
+        process tier), and the snapshot-transport counters mirrored from the
+        process tier.
+        """
+        with self._lock:
+            data: dict[str, Any] = {
+                "submitted": self.stats.submitted,
+                "completed": self.stats.completed,
+                "failed": self.stats.failed,
+                "rejected": self.stats.rejected,
+                "sessions_opened": self.stats.sessions_opened,
+                "sessions_rejected": self.stats.sessions_rejected,
+                "execution_tier": self.config.execution_tier,
+            }
+            waits = sorted(self._queue_waits)
+        for name, fraction in (("p50", 0.50), ("p95", 0.95)):
+            key = f"frontend_queue_wait_{name}_ms"
+            if waits:
+                index = min(len(waits) - 1, max(0, round(fraction * (len(waits) - 1))))
+                data[key] = round(waits[index] * 1000, 3)
+            else:
+                data[key] = None
+        tier = self._process_tier
+        if tier is not None:
+            tier_stats = tier.stats_snapshot()
+            with self._lock:
+                self.stats.snapshot_ships = tier_stats["snapshot_ships"]
+                self.stats.worker_snapshot_cache_hits = tier_stats[
+                    "worker_snapshot_cache_hits"
+                ]
+            data["snapshot_ships"] = tier_stats["snapshot_ships"]
+            data["worker_snapshot_cache_hits"] = tier_stats["worker_snapshot_cache_hits"]
+            data["workers_respawned"] = tier_stats["workers_respawned"]
+            data["process_queue_wait_p50_ms"] = tier_stats["queue_wait_p50_ms"]
+            data["process_queue_wait_p95_ms"] = tier_stats["queue_wait_p95_ms"]
+        else:
+            data["snapshot_ships"] = 0
+            data["worker_snapshot_cache_hits"] = 0
+        return data
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -279,6 +443,8 @@ class InterfaceService:
         self._pool.shutdown(wait=wait)
         if self._profile_pool is not None:
             self._profile_pool.shutdown(wait=wait)
+        if self._process_tier is not None and self._owns_process_tier:
+            self._process_tier.shutdown(wait=wait)
         with self._lock:
             sessions = list(self._sessions.values())
             self._sessions.clear()

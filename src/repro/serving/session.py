@@ -108,12 +108,22 @@ class Session:
     # Reads
     # ------------------------------------------------------------------ #
 
-    def execute(self, query: str, use_cache: bool = True) -> QueryResult:
-        """Run one SQL query against the pinned snapshot."""
+    def execute(self, query: str, use_cache: bool = True, runner=None) -> QueryResult:
+        """Run one SQL query against the pinned snapshot.
+
+        ``runner`` overrides *where* the query executes without changing what
+        it reads: a ``(snapshot, query, use_cache) -> QueryResult`` callable
+        (the process execution tier passes one that ships the work to a
+        worker process).  Isolation is unchanged either way — the pinned
+        snapshot is the single source of truth.
+        """
         snapshot = self.snapshot
         started = time.perf_counter()
         try:
-            result = snapshot.execute(query, use_cache=use_cache)
+            if runner is None:
+                result = snapshot.execute(query, use_cache=use_cache)
+            else:
+                result = runner(snapshot, query, use_cache)
         except Exception:
             self._note(started, "failures")
             raise

@@ -1,0 +1,675 @@
+"""The process-pool execution tier: GIL-free workers over shipped snapshots.
+
+The thread-pool serving layer (PR 5) cannot scale CPU-bound work — every
+engine operation is pure Python, so eight worker threads still execute one
+bytecode at a time.  :class:`ProcessExecutionTier` moves the two CPU-heavy
+operation classes into a pool of **worker processes**:
+
+* ad-hoc query execution (``Session.execute`` → canonical SQL + fingerprint),
+* interface generation / per-tree candidate profiling (query log + pipeline
+  config + fingerprint, or per-tree default-instantiation SQL + tree
+  signature + fingerprint).
+
+The design leans entirely on PR 5's snapshot contract:
+:class:`~repro.engine.catalog.CatalogSnapshot` is immutable and
+version-fingerprinted, so it crosses the process boundary **once per
+``(catalog_id, fingerprint)``** instead of once per request.  Each worker
+caches unpickled snapshots in a small LRU keyed by that pair; a data-version
+bump simply introduces a new fingerprint, and the stale snapshot falls out of
+the LRU lazily — no invalidation protocol, no shared memory, no locks in the
+workers at all.  Workers are stateless and read-only by construction: every
+task names the snapshot it runs against, sessions/admission/writes stay in
+the frontend, and nothing a worker computes ever flows back into catalog
+state (results return as picklable columnar ``QueryResult`` /
+``GenerationResult`` values).
+
+Frontend threading model: one dispatcher thread per worker process pulls
+tasks off one shared queue (natural least-loaded balancing), performs the
+ship-if-needed handshake over the worker's pipe, and blocks in ``recv`` —
+which releases the GIL, so N workers genuinely execute N tasks in parallel.
+A worker that dies mid-task fails that task with
+:class:`~repro.errors.WorkerError` and is respawned transparently.
+
+What may cross the boundary (see ``docs/SERVING.md``): pickled snapshots
+(tables + fingerprint + catalog id — never the caches, never lock-bearing
+objects), task descriptors built from canonical SQL text / query logs /
+pipeline configs, and columnar results.  What must not: live ``Catalog``
+objects, sessions, futures, executors, or anything holding a lock.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import multiprocessing
+
+from repro.engine.catalog import CatalogSnapshot, DetachedParser
+from repro.engine.query_cache import QueryCache
+from repro.errors import WorkerError
+
+#: Snapshots each worker keeps alive, LRU-evicted ((catalog_id, fingerprint)
+#: keyed).  Small on purpose: the common case is one live fingerprint per
+#: catalog plus a short tail of recently superseded versions still pinned by
+#: open sessions.
+SNAPSHOT_CACHE_CAPACITY = 8
+
+#: Pickled-snapshot payloads the frontend memoizes (one pickle per
+#: fingerprint, shared by every worker it ships to).
+PAYLOAD_MEMO_CAPACITY = 16
+
+#: Bound on the queue-wait sample reservoir (newest samples win).
+QUEUE_WAIT_SAMPLE_CAPACITY = 4096
+
+
+# ---------------------------------------------------------------------- #
+# Worker side (runs in the child process; must stay import-light and
+# lock-free — the child is single-threaded by design)
+# ---------------------------------------------------------------------- #
+
+
+def _run_task(kind: str, snapshot: CatalogSnapshot, body: tuple) -> Any:
+    """Execute one task body against a (worker-cached) snapshot.
+
+    Kept as a plain function so the in-process tests can drive the exact
+    code the workers run without spawning a subprocess.
+    """
+    if kind == "execute":
+        sql, use_cache = body
+        return snapshot.execute(sql, use_cache=use_cache)
+    if kind == "profile":
+        sqls = body[0]
+        counts: list[int] = []
+        for sql in sqls:
+            try:
+                counts.append(snapshot.execute(sql).row_count)
+            except Exception:  # noqa: BLE001 - odd instantiations must not kill search
+                counts.append(-1)
+        return counts
+    if kind == "generate":
+        from repro.pipeline import generate_interface
+
+        queries, config = body
+        return generate_interface(list(queries), snapshot, config)
+    raise WorkerError(f"Unknown worker task kind {kind!r}")
+
+
+class _WorkerState:
+    """Per-process snapshot cache + shared execution caches.
+
+    Snapshots are cached by ``(catalog_id, fingerprint)``; the result cache
+    and parse memo are shared across fingerprints (result keys embed the
+    pinned version, parsing is version-independent), and compiled-plan caches
+    are shared **per schema version** — a plan bakes in table-set analysis,
+    so it survives data-version bumps but not register/drop/replace.
+    """
+
+    def __init__(self, capacity: int = SNAPSHOT_CACHE_CAPACITY) -> None:
+        self.capacity = capacity
+        self.snapshots: OrderedDict[tuple, CatalogSnapshot] = OrderedDict()
+        self.query_cache = QueryCache(capacity=512)
+        self.parse = DetachedParser()
+        self.plan_caches: dict[tuple, dict] = {}
+
+    def lookup(self, key: tuple) -> CatalogSnapshot | None:
+        snapshot = self.snapshots.get(key)
+        if snapshot is not None:
+            self.snapshots.move_to_end(key)
+        return snapshot
+
+    def admit(self, key: tuple, payload: bytes) -> CatalogSnapshot:
+        snapshot: CatalogSnapshot = pickle.loads(payload)
+        plan_key = (key[0], snapshot.schema_version())
+        snapshot.attach_caches(
+            plan_cache=self.plan_caches.setdefault(plan_key, {}),
+            query_cache=self.query_cache,
+            parse=self.parse,
+        )
+        self.snapshots[key] = snapshot
+        self.snapshots.move_to_end(key)
+        while len(self.snapshots) > self.capacity:
+            evicted_key, _ = self.snapshots.popitem(last=False)
+            self._drop_unreferenced_plan_cache(evicted_key)
+        return snapshot
+
+    def _drop_unreferenced_plan_cache(self, evicted_key: tuple) -> None:
+        live = {(key[0], snap.schema_version()) for key, snap in self.snapshots.items()}
+        self.plan_caches = {k: v for k, v in self.plan_caches.items() if k in live}
+
+    def cached_keys(self) -> list[tuple]:
+        return list(self.snapshots.keys())
+
+
+def _worker_main(conn, snapshot_cache_capacity: int) -> None:
+    """The worker process main loop: recv task, run, send result.
+
+    Protocol (all messages are picklable tuples):
+
+    * parent → worker: ``("task", task_id, kind, key, body, payload|None)``
+      or ``("stop",)``.
+    * worker → parent: ``(task_id, "ok", result, snapshot_cache_hit)``,
+      ``(task_id, "need_snapshot")`` when the parent's shipped-set mirror
+      drifted (parent re-sends with the payload), or
+      ``(task_id, "error", exc_type_name, message)``.
+    """
+    state = _WorkerState(capacity=snapshot_cache_capacity)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message[0] == "stop":
+            return
+        _, task_id, kind, key, body, payload = message
+        try:
+            if kind == "ping":
+                conn.send((task_id, "ok", None, True))
+                continue
+            if kind == "cache_info":
+                conn.send((task_id, "ok", state.cached_keys(), True))
+                continue
+            snapshot = state.lookup(key) if key is not None else None
+            hit = snapshot is not None
+            if snapshot is None:
+                if payload is None:
+                    conn.send((task_id, "need_snapshot"))
+                    continue
+                snapshot = state.admit(key, payload)
+            result = _run_task(kind, snapshot, body)
+            conn.send((task_id, "ok", result, hit))
+        except Exception as exc:  # noqa: BLE001 - the loop must survive any task
+            try:
+                conn.send((task_id, "error", type(exc).__name__, str(exc)))
+            except Exception:  # noqa: BLE001 - parent went away mid-send
+                return
+
+
+# ---------------------------------------------------------------------- #
+# Frontend side
+# ---------------------------------------------------------------------- #
+
+
+class _Future:
+    """A minimal thread-safe future (set once, many waiters)."""
+
+    __slots__ = ("_event", "_result", "_exception")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Any = None
+        self._exception: BaseException | None = None
+
+    def set_result(self, result: Any) -> None:
+        self._result = result
+        self._event.set()
+
+    def set_exception(self, exception: BaseException) -> None:
+        self._exception = exception
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        if not self._event.wait(timeout):
+            raise WorkerError("Timed out waiting for a process-tier task")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+
+@dataclass
+class _Task:
+    kind: str
+    key: tuple | None
+    body: tuple
+    snapshot: CatalogSnapshot | None
+    future: _Future
+    submitted_at: float
+
+
+@dataclass
+class TierStats:
+    """Frontend-side counters of one :class:`ProcessExecutionTier`."""
+
+    tasks_dispatched: int = 0
+    tasks_failed: int = 0
+    snapshot_ships: int = 0
+    worker_snapshot_cache_hits: int = 0
+    workers_respawned: int = 0
+    queue_waits: deque = field(
+        default_factory=lambda: deque(maxlen=QUEUE_WAIT_SAMPLE_CAPACITY)
+    )
+
+
+class _WorkerHandle:
+    """One worker process, its pipe, and the parent's shipped-key mirror."""
+
+    def __init__(self, index: int, process, conn, capacity: int) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.capacity = capacity
+        #: Mirror of the worker's snapshot LRU (same capacity, same update
+        #: rule), letting the parent predict whether a payload must ship.
+        #: Best-effort: on drift the worker answers ``need_snapshot`` and the
+        #: parent re-sends with the payload.
+        self.shipped: OrderedDict[tuple, None] = OrderedDict()
+        #: Serializes pipe use between the dispatcher thread and debug calls.
+        self.io_lock = threading.Lock()
+        #: This worker's private task queue plus an in-flight flag; both are
+        #: guarded by the tier's dispatch condition, and together they give
+        #: the placement policy its load signal (``pending``).
+        self.queue: deque = deque()
+        self.busy = False
+
+    def pending(self) -> int:
+        """Queued plus in-flight task count (dispatch condition held)."""
+        return len(self.queue) + (1 if self.busy else 0)
+
+    def note_shipped(self, key: tuple) -> None:
+        self.shipped[key] = None
+        self.shipped.move_to_end(key)
+        while len(self.shipped) > self.capacity:
+            self.shipped.popitem(last=False)
+
+    def note_used(self, key: tuple) -> None:
+        if key in self.shipped:
+            self.shipped.move_to_end(key)
+
+
+class ProcessExecutionTier:
+    """A pool of worker processes executing read-only tasks over snapshots.
+
+    Args:
+        processes: Worker process count.
+        start_method: ``multiprocessing`` start method.  ``spawn`` (the
+            default) is safe regardless of the frontend's thread activity;
+            ``fork`` starts faster but must only be used when no other
+            threads can hold locks at tier construction time.
+        snapshot_cache_capacity: Per-worker snapshot LRU size.
+    """
+
+    def __init__(
+        self,
+        processes: int = 4,
+        start_method: str = "spawn",
+        snapshot_cache_capacity: int = SNAPSHOT_CACHE_CAPACITY,
+    ) -> None:
+        if processes <= 0:
+            raise WorkerError("ProcessExecutionTier needs at least one worker process")
+        self.processes = processes
+        self.snapshot_cache_capacity = snapshot_cache_capacity
+        self._context = multiprocessing.get_context(start_method)
+        # Placement policy, decided at submit time (see ``_place``):
+        #
+        # * Two worker classes keep latency classes apart — "light" tasks
+        #   (execute, profile: ~1 ms) run on a small reserved set, "heavy"
+        #   ones (generate: tens of ms) on the rest — so read p95 never
+        #   inherits generation latency by queueing behind it.
+        # * Within a class, placement is *sticky*: a task prefers a worker
+        #   whose snapshot LRU already holds its (catalog, fingerprint) key,
+        #   avoiding a re-ship and reusing that worker's warm result/plan
+        #   caches.  An idle keyless worker beats a busy key-holding one —
+        #   a ship costs ~2 ms while waiting behind a generation costs tens.
+        self._dispatch_cond = threading.Condition()
+        self._stop_dispatch = False
+        self._light_reserved = max(1, processes // 4) if processes > 1 else 0
+        self._task_ids = iter(range(1, 2**62))
+        self._closed = False
+        self._lock = threading.Lock()
+        self._payloads: OrderedDict[tuple, bytes] = OrderedDict()
+        self.stats = TierStats()
+        self._handles: list[_WorkerHandle] = [
+            self._spawn_worker(index) for index in range(processes)
+        ]
+        self._warm_up()
+        self._threads = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                args=(index,),
+                name=f"tier-dispatch-{index}",
+                daemon=True,
+            )
+            for index in range(processes)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission API
+    # ------------------------------------------------------------------ #
+
+    def submit_execute(
+        self, snapshot: CatalogSnapshot, sql: str, use_cache: bool = True
+    ) -> _Future:
+        """Run one SQL query against the snapshot, on some worker process."""
+        return self._submit("execute", snapshot, (sql, use_cache))
+
+    def submit_profile(self, snapshot: CatalogSnapshot, sqls: Sequence[str]) -> _Future:
+        """Execute per-tree default-instantiation queries; resolves to row counts.
+
+        This is the picklable form of the search layer's per-tree profile
+        fan-out: the frontend instantiates each changed tree's default
+        binding to canonical SQL (cheap AST work) and ships only the SQL —
+        the CPU-heavy execution happens GIL-free in the worker.
+        """
+        return self._submit("profile", snapshot, (list(sqls),))
+
+    def submit_generate(
+        self, snapshot: CatalogSnapshot, queries: Sequence[str], config
+    ) -> _Future:
+        """Run a whole interface generation against the snapshot on a worker.
+
+        Generation is the coarsest candidate-evaluation grain: the full
+        search (mapping, costing, layout, per-tree profiling) runs inside one
+        worker process, so concurrent sessions' generations parallelize
+        across cores instead of interleaving under the GIL.  Determinism is
+        unaffected — the pipeline is a pure function of (snapshot, queries,
+        config), proven by ``Interface.fingerprint()`` equality.
+        """
+        return self._submit("generate", snapshot, (list(queries), config))
+
+    def execute(self, snapshot: CatalogSnapshot, sql: str, use_cache: bool = True):
+        return self.submit_execute(snapshot, sql, use_cache).result()
+
+    def _submit(self, kind: str, snapshot: CatalogSnapshot, body: tuple) -> _Future:
+        with self._lock:
+            if self._closed:
+                raise WorkerError("ProcessExecutionTier is shut down")
+        key = (snapshot.catalog_id, snapshot.data_version())
+        task = _Task(
+            kind=kind,
+            key=key,
+            body=body,
+            snapshot=snapshot,
+            future=_Future(),
+            submitted_at=time.perf_counter(),
+        )
+        with self._dispatch_cond:
+            self._place(task).queue.append(task)
+            self._dispatch_cond.notify_all()
+        return task.future
+
+    def _place(self, task: _Task) -> _WorkerHandle:
+        """Pick the worker for a task (dispatch condition held).
+
+        Candidates are the task's worker class (reserved workers for light
+        kinds, the rest for generations).  Within the class, the queue is
+        cost-scored: a worker's load is its pending task count, plus a
+        miss penalty when it does not hold the task's snapshot key.  The
+        penalty encodes the real ratio of ship cost to task cost — a ship
+        (~2 ms) is about one light task, so light work sticks to key
+        holders unless they are a full task behind; it is negligible next
+        to a generation (tens of ms), so heavy work balances by load and
+        uses key holding only as a tiebreak.  The ``shipped`` mirrors
+        consulted here are best-effort — a stale read only costs an extra
+        ship or a ``need_snapshot`` round trip, never correctness.
+        """
+        if task.kind == "generate" and self._light_reserved < len(self._handles):
+            candidates = self._handles[self._light_reserved :]
+        elif task.kind != "generate" and self._light_reserved > 0:
+            candidates = self._handles[: self._light_reserved]
+        else:
+            candidates = self._handles
+        penalty = 0.05 if task.kind == "generate" else 1.0
+
+        def score(handle: _WorkerHandle) -> float:
+            miss = 0.0 if (task.key is not None and task.key in handle.shipped) else penalty
+            return handle.pending() + miss
+
+        return min(candidates, key=score)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def _spawn_worker(self, index: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, self.snapshot_cache_capacity),
+            name=f"repro-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(index, process, parent_conn, self.snapshot_cache_capacity)
+
+    def _warm_up(self) -> None:
+        """Block until every worker finished its interpreter bootstrap.
+
+        A spawned worker only becomes useful after re-importing the engine;
+        pinging all workers up front (sends first, then receives — the
+        imports overlap) moves that one-time cost out of the first N tasks'
+        latency.  Runs before the dispatcher threads start, so the pipes
+        need no locking yet.
+        """
+        for handle in self._handles:
+            handle.conn.send(("task", 0, "ping", None, (), None))
+        for handle in self._handles:
+            reply = handle.conn.recv()
+            if reply[1] != "ok":  # pragma: no cover - defensive
+                raise WorkerError(f"Worker {handle.index} failed its warm-up ping")
+
+    def _payload_for(self, task: _Task) -> bytes:
+        with self._lock:
+            payload = self._payloads.get(task.key)
+            if payload is not None:
+                self._payloads.move_to_end(task.key)
+                return payload
+        data = pickle.dumps(task.snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._payloads[task.key] = data
+            self._payloads.move_to_end(task.key)
+            while len(self._payloads) > PAYLOAD_MEMO_CAPACITY:
+                self._payloads.popitem(last=False)
+        return data
+
+    def _next_task(self, index: int) -> _Task | None:
+        """Pop the next task from worker ``index``'s queue (None = shut down)."""
+        handle = self._handles[index]
+        with self._dispatch_cond:
+            handle.busy = False
+            while True:
+                if handle.queue:
+                    handle.busy = True
+                    return handle.queue.popleft()
+                if self._stop_dispatch:
+                    return None
+                self._dispatch_cond.wait()
+
+    def _dispatch_loop(self, index: int) -> None:
+        while True:
+            task = self._next_task(index)
+            if task is None:
+                return
+            handle = self._handles[index]
+            with self._lock:
+                self.stats.queue_waits.append(time.perf_counter() - task.submitted_at)
+            try:
+                result, hit = self._round_trip(handle, task)
+            except WorkerError as exc:
+                with self._lock:
+                    self.stats.tasks_failed += 1
+                    closed = self._closed
+                task.future.set_exception(exc)
+                if not closed:
+                    handle = self._respawn(index)
+                continue
+            except Exception as exc:  # noqa: BLE001 - never kill the dispatcher
+                with self._lock:
+                    self.stats.tasks_failed += 1
+                task.future.set_exception(exc)
+                continue
+            with self._lock:
+                self.stats.tasks_dispatched += 1
+                if hit:
+                    self.stats.worker_snapshot_cache_hits += 1
+            task.future.set_result(result)
+
+    def _round_trip(self, handle: _WorkerHandle, task: _Task) -> tuple[Any, bool]:
+        """One send/recv exchange, shipping the snapshot payload when needed."""
+        task_id = next(self._task_ids)
+        with handle.io_lock:
+            payload = None
+            if task.key is not None and task.key not in handle.shipped:
+                payload = self._payload_for(task)
+            reply = self._exchange(handle, (task_id, task, payload))
+            if reply[1] == "need_snapshot":
+                # The shipped-set mirror drifted (e.g. across a respawn the
+                # caller raced); re-send with the payload.
+                payload = self._payload_for(task)
+                reply = self._exchange(handle, (task_id, task, payload))
+            if payload is not None and task.key is not None:
+                with self._lock:
+                    self.stats.snapshot_ships += 1
+        if reply[1] == "error":
+            _, _, exc_type, message = reply
+            raise _TaskError(f"{exc_type}: {message}")
+        shipped = payload is not None
+        if task.key is not None:
+            if shipped:
+                handle.note_shipped(task.key)
+            else:
+                handle.note_used(task.key)
+        return reply[2], reply[3] and not shipped
+
+    def _exchange(self, handle: _WorkerHandle, envelope: tuple) -> tuple:
+        task_id, task, payload = envelope
+        try:
+            handle.conn.send(("task", task_id, task.kind, task.key, task.body, payload))
+            while True:
+                reply = handle.conn.recv()
+                if reply[0] == task_id:
+                    return reply
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise WorkerError(
+                f"Worker {handle.index} died mid-task ({type(exc).__name__}); "
+                f"the task is lost and the worker will be respawned"
+            ) from exc
+
+    def _respawn(self, index: int) -> _WorkerHandle:
+        old = self._handles[index]
+        try:
+            old.conn.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        if old.process.is_alive():
+            old.process.terminate()
+        old.process.join(timeout=5)
+        handle = self._spawn_worker(index)
+        with self._dispatch_cond:
+            # Queued tasks survive the respawn; the shipped-key mirror does
+            # not (the fresh worker's snapshot cache is empty).
+            handle.queue.extend(old.queue)
+            handle.busy = old.busy
+            self._handles[index] = handle
+        with self._lock:
+            self.stats.workers_respawned += 1
+        return handle
+
+    # ------------------------------------------------------------------ #
+    # Introspection / stats
+    # ------------------------------------------------------------------ #
+
+    def worker_cached_fingerprints(self, index: int) -> list[tuple]:
+        """The (catalog_id, fingerprint) keys worker ``index`` currently caches.
+
+        Debug/test API: exchanges a ``cache_info`` message directly with the
+        worker (serialized against the dispatcher by the handle's pipe lock).
+        """
+        handle = self._handles[index]
+        task = _Task(
+            kind="cache_info",
+            key=None,
+            body=(),
+            snapshot=None,
+            future=_Future(),
+            submitted_at=time.perf_counter(),
+        )
+        task_id = next(self._task_ids)
+        with handle.io_lock:
+            reply = self._exchange(handle, (task_id, task, None))
+        if reply[1] == "error":
+            raise WorkerError(f"cache_info failed: {reply[2]}: {reply[3]}")
+        return reply[2]
+
+    def queue_wait_percentiles(self) -> dict[str, float | None]:
+        """p50/p95 dispatch queue wait in milliseconds (None when idle)."""
+        with self._lock:
+            samples = sorted(self.stats.queue_waits)
+        if not samples:
+            return {"queue_wait_p50_ms": None, "queue_wait_p95_ms": None}
+
+        def pick(fraction: float) -> float:
+            index = min(len(samples) - 1, max(0, round(fraction * (len(samples) - 1))))
+            return round(samples[index] * 1000, 3)
+
+        return {"queue_wait_p50_ms": pick(0.50), "queue_wait_p95_ms": pick(0.95)}
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            data = {
+                "tasks_dispatched": self.stats.tasks_dispatched,
+                "tasks_failed": self.stats.tasks_failed,
+                "snapshot_ships": self.stats.snapshot_ships,
+                "worker_snapshot_cache_hits": self.stats.worker_snapshot_cache_hits,
+                "workers_respawned": self.stats.workers_respawned,
+                "workers": len(self._handles),
+            }
+        data.update(self.queue_wait_percentiles())
+        return data
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop dispatchers and workers (idempotent).
+
+        With ``wait=True`` queued tasks drain first (dispatchers only exit
+        once both lanes are empty); with ``wait=False`` workers are
+        terminated and any in-flight task fails with :class:`WorkerError`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        with self._dispatch_cond:
+            self._stop_dispatch = True
+            self._dispatch_cond.notify_all()
+        if not wait:
+            for handle in self._handles:
+                if handle.process.is_alive():
+                    handle.process.terminate()
+        for thread in self._threads:
+            thread.join(timeout=30)
+        for handle in self._handles:
+            try:
+                with handle.io_lock:
+                    handle.conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(timeout=5)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+
+    def __enter__(self) -> "ProcessExecutionTier":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessExecutionTier(processes={self.processes})"
+
+
+class _TaskError(WorkerError):
+    """A task failed inside the worker (the original exception's text survives)."""
