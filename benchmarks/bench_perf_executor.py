@@ -308,3 +308,131 @@ def test_perf_executor_scan_dominated(benchmark):
         sdss_table_memory_bytes=float(measurement["table_memory_bytes"]),
     )
     assert measurement["rows_scanned_per_sec"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# Index access-path workloads (point lookups and range scans)
+# --------------------------------------------------------------------------- #
+
+#: Row count of the synthetic table the index workloads probe.  Large enough
+#: that a full scan visibly loses to an index probe (the acceptance bar is a
+#: >=10x point-lookup win at >=100k rows).
+INDEX_TABLE_ROWS = 100_000
+
+#: Point lookups per timed pass (distinct keys, so the result cache is moot).
+POINT_LOOKUP_QUERIES = 20
+
+#: Range scans per timed pass (narrow windows over the ordered column).
+RANGE_SCAN_QUERIES = 10
+
+
+def _index_bench_catalog(indexed: bool) -> Catalog:
+    rng = random.Random(20260807)
+    catalog = Catalog()
+    catalog.create_table(
+        "events",
+        ["id", "ts", "kind"],
+        [[i, rng.randrange(1_000_000), rng.randrange(8)] for i in range(INDEX_TABLE_ROWS)],
+    )
+    if indexed:
+        catalog.create_index("events", "id", "hash")
+        catalog.create_index("events", "ts", "ordered")
+    return catalog
+
+
+def _time_workload(catalog: Catalog, queries: list[str], attempts: int = 3) -> float:
+    """Best-of-attempts seconds for one pass over ``queries`` (plans warm)."""
+    for sql in queries:
+        catalog.execute(sql, use_cache=False)
+    elapsed = float("inf")
+    for _attempt in range(attempts):
+        started = time.perf_counter()
+        for sql in queries:
+            catalog.execute(sql, use_cache=False)
+        elapsed = min(elapsed, time.perf_counter() - started)
+    return elapsed
+
+
+def _measure_index_access():
+    rng = random.Random(0xACCE55)
+    point_queries = [
+        f"SELECT ts FROM events WHERE id = {rng.randrange(INDEX_TABLE_ROWS)}"
+        for _ in range(POINT_LOOKUP_QUERIES)
+    ]
+    range_queries = []
+    for _ in range(RANGE_SCAN_QUERIES):
+        low = rng.randrange(990_000)
+        range_queries.append(
+            f"SELECT id FROM events WHERE ts BETWEEN {low} AND {low + 2_000}"
+        )
+
+    indexed = _index_bench_catalog(indexed=True)
+    full_scan = _index_bench_catalog(indexed=False)
+
+    # Sanity: both access paths agree before anything is timed.
+    for sql in point_queries[:3] + range_queries[:2]:
+        assert (
+            indexed.execute(sql, use_cache=False).rows
+            == full_scan.execute(sql, use_cache=False).rows
+        ), f"index/scan divergence on {sql}"
+
+    point_indexed = _time_workload(indexed, point_queries)
+    point_scan = _time_workload(full_scan, point_queries)
+    range_indexed = _time_workload(indexed, range_queries)
+    range_scan = _time_workload(full_scan, range_queries)
+    return {
+        "table_rows": INDEX_TABLE_ROWS,
+        "point_queries": len(point_queries),
+        "point_indexed_seconds": point_indexed,
+        "point_scan_seconds": point_scan,
+        "point_speedup": point_scan / point_indexed if point_indexed else 0.0,
+        "point_queries_per_sec": (
+            len(point_queries) / point_indexed if point_indexed else 0.0
+        ),
+        "range_queries": len(range_queries),
+        "range_indexed_seconds": range_indexed,
+        "range_scan_seconds": range_scan,
+        "range_speedup": range_scan / range_indexed if range_indexed else 0.0,
+        "range_queries_per_sec": (
+            len(range_queries) / range_indexed if range_indexed else 0.0
+        ),
+    }
+
+
+def test_perf_executor_index_access_paths(benchmark):
+    """Index probes must beat full scans: >=10x on point lookups at 100k rows."""
+    measurement = benchmark.pedantic(_measure_index_access, rounds=1, iterations=1)
+    print_table(
+        "Perf P7: index access paths vs full scans",
+        ["Workload", "Queries", "Full scan", "Indexed", "Speedup", "Queries/sec"],
+        [
+            [
+                "point lookup (hash)",
+                measurement["point_queries"],
+                f"{measurement['point_scan_seconds'] * 1000:.1f} ms",
+                f"{measurement['point_indexed_seconds'] * 1000:.2f} ms",
+                f"{measurement['point_speedup']:.1f}x",
+                f"{measurement['point_queries_per_sec']:,.0f}",
+            ],
+            [
+                "range scan (ordered)",
+                measurement["range_queries"],
+                f"{measurement['range_scan_seconds'] * 1000:.1f} ms",
+                f"{measurement['range_indexed_seconds'] * 1000:.2f} ms",
+                f"{measurement['range_speedup']:.1f}x",
+                f"{measurement['range_queries_per_sec']:,.0f}",
+            ],
+        ],
+    )
+    print(json.dumps({"benchmark": "perf_index", **measurement}))
+    _record_metrics(
+        point_lookup_queries_per_sec=measurement["point_queries_per_sec"],
+        point_lookup_speedup=measurement["point_speedup"],
+        range_scan_queries_per_sec=measurement["range_queries_per_sec"],
+        range_scan_speedup=measurement["range_speedup"],
+    )
+    assert measurement["point_speedup"] >= 10.0, (
+        f"point lookups via hash index must win >=10x over a full scan at "
+        f"{INDEX_TABLE_ROWS} rows; got {measurement['point_speedup']:.1f}x"
+    )
+    assert measurement["range_speedup"] > 1.0

@@ -190,6 +190,26 @@ class Catalog:
                 self._snapshot_memo = None
         return appended
 
+    def create_index(self, name: str, column: str, kind: str = "hash") -> None:
+        """Build a secondary index (``"hash"`` or ``"ordered"``) on a column.
+
+        Indexing is a *derived-state* operation: the table's rows and data
+        version are untouched, so cached results stay valid.  The index is
+        built off to the side and published atomically onto the live column
+        (snapshot readers either see no index and scan, or a complete one),
+        and every later copy-on-write clone inherits it by sharing the sealed
+        segments.  Compiled plans are cleared so the optimizer re-runs
+        access-path selection with the new index visible.
+        """
+        with self._write_lock:
+            with self._lock:
+                table = self._tables.get(name.lower())
+            if table is None:
+                raise CatalogError(f"Cannot index unknown table {name!r}")
+            table.create_index(column, kind)
+            with self._lock:
+                self._plan_cache.clear()
+
     def table(self, name: str) -> Table:
         key = name.lower()
         with self._lock:
@@ -419,10 +439,13 @@ class CatalogSnapshot:
     # reuse attaches shared caches afterwards via ``attach_caches``.
 
     def __getstate__(self) -> dict:
-        # Ship *warm* tables: column statistics and null counts are part of
-        # the payload (they are incrementally maintained state, not caches),
-        # so a worker can execute immediately instead of each worker paying
-        # an O(data) statistics rebuild per shipped version.
+        # Ship *warm* tables: column statistics, null counts, and sealed
+        # secondary-index segments are part of the payload (they are
+        # incrementally maintained state, not caches), so a worker can
+        # execute immediately instead of each worker paying an O(data)
+        # statistics/index rebuild per shipped version.  warm_stats() also
+        # folds index tails into immutable segments so the pickled bytes
+        # carry only shared, sealed structures.
         for table in self._tables.values():
             table.warm_stats()
         return {

@@ -20,14 +20,35 @@ every stat from scratch after each mutation.
 
 Values that break a stat's invariant (unhashable values poison the distinct
 set, pairwise-incomparable mixtures poison the range) degrade that single stat
-to the slow recomputed path while leaving the others incremental.
+to the slow recomputed path while leaving the others incremental.  The
+distinct set additionally *caps itself* at :data:`DISTINCT_TRACK_LIMIT`
+values: past the cap it degrades to a count estimate (high-cardinality
+columns would otherwise make every copy-on-write clone pay O(distinct) in
+time and memory), and below the cap clones share one frozen set until the
+next mutation copies it (copy-on-write at the stats level, mirroring the
+table-level contract).
+
+A column may also carry :mod:`secondary indexes <repro.engine.indexes>`
+(hash and ordered), which follow the same lazy-then-incremental protocol:
+appends fold into them in O(1) amortized, and clones share the sealed
+immutable segments instead of rebuilding.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.sql.schema import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.indexes import ColumnIndex
+
+#: Maximum distinct values tracked exactly before the set degrades to a count
+#: estimate.  Far above the thresholds that drive schema role inference
+#: (ORDINAL cuts off at 12 distinct values) and selectivity estimation cares
+#: only about order of magnitude past this point, so capping never changes a
+#: plan's shape — it only bounds clone cost on high-cardinality columns.
+DISTINCT_TRACK_LIMIT = 4096
 
 #: Comparison groups for the optimizer's value-type proof: numbers/booleans
 #: unify among themselves (to FLOAT when mixed), text and dates unify to TEXT,
@@ -49,7 +70,13 @@ class ColumnStats:
             is set when a pairwise-incomparable mixture was observed, in which
             case the owner recomputes (and re-raises) on demand.
         distinct: set of distinct non-null values, or None once an unhashable
-            value poisoned it.
+            value poisoned it **or** the set outgrew
+            :data:`DISTINCT_TRACK_LIMIT`; ``distinct_capped`` distinguishes
+            the capped case (recomputing is possible and exact) from the
+            poisoned one (recomputing raises), and ``distinct_estimate``
+            remembers the size at cap time as a lower-bound count estimate.
+        distinct_shared: the set is shared with another stats block (a clone);
+            the next ``observe`` copies before mutating.
     """
 
     __slots__ = (
@@ -60,6 +87,9 @@ class ColumnStats:
         "has_range",
         "range_poisoned",
         "distinct",
+        "distinct_capped",
+        "distinct_estimate",
+        "distinct_shared",
     )
 
     def __init__(self) -> None:
@@ -70,6 +100,9 @@ class ColumnStats:
         self.has_range = False
         self.range_poisoned = False
         self.distinct: set[Any] | None = set()
+        self.distinct_capped = False
+        self.distinct_estimate = 0
+        self.distinct_shared = False
 
     @classmethod
     def from_values(cls, values: Iterable[Any]) -> "ColumnStats":
@@ -103,10 +136,21 @@ class ColumnStats:
                     self.minimum = None
                     self.maximum = None
         if self.distinct is not None:
+            if self.distinct_shared:
+                # Copy-on-write: the set is shared with a clone's stats block.
+                self.distinct = set(self.distinct)
+                self.distinct_shared = False
             try:
                 self.distinct.add(value)
             except TypeError:
                 self.distinct = None
+            else:
+                if len(self.distinct) > DISTINCT_TRACK_LIMIT:
+                    # Degrade to a count estimate: further appends are O(1)
+                    # and clones stop paying O(distinct) for this column.
+                    self.distinct_estimate = len(self.distinct)
+                    self.distinct_capped = True
+                    self.distinct = None
 
     @staticmethod
     def _merge_value_type(current: DataType, candidate: DataType) -> DataType | None:
@@ -120,7 +164,14 @@ class ColumnStats:
         return None
 
     def copy(self) -> "ColumnStats":
-        """An independent copy (own distinct set) sharing immutable values."""
+        """An O(1) copy *sharing* the frozen distinct set with the original.
+
+        Both sides are marked ``distinct_shared`` so whichever mutates first
+        copies the set then (copy-on-write).  In the serving layer's
+        clone-then-extend write path only the clone ever mutates, so the
+        common case pays the copy once per write instead of once per clone —
+        and capped/poisoned blocks never pay it at all.
+        """
         copied = ColumnStats()
         copied.dtype = self.dtype
         copied.value_type = self.value_type
@@ -128,7 +179,12 @@ class ColumnStats:
         copied.maximum = self.maximum
         copied.has_range = self.has_range
         copied.range_poisoned = self.range_poisoned
-        copied.distinct = set(self.distinct) if self.distinct is not None else None
+        copied.distinct = self.distinct
+        if self.distinct is not None:
+            self.distinct_shared = True
+            copied.distinct_shared = True
+        copied.distinct_capped = self.distinct_capped
+        copied.distinct_estimate = self.distinct_estimate
         return copied
 
 
@@ -143,7 +199,7 @@ class Column:
             where the source list is freshly built and then discarded).
     """
 
-    __slots__ = ("values", "_null_count", "_mask", "_stats")
+    __slots__ = ("values", "_null_count", "_mask", "_stats", "_indexes")
 
     def __init__(self, values: Sequence[Any] | None = None, adopt: bool = False) -> None:
         if values is None:
@@ -155,20 +211,37 @@ class Column:
         self._null_count: int | None = None
         self._mask: list[bool] | None = None
         self._stats: ColumnStats | None = None
+        self._indexes: dict[str, "ColumnIndex"] = {}
 
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
 
     def append(self, value: Any) -> None:
-        """Append one value, folding it into whatever caches exist."""
+        """Append one value, folding it into whatever caches exist.
+
+        Cache folds are exception-safe: a value a cache cannot absorb drops
+        that cache back to its lazy-rebuild (stats) or poisoned-fallback
+        (index) state instead of leaving it half-folded, so derived state can
+        never silently disagree with ``values`` after a raise.
+        """
         self.values.append(value)
         if self._null_count is not None and value is None:
             self._null_count += 1
         if self._mask is not None:
             self._mask.append(value is None)
         if self._stats is not None:
-            self._stats.observe(value)
+            try:
+                self._stats.observe(value)
+            except Exception:
+                self._stats = None  # lazy rebuild on next access stays exact
+        if self._indexes:
+            position = len(self.values) - 1
+            for index in self._indexes.values():
+                try:
+                    index.add(value, position)  # poisons itself, never raises
+                except Exception:  # pragma: no cover - defensive
+                    index.poison()
 
     def extend(self, values: Iterable[Any]) -> None:
         for value in values:
@@ -186,6 +259,7 @@ class Column:
         clone._null_count = self._null_count
         clone._mask = list(self._mask) if self._mask is not None else None
         clone._stats = self._stats.copy() if self._stats is not None else None
+        clone._indexes = {kind: index.clone() for kind, index in self._indexes.items()}
         return clone
 
     # ------------------------------------------------------------------ #
@@ -246,10 +320,13 @@ class Column:
         return (stats.minimum, stats.maximum)
 
     def distinct_set(self) -> set[Any]:
-        """The maintained distinct non-null value set.
+        """The maintained distinct non-null value set (treat as read-only).
 
         Unhashable values poison the incremental set; recomputing then raises
-        the same TypeError building a set directly would.
+        the same TypeError building a set directly would.  A *capped* set
+        (see :data:`DISTINCT_TRACK_LIMIT`) recomputes exactly — callers that
+        need the full domain (widget inference, distinct-value memoization)
+        still get precise answers; only the incremental cache is bounded.
         """
         stats = self.stats()
         if stats.distinct is None:
@@ -257,4 +334,51 @@ class Column:
         return stats.distinct
 
     def distinct_count(self) -> int:
+        """Distinct non-null value count; an estimate once tracking capped.
+
+        The capped estimate is the set size at cap time — a lower bound that
+        is already far past every exactness-sensitive threshold (role
+        inference, ordinal detection), so selectivity estimation keeps the
+        right order of magnitude without an O(n) recount per call.
+        """
+        stats = self.stats()
+        if stats.distinct is None and stats.distinct_capped:
+            return stats.distinct_estimate
         return len(self.distinct_set())
+
+    # ------------------------------------------------------------------ #
+    # Secondary indexes
+    # ------------------------------------------------------------------ #
+
+    def create_index(self, kind: str) -> "ColumnIndex":
+        """Build (or rebuild) a secondary index of ``kind`` over this column.
+
+        The index is built fully before being published with one atomic dict
+        assignment, so concurrent readers either see no index (and scan) or
+        a complete one — never a partial build.
+        """
+        from repro.engine.indexes import build_index
+
+        index = build_index(kind, self.values)
+        self._indexes[kind] = index
+        return index
+
+    def index(self, kind: str) -> "ColumnIndex | None":
+        """The index of ``kind`` if one was created, else None."""
+        return self._indexes.get(kind)
+
+    def index_kinds(self) -> tuple[str, ...]:
+        return tuple(self._indexes)
+
+    def drop_index(self, kind: str) -> None:
+        self._indexes.pop(kind, None)
+
+    def seal_indexes(self) -> None:
+        """Seal every index tail into shared immutable segments.
+
+        Called from :meth:`Table.warm_stats` before snapshot pickling so the
+        bytes shipped to process workers carry sealed segments (which clones
+        then share) instead of per-snapshot mutable tails.
+        """
+        for index in self._indexes.values():
+            index.seal()

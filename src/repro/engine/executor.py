@@ -35,6 +35,8 @@ from repro.engine.plan_nodes import (
     FilterExec,
     FilterNode,
     HashAggregateExec,
+    IndexScanExec,
+    IndexScanNode,
     JoinExec,
     JoinNode,
     LimitExec,
@@ -161,6 +163,13 @@ class _Lowerer:
             return ScanExec(
                 table_name=plan.table_name,
                 binding_name=plan.binding_name,
+                columns=list(plan.columns) if plan.columns is not None else None,
+            )
+        if isinstance(plan, IndexScanNode):
+            return IndexScanExec(
+                table_name=plan.table_name,
+                binding_name=plan.binding_name,
+                access=plan.access,
                 columns=list(plan.columns) if plan.columns is not None else None,
             )
         if isinstance(plan, DerivedScanNode):

@@ -19,9 +19,18 @@ plan into an equivalent, cheaper one.  Rules, in application order:
    (row counts, per-column distinct counts, value ranges): start from the
    smallest input, then repeatedly attach the input with the smallest
    estimated join cardinality.
-4. **projection_pruning** — narrows every base-table scan to the columns the
-   rest of the plan (including correlated subqueries) references, so joins
-   and filters never gather dead columns.
+4. **access_path** — replaces a ``Filter`` directly over a base-table scan
+   with an :class:`IndexScanNode` when one of its conjuncts (column-vs-literal
+   equality, range, BETWEEN or IN) can be answered by a secondary index on
+   the table and the distinct/range statistics estimate the conjunct
+   selective enough to beat the fused sequential scan; remaining conjuncts
+   stay in a residual filter above.  The decision is recorded in the trace
+   (EXPLAIN-visible).  ``optimize=False`` bypasses this (and every) rule, and
+   a catalog without indexes never takes the path — both serve as escape
+   hatches.
+5. **projection_pruning** — narrows every base-table scan (including index
+   scans) to the columns the rest of the plan (including correlated
+   subqueries) references, so joins and filters never gather dead columns.
 
 Legality is enforced by two analyses shared with the lowerer:
 
@@ -55,6 +64,8 @@ from repro.engine.plan_nodes import (
     DerivedScanNode,
     DistinctNode,
     FilterNode,
+    IndexAccessPath,
+    IndexScanNode,
     JoinNode,
     LimitNode,
     PlanNode,
@@ -92,6 +103,14 @@ _TEXTUAL_TYPES = frozenset({DataType.TEXT, DataType.DATE})
 #: Default cardinality assumed for inputs without statistics (CTE scans,
 #: unknown tables) during join reordering.
 _DEFAULT_ROWS = 1000.0
+
+#: Tables below this row count never take an index path: a fused sequential
+#: scan over a handful of rows beats any probe-plus-gather.
+_INDEX_SCAN_MIN_ROWS = 32
+
+#: Estimated selectivity above which an index path is refused: gathering
+#: most of the table row-by-row loses to the vectorized scan-and-compress.
+_INDEX_SCAN_MAX_SELECTIVITY = 0.5
 
 
 # --------------------------------------------------------------------------- #
@@ -175,6 +194,16 @@ def plan_binding_infos(
     statically (unknown table, duplicated binding, SELECT * derived table);
     callers must then refuse to classify or move expressions.
     """
+    if isinstance(plan, IndexScanNode):
+        # Index scans only ever target catalog base tables (the access-path
+        # rule refuses CTE and derived bindings), so resolution is direct.
+        if catalog is not None and catalog.has_table(plan.table_name):
+            table = catalog.table(plan.table_name)
+            columns = (
+                list(plan.columns) if plan.columns is not None else list(table.column_names)
+            )
+            return {plan.binding_name: BindingInfo(columns=columns, table=table)}
+        return None
     if isinstance(plan, ScanNode):
         if plan.table_name == "<dual>":
             return {}
@@ -545,6 +574,7 @@ def optimize_plan(
         )
     optimizer = _Optimizer(catalog, cte_types, trace)
     rewritten = optimizer.rewrite(plan)
+    rewritten = optimizer.choose_access_paths(rewritten)
     rewritten = optimizer.prune(rewritten)
     return rewritten, trace
 
@@ -1198,6 +1228,11 @@ class _Optimizer:
             if self._catalog is not None and self._catalog.has_table(plan.table_name):
                 return float(max(self._catalog.table(plan.table_name).row_count, 1))
             return _DEFAULT_ROWS
+        if isinstance(plan, IndexScanNode):
+            base = _DEFAULT_ROWS
+            if self._catalog is not None and self._catalog.has_table(plan.table_name):
+                base = float(max(self._catalog.table(plan.table_name).row_count, 1))
+            return max(base * plan.estimated_selectivity, 1.0)
         if isinstance(plan, FilterNode):
             base = self._estimate_rows(plan.input)
             scope = self._scope_of(plan.input)
@@ -1275,6 +1310,9 @@ class _Optimizer:
                 return 0.9
             if op in ("<", "<=", ">", ">="):
                 if column is not None and isinstance(literal, (int, float)):
+                    if isinstance(conjunct.left, Literal):
+                        # Literal-on-left: "30 > val" means "val < 30".
+                        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
                     _, value_range = self._column_stats(column, scope)
                     if (
                         value_range is not None
@@ -1338,6 +1376,247 @@ class _Optimizer:
         return 0.5
 
     # ------------------------------------------------------------------ #
+    # Rule: access-path selection (scan vs secondary index)
+    # ------------------------------------------------------------------ #
+
+    def choose_access_paths(self, plan: PlanNode) -> PlanNode:
+        """Replace ``Filter(Scan)`` pairs with index scans where they win.
+
+        Runs after rewriting (so predicates have been folded, split and
+        pushed onto their scans) and before pruning (so a chosen
+        ``IndexScanNode`` participates in column narrowing like any scan).
+        """
+        if self._catalog is None:
+            return plan
+        shadowed = set(self._outer_cte_names)
+        for node in plan.walk():
+            if isinstance(node, CteNode):
+                for definition in node.definitions:
+                    shadowed.add(definition.name.lower())
+        return self._select_access(plan, shadowed)
+
+    def _select_access(self, plan: PlanNode, shadowed: set[str]) -> PlanNode:
+        if (
+            isinstance(plan, FilterNode)
+            and plan.phase == "where"
+            and isinstance(plan.input, ScanNode)
+        ):
+            chosen = self._try_index_scan(plan.input, plan.predicate, shadowed)
+            if chosen is not None:
+                return chosen
+            return plan
+        if isinstance(plan, FilterNode):
+            return FilterNode(
+                input=self._select_access(plan.input, shadowed),
+                predicate=plan.predicate,
+                phase=plan.phase,
+            )
+        if isinstance(plan, JoinNode):
+            return JoinNode(
+                left=self._select_access(plan.left, shadowed),
+                right=self._select_access(plan.right, shadowed),
+                join_type=plan.join_type,
+                condition=plan.condition,
+                using=list(plan.using),
+            )
+        if isinstance(plan, DerivedScanNode):
+            return DerivedScanNode(
+                alias=plan.alias, input=self._select_access(plan.input, shadowed)
+            )
+        if isinstance(plan, AggregateNode):
+            return AggregateNode(
+                input=self._select_access(plan.input, shadowed),
+                group_by=list(plan.group_by),
+                aggregates=list(plan.aggregates),
+            )
+        if isinstance(plan, ProjectNode):
+            return ProjectNode(
+                input=self._select_access(plan.input, shadowed), items=list(plan.items)
+            )
+        if isinstance(plan, DistinctNode):
+            return DistinctNode(input=self._select_access(plan.input, shadowed))
+        if isinstance(plan, SortNode):
+            return SortNode(
+                input=self._select_access(plan.input, shadowed),
+                order_by=list(plan.order_by),
+            )
+        if isinstance(plan, LimitNode):
+            return LimitNode(
+                input=self._select_access(plan.input, shadowed),
+                limit=plan.limit,
+                offset=plan.offset,
+            )
+        if isinstance(plan, SetOpNode):
+            return SetOpNode(
+                op=plan.op,
+                left=self._select_access(plan.left, shadowed),
+                right=self._select_access(plan.right, shadowed),
+                all=plan.all,
+            )
+        if isinstance(plan, CteNode):
+            return CteNode(
+                definitions=[
+                    CteDefinition(
+                        name=definition.name,
+                        columns=list(definition.columns),
+                        plan=self._select_access(definition.plan, shadowed),
+                    )
+                    for definition in plan.definitions
+                ],
+                input=self._select_access(plan.input, shadowed),
+            )
+        return plan
+
+    def _try_index_scan(
+        self, scan: ScanNode, predicate: SqlNode, shadowed: set[str]
+    ) -> PlanNode | None:
+        """The rewritten ``IndexScan`` (+ residual filter) or None to keep."""
+        if scan.table_name == "<dual>" or scan.table_name.lower() in shadowed:
+            return None
+        if not self._catalog.has_table(scan.table_name):
+            return None
+        table = self._catalog.table(scan.table_name)
+        if table.row_count < _INDEX_SCAN_MIN_ROWS:
+            return None
+        conjuncts = split_conjuncts(predicate)
+        scope = {
+            scan.binding_name: BindingInfo(
+                columns=list(table.column_names), table=table
+            )
+        }
+        best: tuple[float, int, IndexAccessPath] | None = None
+        for position, conjunct in enumerate(conjuncts):
+            access = self._indexable_access(conjunct, scan, table)
+            if access is None:
+                continue
+            selectivity = self._conjunct_selectivity(conjunct, scope)
+            if best is None or selectivity < best[0]:
+                best = (selectivity, position, access)
+        if best is None:
+            return None
+        selectivity, position, access = best
+        if selectivity > _INDEX_SCAN_MAX_SELECTIVITY:
+            self._trace.record(
+                "access_path",
+                f"kept sequential scan of {scan.table_name}: best indexable "
+                f"conjunct {to_sql(conjuncts[position])} too unselective "
+                f"(est. {selectivity:.4f})",
+            )
+            return None
+        residual = [c for index, c in enumerate(conjuncts) if index != position]
+        index_scan = IndexScanNode(
+            table_name=scan.table_name,
+            binding_name=scan.binding_name,
+            access=access,
+            columns=list(scan.columns) if scan.columns is not None else None,
+            estimated_selectivity=selectivity,
+        )
+        detail = (
+            f"chose {access.kind} index on {scan.table_name}.{access.column} "
+            f"for {to_sql(conjuncts[position])} (est. selectivity {selectivity:.4f})"
+        )
+        if residual:
+            detail += f"; residual filter keeps {len(residual)} conjunct(s)"
+        self._trace.record("access_path", detail)
+        return self._wrap_filter(index_scan, residual)
+
+    def _indexable_access(
+        self, conjunct: SqlNode, scan: ScanNode, table
+    ) -> IndexAccessPath | None:
+        """An index access path serving this conjunct exactly, or None.
+
+        Only plan-time-constant operands qualify (parameters would bake one
+        parameter set into a cached plan), and ordered paths additionally
+        require the statistics to prove the probe comparable with the
+        column, so a chosen path can never raise where the fused predicate
+        would not.
+        """
+        if isinstance(conjunct, BinaryOp) and conjunct.op in ("=", "<", "<=", ">", ">="):
+            op = conjunct.op
+            if isinstance(conjunct.left, ColumnRef) and isinstance(conjunct.right, Literal):
+                ref, literal = conjunct.left, conjunct.right.value
+            elif isinstance(conjunct.right, ColumnRef) and isinstance(conjunct.left, Literal):
+                ref, literal = conjunct.right, conjunct.left.value
+                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+            else:
+                return None
+            if literal is None or not self._ref_binds_to_scan(ref, scan, table):
+                return None
+            if op == "=":
+                kind = self._usable_kind(table, ref.name, literal, prefer_hash=True)
+            else:
+                kind = self._usable_kind(table, ref.name, literal, ordered_only=True)
+            if kind is None:
+                return None
+            return IndexAccessPath(column=ref.name, kind=kind, op=op, values=(literal,))
+        if isinstance(conjunct, BetweenOp) and not conjunct.negated:
+            ref = conjunct.expr
+            if (
+                not isinstance(ref, ColumnRef)
+                or not isinstance(conjunct.low, Literal)
+                or not isinstance(conjunct.high, Literal)
+            ):
+                return None
+            low, high = conjunct.low.value, conjunct.high.value
+            if low is None or high is None or not self._ref_binds_to_scan(ref, scan, table):
+                return None
+            if self._usable_kind(table, ref.name, low, ordered_only=True) is None:
+                return None
+            if self._usable_kind(table, ref.name, high, ordered_only=True) is None:
+                return None
+            return IndexAccessPath(
+                column=ref.name, kind="ordered", op="between", values=(low, high)
+            )
+        if isinstance(conjunct, InList) and not conjunct.negated:
+            ref = conjunct.expr
+            if not isinstance(ref, ColumnRef) or not conjunct.items:
+                return None
+            if not all(isinstance(item, Literal) for item in conjunct.items):
+                return None
+            members = tuple(item.value for item in conjunct.items)  # type: ignore[union-attr]
+            if any(member is None for member in members):
+                # A NULL member changes false results to NULL; the fused path
+                # handles that three-valued subtlety — leave it there.
+                return None
+            if not self._ref_binds_to_scan(ref, scan, table):
+                return None
+            index = table.column_index(ref.name, "hash")
+            if index is None or index.poisoned:
+                return None
+            return IndexAccessPath(column=ref.name, kind="hash", op="in", values=members)
+        return None
+
+    @staticmethod
+    def _ref_binds_to_scan(ref: ColumnRef, scan: ScanNode, table) -> bool:
+        if ref.table is not None and ref.table != scan.binding_name:
+            return False
+        return table.has_column(ref.name)
+
+    def _usable_kind(
+        self,
+        table,
+        column: str,
+        probe: Any,
+        prefer_hash: bool = False,
+        ordered_only: bool = False,
+    ) -> str | None:
+        """Which index kind (if any) can serve a probe against this column."""
+        if prefer_hash and not ordered_only:
+            index = table.column_index(column, "hash")
+            if index is not None and not index.poisoned:
+                return "hash"
+        index = table.column_index(column, "ordered")
+        if index is None or index.poisoned:
+            return None
+        try:
+            column_type = table.value_type(column)
+        except Exception:  # noqa: BLE001 - stats are best effort
+            return None
+        if not _comparable(column_type, DataType.of_value(probe)):
+            return None
+        return "ordered"
+
+    # ------------------------------------------------------------------ #
     # Rule: projection pruning
     # ------------------------------------------------------------------ #
 
@@ -1351,6 +1630,8 @@ class _Optimizer:
     def _apply_pruning(self, plan: PlanNode, demands: "_ColumnDemands") -> PlanNode:
         if isinstance(plan, ScanNode):
             return self._prune_scan(plan, demands)
+        if isinstance(plan, IndexScanNode):
+            return self._prune_index_scan(plan, demands)
         if isinstance(plan, DerivedScanNode):
             return DerivedScanNode(
                 alias=plan.alias, input=self._apply_pruning(plan.input, demands)
@@ -1439,6 +1720,43 @@ class _Optimizer:
         )
         return ScanNode(
             table_name=scan.table_name, binding_name=scan.binding_name, columns=needed
+        )
+
+    def _prune_index_scan(
+        self, scan: IndexScanNode, demands: "_ColumnDemands"
+    ) -> IndexScanNode:
+        """Narrow an index scan's output columns like any base-table scan.
+
+        The access column itself need not survive: the probe reads the
+        column store directly, not the output batch.
+        """
+        if scan.columns is not None:
+            return scan
+        if self._catalog is None or not self._catalog.has_table(scan.table_name):
+            return scan
+        if scan.binding_name in demands.star_bindings:
+            return scan
+        table = self._catalog.table(scan.table_name)
+        needed = [
+            column
+            for column in table.column_names
+            if column in demands.names
+            or (scan.binding_name, column) in demands.qualified
+            or column in demands.using
+        ]
+        if len(needed) == len(table.column_names):
+            return scan
+        self._trace.record(
+            "projection_pruning",
+            f"index scan of {scan.table_name} AS {scan.binding_name} narrowed to "
+            f"[{', '.join(needed) or '<none>'}]",
+        )
+        return IndexScanNode(
+            table_name=scan.table_name,
+            binding_name=scan.binding_name,
+            access=scan.access,
+            columns=needed,
+            estimated_selectivity=scan.estimated_selectivity,
         )
 
 

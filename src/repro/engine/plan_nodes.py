@@ -71,6 +71,55 @@ class ScanNode(PlanNode):
         return f"Scan({self.table_name}{alias}{cols})"
 
 
+@dataclass(frozen=True)
+class IndexAccessPath:
+    """One index-served conjunct: which index answers which predicate.
+
+    ``op`` is one of ``=``, ``<``, ``<=``, ``>``, ``>=``, ``between``, ``in``;
+    ``values`` holds the literal operands (one for comparisons, two for
+    BETWEEN, all members for IN).  The operands are plan-time constants —
+    parameters never become access paths, so cached plans stay valid across
+    parameter sets.
+    """
+
+    column: str
+    kind: str
+    op: str
+    values: tuple
+
+    def describe(self) -> str:
+        if self.op == "between":
+            return f"{self.column} BETWEEN {self.values[0]!r} AND {self.values[1]!r}"
+        if self.op == "in":
+            return f"{self.column} IN ({', '.join(repr(v) for v in self.values)})"
+        return f"{self.column} {self.op} {self.values[0]!r}"
+
+
+@dataclass
+class IndexScanNode(PlanNode):
+    """Index-served scan of a base table (chosen by the optimizer).
+
+    Replaces a ``Filter(Scan)`` pair when one conjunct of the filter can be
+    answered by a secondary index on the table; remaining conjuncts stay in
+    a residual Filter above.  ``estimated_selectivity`` is the optimizer's
+    estimate for the served conjunct (used for row estimates and EXPLAIN).
+    """
+
+    table_name: str
+    binding_name: str
+    access: IndexAccessPath = field(default=None)  # type: ignore[assignment]
+    columns: list[str] | None = None
+    estimated_selectivity: float = 1.0
+
+    def description(self) -> str:
+        alias = f" AS {self.binding_name}" if self.binding_name != self.table_name else ""
+        cols = f", cols=[{', '.join(self.columns)}]" if self.columns is not None else ""
+        return (
+            f"IndexScan({self.table_name}{alias}, "
+            f"{self.access.kind}[{self.access.describe()}]{cols})"
+        )
+
+
 @dataclass
 class DerivedScanNode(PlanNode):
     """Scan of a derived table ``(SELECT ...) AS alias``."""
@@ -362,6 +411,121 @@ class ScanExec(PhysicalNode):
             columns=[table.column_data(name) for name in self.columns],
             length=table.row_count,
         )
+
+
+@dataclass
+class IndexScanExec(PhysicalNode):
+    """Index-served scan: probe a secondary index, gather matching rows.
+
+    The index returns matching row positions in ascending order — the same
+    selection-vector currency the fused-predicate path produces — so the
+    output batch is row-order-identical to ``SeqScan`` + ``Filter`` over the
+    served conjunct.  If the index is missing, poisoned, or does not cover
+    the whole column (it cannot fall behind under normal operation, but the
+    check is cheap), the operator evaluates the conjunct with a direct
+    linear pass instead, preserving answers under every degradation.
+    """
+
+    table_name: str
+    binding_name: str
+    access: IndexAccessPath
+    columns: list[str] | None = None
+
+    def description(self) -> str:
+        alias = f" AS {self.binding_name}" if self.binding_name != self.table_name else ""
+        cols = f", cols=[{', '.join(self.columns)}]" if self.columns is not None else ""
+        return (
+            f"IndexScan({self.table_name}{alias}, "
+            f"{self.access.kind}[{self.access.describe()}]{cols})"
+        )
+
+    def execute(self, ctx) -> Batch:
+        table = ctx.ctes.get(self.table_name.lower())
+        if table is None:
+            table = ctx.catalog.table(self.table_name)
+        positions = self._matching_positions(table)
+        names = self.columns if self.columns is not None else list(table.column_names)
+        columns = []
+        for name in names:
+            data = table.column_data(name)
+            columns.append([data[position] for position in positions])
+        return Batch(
+            slots=[(self.binding_name, name) for name in names],
+            columns=columns,
+            length=len(positions),
+        )
+
+    def _matching_positions(self, table) -> list[int]:
+        store = table.column_store(self.access.column)
+        index = store.index(self.access.kind)
+        positions: list[int] | None = None
+        if index is not None and index.covered == len(store.values):
+            positions = self._probe(index)
+        if positions is None:
+            positions = self._scan_positions(store.values)
+        return positions
+
+    def _probe(self, index) -> list[int] | None:
+        from repro.engine.indexes import UNBOUNDED
+
+        op = self.access.op
+        values = self.access.values
+        if op == "=":
+            return index.lookup_eq(values[0])
+        if op == "in":
+            return index.lookup_in(values)
+        if op == "between":
+            return index.lookup_range(values[0], values[1], True, True)
+        if op == "<":
+            return index.lookup_range(UNBOUNDED, values[0], True, False)
+        if op == "<=":
+            return index.lookup_range(UNBOUNDED, values[0], True, True)
+        if op == ">":
+            return index.lookup_range(values[0], UNBOUNDED, False, True)
+        if op == ">=":
+            return index.lookup_range(values[0], UNBOUNDED, True, True)
+        return None
+
+    def _scan_positions(self, values: list[Any]) -> list[int]:
+        """Linear fallback with the exact semantics of the fused conjunct."""
+        op = self.access.op
+        operands = self.access.values
+        if op == "=":
+            target = operands[0]
+            return [
+                position
+                for position, value in enumerate(values)
+                if value is not None and value == target
+            ]
+        if op == "in":
+            return [
+                position
+                for position, value in enumerate(values)
+                if value is not None and any(value == member for member in operands)
+            ]
+        if op == "between":
+            low, high = operands
+            return [
+                position
+                for position, value in enumerate(values)
+                if value is not None and low <= value <= high
+            ]
+        target = operands[0]
+        if op == "<":
+            test = lambda value: value < target  # noqa: E731
+        elif op == "<=":
+            test = lambda value: value <= target  # noqa: E731
+        elif op == ">":
+            test = lambda value: value > target  # noqa: E731
+        elif op == ">=":
+            test = lambda value: value >= target  # noqa: E731
+        else:  # pragma: no cover - the optimizer only emits the ops above
+            raise ExecutionError(f"Unsupported index access op {op!r}")
+        return [
+            position
+            for position, value in enumerate(values)
+            if value is not None and test(value)
+        ]
 
 
 @dataclass

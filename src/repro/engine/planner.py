@@ -3,6 +3,10 @@
 The logical plan is the single source of truth for execution order: the
 executor lowers it to physical operators (see ``plan_nodes``) and runs those.
 ``Catalog.explain`` renders either representation for inspection.
+
+The planner always emits sequential scans (``ScanNode``); the optimizer's
+access-path rule may later replace a ``Filter(Scan)`` pair with an
+``IndexScanNode`` when a secondary index makes that cheaper.
 """
 
 from __future__ import annotations

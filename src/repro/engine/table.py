@@ -237,10 +237,41 @@ class Table:
         the blocks warm, so repeat calls are O(columns).  The snapshot
         shipping path calls this before pickling so worker processes receive
         ready-to-use statistics instead of each recomputing them.
+
+        Secondary index tails are sealed here too, so the pickled bytes ship
+        warm immutable index segments (which every downstream clone shares)
+        the same way they ship warm statistics.
         """
         for store in self._columns.values():
             store.stats()
             _ = store.null_count
+            store.seal_indexes()
+
+    # ------------------------------------------------------------------ #
+    # Secondary indexes
+    # ------------------------------------------------------------------ #
+
+    def create_index(self, column: str, kind: str) -> None:
+        """Build a secondary index (``"hash"`` or ``"ordered"``) on a column.
+
+        Safe on frozen/snapshot-pinned tables: an index is derived state,
+        built fully and published atomically, and clones inherit it (sharing
+        the sealed segments) through :meth:`Column.clone`.
+        """
+        self.column_store(column).create_index(kind)
+
+    def column_index(self, column: str, kind: str):
+        """The column's index of ``kind``, or None (unknown columns included)."""
+        store = self._columns.get(column)
+        return store.index(kind) if store is not None else None
+
+    def indexed_columns(self) -> dict[str, tuple[str, ...]]:
+        """Map of column name -> index kinds present (diagnostics/tests)."""
+        return {
+            name: store.index_kinds()
+            for name, store in self._columns.items()
+            if store.index_kinds()
+        }
 
     def rows(self) -> Iterator[tuple[Any, ...]]:
         """Iterate over rows as tuples (a derived view of the column vectors)."""

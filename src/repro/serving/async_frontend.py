@@ -174,6 +174,7 @@ class AsyncInterfaceService:
             "snapshot_ships",
             "worker_snapshot_cache_hits",
             "workers_respawned",
+            "worker_processes",
             "process_queue_wait_p50_ms",
             "process_queue_wait_p95_ms",
         )

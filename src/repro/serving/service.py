@@ -72,7 +72,11 @@ class ServiceConfig:
     #: control and writes stay in the frontend either way).
     execution_tier: str = "thread"
     #: Worker process count of the process tier (ignored for ``"thread"``).
-    worker_processes: int = 4
+    #: ``None`` sizes the pool from ``os.cpu_count()`` (clamped; see
+    #: :func:`repro.serving.workers.default_worker_processes`) — a hardcoded
+    #: default either starves big hosts or oversizes small containers.  An
+    #: explicit integer still wins unchanged.
+    worker_processes: int | None = None
     #: ``multiprocessing`` start method for the process tier.
     worker_start_method: str = "spawn"
     #: Shard count the async frontend partitions tenants across (each shard
@@ -414,11 +418,15 @@ class InterfaceService:
             data["snapshot_ships"] = tier_stats["snapshot_ships"]
             data["worker_snapshot_cache_hits"] = tier_stats["worker_snapshot_cache_hits"]
             data["workers_respawned"] = tier_stats["workers_respawned"]
+            # The *resolved* pool size — with worker_processes=None this is
+            # what default_worker_processes() picked for the machine.
+            data["worker_processes"] = tier_stats["workers"]
             data["process_queue_wait_p50_ms"] = tier_stats["queue_wait_p50_ms"]
             data["process_queue_wait_p95_ms"] = tier_stats["queue_wait_p95_ms"]
         else:
             data["snapshot_ships"] = 0
             data["worker_snapshot_cache_hits"] = 0
+            data["worker_processes"] = None
         return data
 
     # ------------------------------------------------------------------ #

@@ -65,6 +65,28 @@ PAYLOAD_MEMO_CAPACITY = 16
 #: Bound on the queue-wait sample reservoir (newest samples win).
 QUEUE_WAIT_SAMPLE_CAPACITY = 4096
 
+#: Ceiling on the auto-sized worker count.  Every worker is a full
+#: interpreter plus a snapshot LRU; past a handful of processes the ship
+#: fan-out and memory cost dominate any extra parallelism for this
+#: workload shape.
+MAX_AUTO_WORKER_PROCESSES = 8
+
+
+def default_worker_processes(configured: int | None = None) -> int:
+    """Resolve a worker-process count from config or the machine.
+
+    ``configured`` wins when given (explicit overrides must keep working);
+    otherwise size to ``os.cpu_count()`` clamped to
+    ``[1, MAX_AUTO_WORKER_PROCESSES]`` — a fixed default either oversizes
+    small containers (spawn cost, memory) or undersizes big hosts (idle
+    cores).
+    """
+    if configured is not None:
+        return configured
+    import os
+
+    return max(1, min(os.cpu_count() or 1, MAX_AUTO_WORKER_PROCESSES))
+
 
 # ---------------------------------------------------------------------- #
 # Worker side (runs in the child process; must stay import-light and
@@ -283,7 +305,8 @@ class ProcessExecutionTier:
     """A pool of worker processes executing read-only tasks over snapshots.
 
     Args:
-        processes: Worker process count.
+        processes: Worker process count.  ``None`` (the default) sizes the
+            pool from the machine via :func:`default_worker_processes`.
         start_method: ``multiprocessing`` start method.  ``spawn`` (the
             default) is safe regardless of the frontend's thread activity;
             ``fork`` starts faster but must only be used when no other
@@ -293,10 +316,11 @@ class ProcessExecutionTier:
 
     def __init__(
         self,
-        processes: int = 4,
+        processes: int | None = None,
         start_method: str = "spawn",
         snapshot_cache_capacity: int = SNAPSHOT_CACHE_CAPACITY,
     ) -> None:
+        processes = default_worker_processes(processes)
         if processes <= 0:
             raise WorkerError("ProcessExecutionTier needs at least one worker process")
         self.processes = processes

@@ -14,6 +14,11 @@ positionally with floats rounded).  This machine-checks the optimizer's core
 contract — every rewrite preserves results — in the spirit of automated
 SQL-equivalence checking.
 
+A second generated suite biases predicates toward *indexed* columns and runs
+each query four ways — an index-carrying catalog with the optimizer on
+(IndexScan plans) and off (escape hatch), the plain catalog, and sqlite —
+extending the same oracle to the access-path selection layer.
+
 Seed policy: the generator is seeded from ``DIFFERENTIAL_SEED`` (default
 20260727) and generates ``DIFFERENTIAL_QUERY_COUNT`` queries (default 200; CI
 raises it).  A failure report names the seed and query index, so any failure
@@ -88,6 +93,13 @@ TABLES = {
     "u": ["k", "label", "num"],
 }
 
+#: Secondary indexes the indexed-catalog fixture creates, and the columns the
+#: index-biased generator aims its point/range predicates at.
+INDEXED_COLUMNS = {
+    "t": {"id": "hash", "val": "ordered"},
+    "s": {"t_id": "hash", "amount": "ordered"},
+}
+
 
 @pytest.fixture(scope="module")
 def oracle_pair():
@@ -107,6 +119,26 @@ def oracle_pair():
         connection.executemany(f"INSERT INTO {name} VALUES ({placeholders})", rows)
     yield catalog, connection
     connection.close()
+
+
+@pytest.fixture(scope="module")
+def indexed_catalog():
+    """A second catalog over the *identical* rows, with secondary indexes.
+
+    The same seed derivation as ``oracle_pair`` guarantees identical data, so
+    the plain catalog / sqlite oracles remain valid for queries run here —
+    any divergence is an index or access-path bug, not a data difference.
+    """
+    rng = random.Random(SEED ^ 0xDA7A)
+    t_rows, s_rows, u_rows = _build_rows(rng)
+    catalog = Catalog()
+    catalog.create_table("t", TABLES["t"], t_rows)
+    catalog.create_table("s", TABLES["s"], s_rows)
+    catalog.create_table("u", TABLES["u"], u_rows)
+    for table, columns in INDEXED_COLUMNS.items():
+        for column, kind in columns.items():
+            catalog.create_index(table, column, kind)
+    return catalog
 
 
 # --------------------------------------------------------------------------- #
@@ -190,8 +222,13 @@ class QueryGenerator:
     ALL (unsupported by sqlite), and mixed-type comparisons.
     """
 
-    def __init__(self, seed: int) -> None:
+    def __init__(self, seed: int, index_bias: float = 0.0) -> None:
         self.rng = random.Random(seed)
+        #: Probability that a generated predicate is a point-equality /
+        #: range / IN / BETWEEN probe on an *indexed* column (see
+        #: INDEXED_COLUMNS), steering the fuzz mass onto the access-path
+        #: selection and IndexScan execution code.
+        self.index_bias = index_bias
 
     # -- helpers --------------------------------------------------------- #
 
@@ -233,7 +270,42 @@ class QueryGenerator:
             f"{self.num_expr(alias, table, depth + 1)})"
         )
 
+    def indexed_predicate(self, aliases: list[tuple[str, str]]) -> str | None:
+        """A point/range/IN/BETWEEN predicate on an indexed column, or None."""
+        candidates = [
+            (alias, table, column)
+            for alias, table in aliases
+            for column in INDEXED_COLUMNS.get(table, ())
+        ]
+        if not candidates:
+            return None
+        alias, table, column = self.choice(candidates)
+        # Probe near the fixture's actual value domains so predicates hit.
+        domain = {"id": 60, "val": 100, "t_id": 75, "amount": 500}[column]
+        target = f"{alias}.{column}"
+        kind = self.rng.randrange(5)
+        if kind == 0:
+            return f"{target} = {self.rng.randrange(domain)}"
+        if kind == 1:
+            op = self.choice(["<", "<=", ">", ">="])
+            return f"{target} {op} {self.rng.randrange(domain)}"
+        if kind == 2:
+            low = self.rng.randrange(domain)
+            return f"{target} BETWEEN {low} AND {low + self.rng.randrange(1, domain // 3 + 2)}"
+        if kind == 3:
+            items = ", ".join(
+                str(self.rng.randrange(domain)) for _ in range(self.rng.randrange(2, 5))
+            )
+            return f"{target} IN ({items})"
+        # Flipped literal-on-left comparison (the optimizer must normalize).
+        op = self.choice(["<", ">", "="])
+        return f"{self.rng.randrange(domain)} {op} {target}"
+
     def predicate(self, aliases: list[tuple[str, str]], depth: int = 0) -> str:
+        if self.index_bias and self.rng.random() < self.index_bias:
+            biased = self.indexed_predicate(aliases)
+            if biased is not None:
+                return biased
         alias, table = self.choice(aliases)
         roll = self.rng.random()
         if depth < 2 and roll < 0.25:
@@ -594,6 +666,43 @@ def test_generated_queries_differential(oracle_pair):
             break
     assert not failures, (
         f"{len(failures)} differential failure(s):\n" + "\n".join(failures)
+    )
+
+
+def test_generated_queries_differential_indexed(oracle_pair, indexed_catalog):
+    """Index-biased fuzzing: indexed catalog (optimizer on AND off) vs the
+    plain catalog vs sqlite, all bag-equal.
+
+    Four-way check per query: the optimizer-on run over the indexed catalog
+    exercises IndexScan plans, the optimizer-off run proves the escape hatch
+    ignores indexes, and the plain catalog + sqlite pin down ground truth.
+    """
+    plain_catalog, connection = oracle_pair
+    generator = QueryGenerator(SEED ^ 0x1D38, index_bias=0.45)
+    failures: list[str] = []
+    for index in range(QUERY_COUNT):
+        sql = generator.generate()
+        runs = {}
+        try:
+            runs["indexed-on"] = normalize_rows(run_engine(indexed_catalog, sql, optimize=True))
+            runs["indexed-off"] = normalize_rows(run_engine(indexed_catalog, sql, optimize=False))
+            runs["plain"] = normalize_rows(run_engine(plain_catalog, sql, optimize=True))
+            runs["sqlite"] = normalize_rows(run_sqlite(connection, sql))
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the harness
+            failures.append(f"query #{index}: {sql}\n  raised {type(exc).__name__}: {exc}")
+        else:
+            baseline = runs["sqlite"]
+            for label, rows in runs.items():
+                if rows != baseline:
+                    failures.append(
+                        f"query #{index}: {sql}\n  {label} disagrees with sqlite: "
+                        f"{_preview(rows)} vs {_preview(baseline)}"
+                    )
+                    break
+        if len(failures) >= 5:
+            break
+    assert not failures, (
+        f"{len(failures)} indexed differential failure(s):\n" + "\n".join(failures)
     )
 
 

@@ -194,6 +194,76 @@ class TestProcessDeterminism:
             assert result.cost.as_dict() == serial.cost.as_dict()
 
 
+class TestWorkerSizing:
+    def test_explicit_override_wins(self):
+        from repro.serving.workers import default_worker_processes
+
+        assert default_worker_processes(2) == 2
+        assert default_worker_processes(13) == 13  # overrides are not clamped
+
+    def test_auto_sizing_clamps_to_machine(self, monkeypatch):
+        import os
+
+        from repro.serving.workers import (
+            MAX_AUTO_WORKER_PROCESSES,
+            default_worker_processes,
+        )
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        assert default_worker_processes(None) == 3
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert default_worker_processes(None) == MAX_AUTO_WORKER_PROCESSES
+        monkeypatch.setattr(os, "cpu_count", lambda: None)  # unknown machine
+        assert default_worker_processes(None) == 1
+
+    def test_tier_resolves_none_to_machine_size(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        with ProcessExecutionTier() as tier:
+            assert tier.processes == 1
+            assert tier.stats_snapshot()["workers"] == 1
+
+    def test_service_records_resolved_worker_count(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        config = ServiceConfig(execution_tier="process")
+        assert config.worker_processes is None  # auto-size is the default
+        with InterfaceService(load_covid_catalog(), config) as service:
+            stats = service.stats_snapshot()
+        assert stats["worker_processes"] == 1
+
+    def test_thread_tier_reports_no_worker_processes(self):
+        with InterfaceService(load_covid_catalog(), ServiceConfig()) as service:
+            assert service.stats_snapshot()["worker_processes"] is None
+
+
+class TestIndexedSnapshotShipping:
+    def test_index_scan_executes_in_real_worker_process(self):
+        """A shipped snapshot carries sealed indexes the worker can probe."""
+        from repro.engine.catalog import Catalog
+
+        catalog = Catalog()
+        catalog.create_table(
+            "events", ["id", "val"], [(i, i * 3) for i in range(2000)]
+        )
+        catalog.create_index("events", "id", "hash")
+        snapshot = catalog.snapshot()
+        # The plan compiled worker-side must be an index scan (same optimizer,
+        # same catalog state) — proven locally via EXPLAIN, then the worker
+        # must agree on the rows.
+        assert "IndexScan" in catalog.explain(
+            "SELECT val FROM events WHERE id = 1234", physical=True
+        )
+        with ProcessExecutionTier(processes=1) as tier:
+            result = tier.execute(snapshot, "SELECT val FROM events WHERE id = 1234")
+            assert result.rows == [(3702,)]
+            # Second fingerprint use must hit the worker's snapshot cache.
+            tier.execute(snapshot, "SELECT val FROM events WHERE id = 7")
+            assert tier.stats_snapshot()["worker_snapshot_cache_hits"] >= 1
+
+
 class TestAsyncFrontend:
     def test_tenant_routing_is_stable_and_spreads(self):
         frontend = AsyncInterfaceService(
