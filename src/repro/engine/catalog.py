@@ -296,12 +296,18 @@ class Catalog:
         query: str | SqlNode,
         use_cache: bool = True,
         optimize: bool = True,
+        deadline: float | None = None,
     ) -> QueryResult:
         """Execute a SQL string or parsed AST and return its result.
 
         Results are served from the canonical-query cache when an equivalent
         query (same canonical SQL) has already run against the current data
         version; pass ``use_cache=False`` to force execution.
+
+        ``deadline`` (an absolute ``time.monotonic()`` instant) arms the
+        executor's cooperative cancellation checkpoints: past it, execution
+        raises :class:`~repro.errors.QueryTimeoutError` instead of running
+        to completion.
 
         ``optimize=False`` lowers the logical plan verbatim (no rewrite
         rules) — the escape hatch the differential test harness uses to
@@ -315,7 +321,9 @@ class Catalog:
         so a concurrent writer swap can neither serve a stale hit nor poison
         the cache with a result computed from newer data.
         """
-        return self.snapshot(freeze=False).execute(query, use_cache=use_cache, optimize=optimize)
+        return self.snapshot(freeze=False).execute(
+            query, use_cache=use_cache, optimize=optimize, deadline=deadline
+        )
 
     def explain(
         self,
@@ -532,11 +540,14 @@ class CatalogSnapshot:
         query: str | SqlNode,
         use_cache: bool = True,
         optimize: bool = True,
+        deadline: float | None = None,
     ) -> QueryResult:
         """Execute a query against the pinned table versions.
 
         Semantics match :meth:`Catalog.execute`, with every read — cache key,
-        scans, optimizer statistics — anchored to the snapshot's version.
+        scans, optimizer statistics — anchored to the snapshot's version.  A
+        timed-out execution (``deadline`` elapsed mid-run) raises before the
+        store, so partial work can never poison the result cache.
         """
         # Imported here to avoid a circular import: the executor needs the
         # catalog types for scans.
@@ -549,17 +560,19 @@ class CatalogSnapshot:
         if not optimize:
             if use_cache:
                 self._query_cache.note_bypass()
-            return Executor(self, plan_cache=self._plan_cache, optimize=False).execute(node)
+            return Executor(
+                self, plan_cache=self._plan_cache, optimize=False, deadline=deadline
+            ).execute(node)
 
         key = cache_key(node, self._version) if use_cache else None
         if key is None:
             if use_cache:
                 self._query_cache.note_bypass()
-            return Executor(self, plan_cache=self._plan_cache).execute(node)
+            return Executor(self, plan_cache=self._plan_cache, deadline=deadline).execute(node)
         cached = self._query_cache.lookup(key)
         if cached is not None:
             return cached
-        result = Executor(self, plan_cache=self._plan_cache).execute(node)
+        result = Executor(self, plan_cache=self._plan_cache, deadline=deadline).execute(node)
         self._query_cache.store(key, result)
         return result
 

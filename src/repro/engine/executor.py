@@ -20,9 +20,10 @@ text so repeated query shapes skip planning entirely.
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, QueryTimeoutError
 from repro.engine.expressions import CorrelationProbe, Environment
 from repro.engine.plan_nodes import (
     AggregateNode,
@@ -67,6 +68,25 @@ from repro.sql.ast_nodes import (
 from repro.sql.printer import to_sql
 from repro.sql.schema import AttributeRole, ColumnSchema, DataType, ResultSchema
 
+#: Optional fault-injection hook, called once per top-level
+#: :meth:`Executor.execute` entry (never for nested subqueries).  Strictly
+#: ``None`` in production — the serving layer's deterministic chaos harness
+#: (``repro.serving.faults``) installs one to force a raise at query K.  The
+#: hook is process-local: installing it in the frontend does not affect
+#: process-tier workers.
+_fault_hook = None
+
+
+def install_fault_hook(hook):
+    """Install (or with ``None`` remove) the executor fault hook.
+
+    Returns the previously installed hook so callers can restore it.
+    """
+    global _fault_hook
+    previous = _fault_hook
+    _fault_hook = hook
+    return previous
+
 
 class PlanResult:
     """Lightweight internal result of running a nested plan (no schema)."""
@@ -93,7 +113,15 @@ class ExecutionContext:
     fresh memos, mirroring lexical scoping.
     """
 
-    __slots__ = ("executor", "catalog", "ctes", "outer", "parameters", "subquery_cache")
+    __slots__ = (
+        "executor",
+        "catalog",
+        "ctes",
+        "outer",
+        "parameters",
+        "subquery_cache",
+        "deadline",
+    )
 
     def __init__(
         self,
@@ -103,6 +131,7 @@ class ExecutionContext:
         outer: Environment | None,
         parameters: dict[str, Any],
         subquery_cache: dict[str, PlanResult] | None = None,
+        deadline: float | None = None,
     ) -> None:
         self.executor = executor
         self.catalog = catalog
@@ -110,24 +139,56 @@ class ExecutionContext:
         self.outer = outer
         self.parameters = parameters
         self.subquery_cache = {} if subquery_cache is None else subquery_cache
+        self.deadline = deadline
 
     def with_ctes(self, ctes: dict[str, Table]) -> "ExecutionContext":
         """Same scope with an extended CTE map (WITH materialization)."""
         return ExecutionContext(
-            self.executor, self.catalog, ctes, self.outer, self.parameters, self.subquery_cache
+            self.executor,
+            self.catalog,
+            ctes,
+            self.outer,
+            self.parameters,
+            self.subquery_cache,
+            self.deadline,
         )
 
     def without_outer(self) -> "ExecutionContext":
         """Same scope with outer correlation hidden (ORDER BY evaluation)."""
         return ExecutionContext(
-            self.executor, self.catalog, self.ctes, None, self.parameters, self.subquery_cache
+            self.executor,
+            self.catalog,
+            self.ctes,
+            None,
+            self.parameters,
+            self.subquery_cache,
+            self.deadline,
         )
 
     def fresh(self) -> "ExecutionContext":
         """A child SELECT scope: same ctes/outer, fresh subquery memo."""
         return ExecutionContext(
-            self.executor, self.catalog, self.ctes, self.outer, self.parameters, None
+            self.executor,
+            self.catalog,
+            self.ctes,
+            self.outer,
+            self.parameters,
+            None,
+            self.deadline,
         )
+
+    def checkpoint(self) -> None:
+        """Cooperative cancellation point (called between operators/batches).
+
+        Free when no deadline is set (one attribute test); past the deadline
+        it raises :class:`~repro.errors.QueryTimeoutError`, unwinding the
+        whole execution so a runaway query releases its worker instead of
+        holding it hostage.
+        """
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise QueryTimeoutError(
+                "Query exceeded its deadline and was cancelled at an executor checkpoint"
+            )
 
     def run_subquery(self, query: Select, row_env: Environment) -> PlanResult:
         """Execute a nested subquery with ``row_env`` as correlation context."""
@@ -355,6 +416,9 @@ class Executor:
         optimize: run the logical optimizer between planning and lowering.
             ``False`` is the debugging/differential-testing escape hatch: the
             logical plan is lowered verbatim.
+        deadline: absolute ``time.monotonic()`` instant past which execution
+            is cooperatively cancelled with :class:`QueryTimeoutError`
+            (``None`` — the default — disables all deadline checks).
     """
 
     def __init__(
@@ -363,11 +427,13 @@ class Executor:
         parameters: dict[str, Any] | None = None,
         plan_cache: dict | None = None,
         optimize: bool = True,
+        deadline: float | None = None,
     ) -> None:
         self._catalog = catalog
         self._parameters = parameters or {}
         self._shared_plan_cache = plan_cache
         self._optimize = optimize
+        self._deadline = deadline
         # Per-execution memos keyed by AST node identity; the node reference
         # is retained so id() reuse cannot alias entries.
         self._plan_memo: dict[int, tuple[SqlNode, PhysicalNode]] = {}
@@ -382,6 +448,8 @@ class Executor:
         """Execute a SELECT or set operation and return its materialized result."""
         if not isinstance(node, (Select, SetOperation)):
             raise ExecutionError(f"Cannot execute node of type {type(node).__name__}")
+        if _fault_hook is not None:
+            _fault_hook()
         plan = self.compile(node)
         ctx = ExecutionContext(
             executor=self,
@@ -389,6 +457,7 @@ class Executor:
             ctes={},
             outer=None,
             parameters=self._parameters,
+            deadline=self._deadline,
         )
         batch = plan.execute(ctx)
         columns = [name for _, name in batch.slots]
@@ -482,6 +551,10 @@ class Executor:
         cached = ctx.subquery_cache.get(key)
         if cached is not None:
             return cached
+        # Correlated subqueries run once per outer row — the checkpoint here
+        # is what bounds per-row execution loops that never re-enter an
+        # operator's own checkpoint.
+        ctx.checkpoint()
         cacheable = not self._is_correlated(query)
         probe = CorrelationProbe(row_env)
         child = ExecutionContext(
@@ -490,6 +563,7 @@ class Executor:
             ctes=ctx.ctes,
             outer=probe,
             parameters=self._parameters,
+            deadline=ctx.deadline,
         )
         plan = self.plan_for(query, ctx.ctes)
         batch = plan.execute(child)

@@ -399,6 +399,7 @@ class ScanExec(PhysicalNode):
         return f"SeqScan({self.table_name}{alias}{cols})"
 
     def execute(self, ctx) -> Batch:
+        ctx.checkpoint()
         if self.table_name == "<dual>":
             return Batch(slots=[], columns=[], length=1)
         table = ctx.ctes.get(self.table_name.lower())
@@ -440,6 +441,7 @@ class IndexScanExec(PhysicalNode):
         )
 
     def execute(self, ctx) -> Batch:
+        ctx.checkpoint()
         table = ctx.ctes.get(self.table_name.lower())
         if table is None:
             table = ctx.catalog.table(self.table_name)
@@ -611,6 +613,7 @@ class FilterExec(PhysicalNode):
 
     def execute(self, ctx) -> Batch:
         batch = self.input.execute(ctx)
+        ctx.checkpoint()
         if batch.length == 0:
             return batch
         keep = VectorEvaluator(ctx).eval_predicate(self.predicate, batch)
@@ -741,6 +744,7 @@ class HashAggregateExec(PhysicalNode):
 
     def execute(self, ctx) -> Batch:
         batch = self.input.execute(ctx)
+        ctx.checkpoint()
         evaluator = VectorEvaluator(ctx)
 
         key_columns = [evaluator.eval(expr, batch) for expr in self.group_by]
@@ -820,6 +824,7 @@ class DistinctExec(PhysicalNode):
 
     def execute(self, ctx) -> Batch:
         batch = self.input.execute(ctx)
+        ctx.checkpoint()
         seen: set[tuple] = set()
         indices: list[int] = []
         for index in range(batch.length):
@@ -879,6 +884,7 @@ class SortExec(PhysicalNode):
 
     def execute(self, ctx) -> Batch:
         batch = self.input.execute(ctx)
+        ctx.checkpoint()
         if batch.length == 0:
             return batch
         indices = list(range(batch.length))
@@ -1108,6 +1114,7 @@ class JoinExec(PhysicalNode):
     def execute(self, ctx) -> Batch:
         left = self.left.execute(ctx)
         right = self.right.execute(ctx)
+        ctx.checkpoint()
         join_type = self.join_type
 
         if join_type == "CROSS":
@@ -1188,6 +1195,7 @@ class SetOpExec(PhysicalNode):
     def execute(self, ctx) -> Batch:
         left = self.left.execute(ctx.fresh())
         right = self.right.execute(ctx.fresh())
+        ctx.checkpoint()
         if len(left.slots) != len(right.slots):
             raise ExecutionError(
                 f"Set operation requires matching column counts "

@@ -54,6 +54,16 @@ class ExecutionError(EngineError):
     """Raised when a query cannot be executed (type mismatch, bad aggregate, ...)."""
 
 
+class QueryTimeoutError(ExecutionError):
+    """A query overran its deadline and was cancelled at an executor checkpoint.
+
+    Raised cooperatively: the physical operators check the deadline between
+    operators/batches, so a runaway query gives its worker back instead of
+    holding it hostage.  The query did *not* produce a result — partial work
+    is discarded, never cached.
+    """
+
+
 class DifftreeError(ReproError):
     """Base class for errors raised while building or transforming Difftrees."""
 
@@ -102,8 +112,28 @@ class AdmissionError(ServingError):
     """Raised when admission control rejects a session or a submitted task."""
 
 
+class OverloadError(AdmissionError):
+    """Load shedding rejected heavy work before it could starve light reads.
+
+    A subclass of :class:`AdmissionError` so existing backpressure handling
+    (the load generator, callers retrying after a rejection) treats shedding
+    exactly like an admission rejection.
+    """
+
+
 class WorkerError(ServingError):
     """A process-tier worker failed (task error, dead worker, bad handshake)."""
+
+
+class DeadlineExceededError(ServingError):
+    """A task's deadline elapsed before it produced a result.
+
+    Raised caller-side (a bounded wait on a task future ran out, or a queued
+    task was dropped before execution because its deadline had already
+    passed).  Unlike :class:`WorkerError` this says nothing about worker
+    health: the task may still complete behind the caller's back, and the
+    worker must not be treated as failed.
+    """
 
 
 class SessionError(ServingError):

@@ -8,12 +8,17 @@ available — the in-process thread pool, and a process pool
 (:class:`ProcessExecutionTier`) that ships pickled snapshots to stateless
 worker processes so CPU-heavy work escapes the GIL.  An asyncio frontend
 (:class:`AsyncInterfaceService`) multiplexes hundreds of simulated users over
-per-tenant catalog shards.  See ``docs/SERVING.md`` for the session
-lifecycle, the snapshot contract, the locking hierarchy and the process-tier
-shipping contract.
+per-tenant catalog shards.  A fault-tolerance plane (deadlines, bounded
+retries, a circuit breaker with thread-fallback degradation, load shedding)
+keeps storms and worker crashes from surfacing as raw errors or unbounded
+waits, and a seeded fault-injection plan (:class:`FaultPlan`) makes every
+failure path deterministically testable.  See ``docs/SERVING.md`` for the
+session lifecycle, the snapshot contract, the locking hierarchy, the
+process-tier shipping contract and the fault-tolerance contract.
 """
 
 from repro.serving.async_frontend import AsyncInterfaceService, AsyncSession
+from repro.serving.faults import FaultInjector, FaultPlan, InjectedFault
 from repro.serving.loadgen import (
     AsyncLoadGenerator,
     LoadGenerator,
@@ -23,17 +28,27 @@ from repro.serving.loadgen import (
 )
 from repro.serving.service import InterfaceService, ServiceConfig, ServiceStats
 from repro.serving.session import Session, SessionStats
-from repro.serving.workers import ProcessExecutionTier, TierStats
+from repro.serving.workers import (
+    CircuitBreaker,
+    ProcessExecutionTier,
+    RetryPolicy,
+    TierStats,
+)
 
 __all__ = [
     "AsyncInterfaceService",
     "AsyncLoadGenerator",
     "AsyncSession",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
     "InterfaceService",
     "LoadGenerator",
     "LoadReport",
     "OpResult",
     "ProcessExecutionTier",
+    "RetryPolicy",
     "ServiceConfig",
     "ServiceStats",
     "Session",

@@ -34,7 +34,7 @@ from repro.engine.table import QueryResult
 from repro.errors import AdmissionError
 from repro.pipeline import GenerationResult, PipelineConfig
 from repro.serving.service import InterfaceService, ServiceConfig
-from repro.serving.workers import ProcessExecutionTier
+from repro.serving.workers import CircuitBreaker, ProcessExecutionTier
 
 __all__ = ["AsyncInterfaceService", "AsyncSession"]
 
@@ -76,10 +76,22 @@ class AsyncInterfaceService:
         # One shared tier for every shard: must exist before any shard spawns
         # frontend threads (fork-safety), and shutdown stays with this owner.
         self._tier: ProcessExecutionTier | None = None
+        plan = self.config.fault_plan
+        faults = plan.injector() if plan is not None and plan.enabled() else None
         if self.config.execution_tier == "process":
+            # The breaker is shared with the tier: every shard feeds and
+            # consults the same one, so a flapping tier degrades all shards
+            # together instead of each rediscovering the failure rate.
             self._tier = ProcessExecutionTier(
                 processes=self.config.worker_processes,
                 start_method=self.config.worker_start_method,
+                retry_policy=self.config.retry_policy,
+                breaker=CircuitBreaker(
+                    failure_threshold=self.config.breaker_failure_threshold,
+                    window_seconds=self.config.breaker_window_seconds,
+                    cooldown_seconds=self.config.breaker_cooldown_seconds,
+                ),
+                faults=faults,
             )
         self._shards = [
             InterfaceService(catalog, self.config, process_tier=self._tier)
@@ -129,10 +141,14 @@ class AsyncInterfaceService:
     # ------------------------------------------------------------------ #
 
     async def execute(
-        self, handle: AsyncSession, query: str, use_cache: bool = True
+        self,
+        handle: AsyncSession,
+        query: str,
+        use_cache: bool = True,
+        deadline_ms: float | None = None,
     ) -> QueryResult:
         future = self._service(handle).submit_execute(
-            handle.session_id, query, use_cache=use_cache
+            handle.session_id, query, use_cache=use_cache, deadline_ms=deadline_ms
         )
         return await asyncio.wrap_future(future)
 
@@ -141,8 +157,11 @@ class AsyncInterfaceService:
         handle: AsyncSession,
         queries: Sequence[str],
         config: PipelineConfig | None = None,
+        deadline_ms: float | None = None,
     ) -> GenerationResult:
-        future = self._service(handle).submit_generate(handle.session_id, queries, config)
+        future = self._service(handle).submit_generate(
+            handle.session_id, queries, config, deadline_ms=deadline_ms
+        )
         return await asyncio.wrap_future(future)
 
     async def ingest(
@@ -164,6 +183,9 @@ class AsyncInterfaceService:
             "completed",
             "failed",
             "rejected",
+            "shed",
+            "degraded",
+            "expired",
             "sessions_opened",
             "sessions_rejected",
         ):
@@ -174,6 +196,12 @@ class AsyncInterfaceService:
             "snapshot_ships",
             "worker_snapshot_cache_hits",
             "workers_respawned",
+            "respawn_escalations",
+            "tasks_retried",
+            "tasks_expired",
+            "ship_integrity_retries",
+            "breaker_state",
+            "breaker_trips",
             "worker_processes",
             "process_queue_wait_p50_ms",
             "process_queue_wait_p95_ms",

@@ -56,6 +56,11 @@ class OpResult:
     seconds: float
     ok: bool
     error: str | None = None
+    #: Exception class name behind ``error`` (``None`` on clean success) —
+    #: the chaos suite asserts every caller-visible failure is *typed*
+    #: (e.g. QueryTimeoutError / OverloadError / DeadlineExceededError),
+    #: which a formatted message string cannot prove.
+    error_type: str | None = None
 
 
 @dataclass
@@ -169,7 +174,14 @@ class LoadGenerator:
                 barrier.abort()
                 with results_lock:
                     report.ops.append(
-                        OpResult(client, "session", 0.0, ok=False, error=str(exc))
+                        OpResult(
+                            client,
+                            "session",
+                            0.0,
+                            ok=False,
+                            error=str(exc),
+                            error_type=type(exc).__name__,
+                        )
                     )
                 return
             try:
@@ -203,6 +215,7 @@ class LoadGenerator:
                                 time.perf_counter() - started,
                                 ok=True,
                                 error=f"admission: {exc}",
+                                error_type=type(exc).__name__,
                             )
                         )
                     except Exception as exc:  # noqa: BLE001 - report, don't die
@@ -213,6 +226,7 @@ class LoadGenerator:
                                 time.perf_counter() - started,
                                 ok=False,
                                 error=f"{type(exc).__name__}: {exc}",
+                                error_type=type(exc).__name__,
                             )
                         )
             finally:
@@ -293,7 +307,16 @@ class AsyncLoadGenerator:
             try:
                 handles[user] = await self.frontend.open_session(f"tenant-{user}")
             except Exception as exc:  # noqa: BLE001 - record, don't sink the storm
-                report.ops.append(OpResult(user, "session", 0.0, ok=False, error=str(exc)))
+                report.ops.append(
+                    OpResult(
+                        user,
+                        "session",
+                        0.0,
+                        ok=False,
+                        error=str(exc),
+                        error_type=type(exc).__name__,
+                    )
+                )
 
         started = time.perf_counter()
         await asyncio.gather(*(open_one(user) for user in range(users)))
@@ -321,6 +344,7 @@ class AsyncLoadGenerator:
                                 time.perf_counter() - op_started,
                                 ok=True,
                                 error=f"admission: {exc}",
+                                error_type=type(exc).__name__,
                             )
                         )
                     except Exception as exc:  # noqa: BLE001 - report, don't die
@@ -331,6 +355,7 @@ class AsyncLoadGenerator:
                                 time.perf_counter() - op_started,
                                 ok=False,
                                 error=f"{type(exc).__name__}: {exc}",
+                                error_type=type(exc).__name__,
                             )
                         )
             finally:

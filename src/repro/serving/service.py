@@ -44,10 +44,28 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.engine.catalog import Catalog
 from repro.engine.table import QueryResult
-from repro.errors import AdmissionError, SessionError
+from repro.errors import (
+    AdmissionError,
+    DeadlineExceededError,
+    OverloadError,
+    SessionError,
+    WorkerError,
+)
 from repro.pipeline import GenerationResult, PipelineConfig, generate_interface
+from repro.serving.faults import FaultPlan
 from repro.serving.session import Session
-from repro.serving.workers import QUEUE_WAIT_SAMPLE_CAPACITY, ProcessExecutionTier
+from repro.serving.workers import (
+    QUEUE_WAIT_SAMPLE_CAPACITY,
+    CircuitBreaker,
+    ProcessExecutionTier,
+    RetryPolicy,
+)
+
+#: Extra slack granted on top of a task's deadline when blocking on its
+#: future: the deadline is enforced *inside* the tier (queued-task drops,
+#: executor checkpoints), so the frontend wait only needs to cover delivery
+#: of the typed deadline error, not race it.
+DEADLINE_GRACE_SECONDS = 1.0
 
 
 @dataclass
@@ -84,6 +102,29 @@ class ServiceConfig:
     #: shards never contend on one ``Catalog._write_lock``).  Ignored by a
     #: directly constructed single service.
     shards: int = 1
+    #: Default deadline applied to every submitted task, in milliseconds
+    #: (``None`` = no deadline).  Per-request ``deadline_ms`` overrides win.
+    #: Deadlines are absolute: computed once at submission and enforced at
+    #: every stage (frontend queue, tier dispatch queue, executor
+    #: checkpoints), so queue time counts against them.
+    default_deadline_ms: float | None = None
+    #: Fraction of ``max_pending`` past which generate-class submissions are
+    #: shed with :class:`~repro.errors.OverloadError` — heavy work is
+    #: rejected *before* it can starve light reads of the remaining slots.
+    shed_watermark: float = 0.75
+    #: Retry policy for process-tier tasks whose worker died mid-flight.
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Circuit-breaker tuning for the process tier: trip open after
+    #: ``breaker_failure_threshold`` worker failures inside
+    #: ``breaker_window_seconds``; probe for recovery after
+    #: ``breaker_cooldown_seconds``.  While open, work transparently falls
+    #: back to in-frontend thread execution.
+    breaker_failure_threshold: int = 4
+    breaker_window_seconds: float = 30.0
+    breaker_cooldown_seconds: float = 5.0
+    #: Deterministic fault-injection plan (chaos testing only; ``None``
+    #: keeps every fault site a no-op).
+    fault_plan: FaultPlan | None = None
 
 
 @dataclass
@@ -100,6 +141,14 @@ class ServiceStats:
     completed: int = 0
     failed: int = 0
     rejected: int = 0
+    #: Generate-class submissions rejected by the load-shedding watermark.
+    shed: int = 0
+    #: Requests served by the in-frontend fallback because the process
+    #: tier's circuit breaker was open.
+    degraded: int = 0
+    #: Tasks dropped in the frontend because their deadline elapsed while
+    #: queued (the process tier counts its own drops in ``tasks_expired``).
+    expired: int = 0
     sessions_opened: int = 0
     sessions_rejected: int = 0
     snapshot_ships: int = 0
@@ -129,6 +178,21 @@ class InterfaceService:
         # single-threaded).  A shared tier may be injected — the async
         # frontend passes one tier to all of its shards so S shards do not
         # spawn S * worker_processes processes.
+        # Fault plane: one injector instance shared by every site of this
+        # service (tier dispatchers, ship path, executor hook) so the plan's
+        # ordinals are global and its counters audit the whole run.  None —
+        # the default — keeps every site a no-op.
+        plan = self.config.fault_plan
+        self._fault_injector = plan.injector() if plan is not None and plan.enabled() else None
+        self._previous_executor_hook = None
+        self._executor_hook_installed = False
+        if self._fault_injector is not None and plan.executor_raise_at:
+            from repro.engine.executor import install_fault_hook
+
+            self._previous_executor_hook = install_fault_hook(
+                self._fault_injector.executor_hook()
+            )
+            self._executor_hook_installed = True
         self._process_tier: ProcessExecutionTier | None = None
         self._owns_process_tier = False
         if self.config.execution_tier == "process":
@@ -138,6 +202,13 @@ class InterfaceService:
                 self._process_tier = ProcessExecutionTier(
                     processes=self.config.worker_processes,
                     start_method=self.config.worker_start_method,
+                    retry_policy=self.config.retry_policy,
+                    breaker=CircuitBreaker(
+                        failure_threshold=self.config.breaker_failure_threshold,
+                        window_seconds=self.config.breaker_window_seconds,
+                        cooldown_seconds=self.config.breaker_cooldown_seconds,
+                    ),
+                    faults=self._fault_injector,
                 )
                 self._owns_process_tier = True
         self._pool = ThreadPoolExecutor(
@@ -223,7 +294,11 @@ class InterfaceService:
     # ------------------------------------------------------------------ #
 
     def submit_execute(
-        self, session_id: str, query: str, use_cache: bool = True
+        self,
+        session_id: str,
+        query: str,
+        use_cache: bool = True,
+        deadline_ms: float | None = None,
     ) -> "Future[QueryResult]":
         """Run one SQL query on the session's pinned snapshot.
 
@@ -232,10 +307,29 @@ class InterfaceService:
         fingerprint)`` to a worker process (plus the snapshot itself iff that
         worker has never seen this fingerprint) and blocks GIL-free on the
         pipe, so concurrent queries execute truly in parallel.
+
+        ``deadline_ms`` overrides ``ServiceConfig.default_deadline_ms`` for
+        this request; past the resulting absolute deadline the request
+        resolves to a typed error (:class:`~repro.errors.QueryTimeoutError`
+        if cancelled mid-execution,
+        :class:`~repro.errors.DeadlineExceededError` if dropped in a queue).
         """
         session = self.session(session_id)
         runner = self._tier_runner()
-        return self._submit(lambda: session.execute(query, use_cache=use_cache, runner=runner))
+        deadline = self._deadline_from(deadline_ms)
+        return self._submit(
+            lambda: session.execute(
+                query, use_cache=use_cache, runner=runner, deadline=deadline
+            ),
+            deadline=deadline,
+        )
+
+    def _deadline_from(self, deadline_ms: float | None) -> float | None:
+        """Resolve a per-request override + config default to an absolute deadline."""
+        ms = deadline_ms if deadline_ms is not None else self.config.default_deadline_ms
+        if ms is None:
+            return None
+        return time.monotonic() + ms / 1000.0
 
     def _tier_runner(self):
         """The session-execute runner for the configured execution tier."""
@@ -243,7 +337,7 @@ class InterfaceService:
         if tier is None:
             return None
 
-        def run(snapshot, query, use_cache):
+        def run(snapshot, query, use_cache, deadline):
             # Read fast path: hot queries are served from the frontend's
             # shared result cache at thread-tier cost; only misses pay the
             # worker round-trip, and their answers are published back so
@@ -252,21 +346,69 @@ class InterfaceService:
                 cached = snapshot.cached_result(query)
                 if cached is not None:
                     return cached
-            result = tier.submit_execute(snapshot, query, use_cache).result()
+            result = self._tier_call(
+                tier,
+                lambda: tier.submit_execute(snapshot, query, use_cache, deadline=deadline),
+                lambda: snapshot.execute(query, use_cache=use_cache, deadline=deadline),
+                deadline,
+            )
             if use_cache:
                 snapshot.store_result(query, result)
             return result
 
         return run
 
-    def execute(self, session_id: str, query: str, use_cache: bool = True) -> QueryResult:
-        return self.submit_execute(session_id, query, use_cache=use_cache).result()
+    def _tier_call(self, tier, submit, fallback, deadline):
+        """One process-tier dispatch under the circuit-breaker protocol.
+
+        Breaker closed: dispatch normally.  Open: serve via ``fallback`` —
+        in-frontend execution at thread-tier cost (degraded mode: correct
+        answers, reduced parallelism).  Half-open: this call may carry the
+        recovery probe, in which case it must report the tier's health back.
+        Only transport-class failures (worker death, deadline blown inside
+        the tier) count against a probe — a typed engine error still proves
+        the tier can run work.
+        """
+        breaker = tier.breaker
+        ticket = breaker.acquire() if breaker is not None else "closed"
+        if ticket == "rejected":
+            with self._lock:
+                self.stats.degraded += 1
+            return fallback()
+        try:
+            timeout = None
+            if deadline is not None:
+                timeout = max(0.0, deadline - time.monotonic()) + DEADLINE_GRACE_SECONDS
+            result = submit().result(timeout)
+        except (WorkerError, DeadlineExceededError):
+            if ticket == "probe":
+                breaker.record_probe_failure()
+            raise
+        except Exception:
+            if ticket == "probe":
+                breaker.record_success()
+            raise
+        if ticket == "probe":
+            breaker.record_success()
+        return result
+
+    def execute(
+        self,
+        session_id: str,
+        query: str,
+        use_cache: bool = True,
+        deadline_ms: float | None = None,
+    ) -> QueryResult:
+        return self.submit_execute(
+            session_id, query, use_cache=use_cache, deadline_ms=deadline_ms
+        ).result()
 
     def submit_generate(
         self,
         session_id: str,
         queries: Sequence[str],
         config: PipelineConfig | None = None,
+        deadline_ms: float | None = None,
     ) -> "Future[GenerationResult]":
         """Generate an interface for the session's query log, on the pool.
 
@@ -274,10 +416,15 @@ class InterfaceService:
         consistent data version end to end) with per-tree profiling fanned
         out across the dedicated profile pool, and attaches the resulting
         interface to the session on completion.
+
+        Generation is the shedding class: past the queue-depth watermark it
+        is rejected with :class:`~repro.errors.OverloadError` before it can
+        starve light reads (see ``ServiceConfig.shed_watermark``).
         """
         session = self.session(session_id)
         generation_config = config or self.config.generation
         tier = self._process_tier
+        deadline = self._deadline_from(deadline_ms)
 
         if tier is not None:
 
@@ -286,10 +433,20 @@ class InterfaceService:
                 # (query log + config + fingerprint); the search, mapping,
                 # costing and per-tree profiling all run inside one worker
                 # process, so concurrent sessions' generations use separate
-                # cores instead of interleaving under the GIL.
-                result = tier.submit_generate(
-                    session.snapshot, list(queries), generation_config
-                ).result()
+                # cores instead of interleaving under the GIL.  Breaker
+                # open: the generation runs serially in the frontend —
+                # slower, still correct (the pipeline is a pure function of
+                # snapshot + queries + config).
+                result = self._tier_call(
+                    tier,
+                    lambda: tier.submit_generate(
+                        session.snapshot, list(queries), generation_config, deadline=deadline
+                    ),
+                    lambda: generate_interface(
+                        list(queries), session.snapshot, generation_config
+                    ),
+                    deadline,
+                )
                 session.attach(result)
                 return result
 
@@ -305,15 +462,16 @@ class InterfaceService:
                 session.attach(result)
                 return result
 
-        return self._submit(run)
+        return self._submit(run, heavy=True, deadline=deadline)
 
     def generate(
         self,
         session_id: str,
         queries: Sequence[str],
         config: PipelineConfig | None = None,
+        deadline_ms: float | None = None,
     ) -> GenerationResult:
-        return self.submit_generate(session_id, queries, config).result()
+        return self.submit_generate(session_id, queries, config, deadline_ms=deadline_ms).result()
 
     def submit_ingest(
         self, table_name: str, rows: Iterable[Sequence[Any]]
@@ -329,10 +487,28 @@ class InterfaceService:
     def ingest(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
         return self.submit_ingest(table_name, rows).result()
 
-    def _submit(self, task: Callable[[], Any]) -> Future:
-        """Admission-checked submission onto the worker pool."""
+    def _submit(
+        self,
+        task: Callable[[], Any],
+        heavy: bool = False,
+        deadline: float | None = None,
+    ) -> Future:
+        """Admission-checked submission onto the worker pool.
+
+        ``heavy`` marks generate-class work, which is load-shed at the
+        queue-depth watermark — strictly below the hard ``max_pending`` cap,
+        so heavy work runs out of headroom while light reads still admit.
+        """
         with self._lock:
             self._ensure_open()
+            if heavy and 0 < self.config.shed_watermark < 1:
+                watermark = max(1, int(self.config.shed_watermark * self.config.max_pending))
+                if self._inflight >= watermark:
+                    self.stats.shed += 1
+                    raise OverloadError(
+                        f"Load shedding: {self._inflight} tasks in flight is past the "
+                        f"heavy-work watermark ({watermark} of {self.config.max_pending})"
+                    )
             if self._inflight >= self.config.max_pending:
                 self.stats.rejected += 1
                 raise AdmissionError(
@@ -348,6 +524,14 @@ class InterfaceService:
             # dispatch-queue wait; both surface in stats_snapshot().)
             with self._lock:
                 self._queue_waits.append(time.perf_counter() - submitted_at)
+            if deadline is not None and time.monotonic() >= deadline:
+                # The deadline elapsed while the task sat in the frontend
+                # queue — drop it before it wastes a worker.
+                with self._lock:
+                    self.stats.expired += 1
+                raise DeadlineExceededError(
+                    "Task deadline elapsed in the frontend queue; dropped before execution"
+                )
             return task()
 
         try:
@@ -381,6 +565,11 @@ class InterfaceService:
         """The process execution tier, or None in the thread tier."""
         return self._process_tier
 
+    @property
+    def fault_injector(self):
+        """The live fault-injection runtime, or None (chaos tests audit it)."""
+        return self._fault_injector
+
     def stats_snapshot(self) -> dict[str, Any]:
         """Machine-readable service statistics (what the bench JSON stores).
 
@@ -395,6 +584,9 @@ class InterfaceService:
                 "completed": self.stats.completed,
                 "failed": self.stats.failed,
                 "rejected": self.stats.rejected,
+                "shed": self.stats.shed,
+                "degraded": self.stats.degraded,
+                "expired": self.stats.expired,
                 "sessions_opened": self.stats.sessions_opened,
                 "sessions_rejected": self.stats.sessions_rejected,
                 "execution_tier": self.config.execution_tier,
@@ -418,6 +610,13 @@ class InterfaceService:
             data["snapshot_ships"] = tier_stats["snapshot_ships"]
             data["worker_snapshot_cache_hits"] = tier_stats["worker_snapshot_cache_hits"]
             data["workers_respawned"] = tier_stats["workers_respawned"]
+            data["respawn_escalations"] = tier_stats["respawn_escalations"]
+            data["tasks_retried"] = tier_stats["tasks_retried"]
+            data["tasks_expired"] = tier_stats["tasks_expired"]
+            data["ship_integrity_retries"] = tier_stats["ship_integrity_retries"]
+            if "breaker_state" in tier_stats:
+                data["breaker_state"] = tier_stats["breaker_state"]
+                data["breaker_trips"] = tier_stats["breaker_trips"]
             # The *resolved* pool size — with worker_processes=None this is
             # what default_worker_processes() picked for the machine.
             data["worker_processes"] = tier_stats["workers"]
@@ -453,6 +652,11 @@ class InterfaceService:
             self._profile_pool.shutdown(wait=wait)
         if self._process_tier is not None and self._owns_process_tier:
             self._process_tier.shutdown(wait=wait)
+        if self._executor_hook_installed:
+            from repro.engine.executor import install_fault_hook
+
+            install_fault_hook(self._previous_executor_hook)
+            self._executor_hook_installed = False
         with self._lock:
             sessions = list(self._sessions.values())
             self._sessions.clear()

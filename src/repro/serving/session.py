@@ -108,22 +108,30 @@ class Session:
     # Reads
     # ------------------------------------------------------------------ #
 
-    def execute(self, query: str, use_cache: bool = True, runner=None) -> QueryResult:
+    def execute(
+        self,
+        query: str,
+        use_cache: bool = True,
+        runner=None,
+        deadline: float | None = None,
+    ) -> QueryResult:
         """Run one SQL query against the pinned snapshot.
 
         ``runner`` overrides *where* the query executes without changing what
-        it reads: a ``(snapshot, query, use_cache) -> QueryResult`` callable
-        (the process execution tier passes one that ships the work to a
-        worker process).  Isolation is unchanged either way — the pinned
-        snapshot is the single source of truth.
+        it reads: a ``(snapshot, query, use_cache, deadline) -> QueryResult``
+        callable (the process execution tier passes one that ships the work
+        to a worker process).  Isolation is unchanged either way — the pinned
+        snapshot is the single source of truth.  ``deadline`` is an absolute
+        ``time.monotonic()`` instant arming the executor's cooperative
+        cancellation (:class:`~repro.errors.QueryTimeoutError` past it).
         """
         snapshot = self.snapshot
         started = time.perf_counter()
         try:
             if runner is None:
-                result = snapshot.execute(query, use_cache=use_cache)
+                result = snapshot.execute(query, use_cache=use_cache, deadline=deadline)
             else:
-                result = runner(snapshot, query, use_cache)
+                result = runner(snapshot, query, use_cache, deadline)
         except Exception:
             self._note(started, "failures")
             raise

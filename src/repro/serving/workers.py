@@ -27,8 +27,20 @@ Frontend threading model: one dispatcher thread per worker process pulls
 tasks off one shared queue (natural least-loaded balancing), performs the
 ship-if-needed handshake over the worker's pipe, and blocks in ``recv`` —
 which releases the GIL, so N workers genuinely execute N tasks in parallel.
-A worker that dies mid-task fails that task with
-:class:`~repro.errors.WorkerError` and is respawned transparently.
+A worker that dies mid-task is respawned transparently and the task —
+idempotent by the snapshot contract — is retried with jittered exponential
+backoff within its remaining deadline; only exhausted retries surface as
+:class:`~repro.errors.WorkerError`.
+
+Fault-tolerance plane (PR 8): task descriptors carry absolute monotonic
+deadlines (expired queued tasks are dropped with
+:class:`~repro.errors.DeadlineExceededError` before they waste a worker);
+snapshot payloads ship as ``(bytes, crc32)`` and a worker that receives a
+corrupt payload answers ``need_snapshot``, folding transport corruption
+into the existing re-ship handshake; a :class:`CircuitBreaker` watches the
+worker failure rate so the serving layer can stop using a flapping tier;
+and a seeded :class:`~repro.serving.faults.FaultInjector` can be plugged
+in to make all of the above deterministically testable.
 
 What may cross the boundary (see ``docs/SERVING.md``): pickled snapshots
 (tables + fingerprint + catalog id — never the caches, never lock-bearing
@@ -40,17 +52,22 @@ objects, sessions, futures, executors, or anything holding a lock.
 from __future__ import annotations
 
 import pickle
+import random
 import threading
 import time
+import zlib
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import multiprocessing
 
 from repro.engine.catalog import CatalogSnapshot, DetachedParser
 from repro.engine.query_cache import QueryCache
-from repro.errors import WorkerError
+from repro.errors import DeadlineExceededError, QueryTimeoutError, WorkerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.faults import FaultInjector
 
 #: Snapshots each worker keeps alive, LRU-evicted ((catalog_id, fingerprint)
 #: keyed).  Small on purpose: the common case is one live fingerprint per
@@ -94,25 +111,37 @@ def default_worker_processes(configured: int | None = None) -> int:
 # ---------------------------------------------------------------------- #
 
 
-def _run_task(kind: str, snapshot: CatalogSnapshot, body: tuple) -> Any:
+def _run_task(
+    kind: str, snapshot: CatalogSnapshot, body: tuple, deadline: float | None = None
+) -> Any:
     """Execute one task body against a (worker-cached) snapshot.
 
     Kept as a plain function so the in-process tests can drive the exact
-    code the workers run without spawning a subprocess.
+    code the workers run without spawning a subprocess.  ``deadline`` is an
+    absolute ``time.monotonic()`` instant (comparable across processes on
+    the same host): execute/profile arm the executor's cooperative
+    cancellation checkpoints with it; generation — which has no internal
+    checkpoints — refuses to start past it.
     """
     if kind == "execute":
         sql, use_cache = body
-        return snapshot.execute(sql, use_cache=use_cache)
+        return snapshot.execute(sql, use_cache=use_cache, deadline=deadline)
     if kind == "profile":
         sqls = body[0]
         counts: list[int] = []
         for sql in sqls:
             try:
-                counts.append(snapshot.execute(sql).row_count)
+                counts.append(snapshot.execute(sql, deadline=deadline).row_count)
+            except QueryTimeoutError:
+                # A timeout is the caller's deadline, not an odd
+                # instantiation — surface it instead of scoring -1.
+                raise
             except Exception:  # noqa: BLE001 - odd instantiations must not kill search
                 counts.append(-1)
         return counts
     if kind == "generate":
+        if deadline is not None and time.monotonic() > deadline:
+            raise DeadlineExceededError("Generation deadline elapsed before the task started")
         from repro.pipeline import generate_interface
 
         queries, config = body
@@ -171,11 +200,13 @@ def _worker_main(conn, snapshot_cache_capacity: int) -> None:
 
     Protocol (all messages are picklable tuples):
 
-    * parent → worker: ``("task", task_id, kind, key, body, payload|None)``
-      or ``("stop",)``.
+    * parent → worker:
+      ``("task", task_id, kind, key, body, payload|None, deadline|None)``
+      or ``("stop",)``, where ``payload`` is ``(pickled_bytes, crc32)``.
     * worker → parent: ``(task_id, "ok", result, snapshot_cache_hit)``,
       ``(task_id, "need_snapshot")`` when the parent's shipped-set mirror
-      drifted (parent re-sends with the payload), or
+      drifted **or** the payload failed its CRC check (parent re-sends
+      with a fresh payload), or
       ``(task_id, "error", exc_type_name, message)``.
     """
     state = _WorkerState(capacity=snapshot_cache_capacity)
@@ -186,7 +217,7 @@ def _worker_main(conn, snapshot_cache_capacity: int) -> None:
             return
         if message[0] == "stop":
             return
-        _, task_id, kind, key, body, payload = message
+        _, task_id, kind, key, body, payload, deadline = message
         try:
             if kind == "ping":
                 conn.send((task_id, "ok", None, True))
@@ -200,8 +231,14 @@ def _worker_main(conn, snapshot_cache_capacity: int) -> None:
                 if payload is None:
                     conn.send((task_id, "need_snapshot"))
                     continue
-                snapshot = state.admit(key, payload)
-            result = _run_task(kind, snapshot, body)
+                data, crc = payload
+                if zlib.crc32(data) != crc:
+                    # Corrupted in flight: recover through the same
+                    # handshake as mirror drift — ask for a re-ship.
+                    conn.send((task_id, "need_snapshot"))
+                    continue
+                snapshot = state.admit(key, data)
+            result = _run_task(kind, snapshot, body, deadline)
             conn.send((task_id, "ok", result, hit))
         except Exception as exc:  # noqa: BLE001 - the loop must survive any task
             try:
@@ -235,7 +272,14 @@ class _Future:
 
     def result(self, timeout: float | None = None) -> Any:
         if not self._event.wait(timeout):
-            raise WorkerError("Timed out waiting for a process-tier task")
+            # A caller-side wait timeout says nothing about worker health:
+            # the task may still complete behind the caller's back, and the
+            # worker must not be treated as failed (no respawn, no breaker
+            # strike, no placement poisoning) — hence a distinct type from
+            # WorkerError.
+            raise DeadlineExceededError(
+                f"Timed out after {timeout}s waiting for a process-tier task"
+            )
         if self._exception is not None:
             raise self._exception
         return self._result
@@ -249,6 +293,138 @@ class _Task:
     snapshot: CatalogSnapshot | None
     future: _Future
     submitted_at: float
+    #: Absolute ``time.monotonic()`` instant past which the task must not
+    #: start (queued tasks are dropped, executing tasks are cancelled at
+    #: executor checkpoints).  ``None`` = no deadline.
+    deadline: float | None = None
+    #: Completed attempts that ended in a worker death (retry bookkeeping).
+    attempts: int = 0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with jittered exponential backoff for dead workers.
+
+    Applies only to transport-level failures (the worker process died
+    mid-task) — every task kind runs read-only against an immutable
+    snapshot, so re-running one on a respawned worker is safe by
+    construction.  In-worker task errors (bad SQL, type errors, timeouts)
+    are deterministic and never retried.
+    """
+
+    max_attempts: int = 3
+    base_delay_ms: float = 5.0
+    max_delay_ms: float = 100.0
+    #: Fractional jitter: each backoff is scaled by ``1 + jitter * U(0, 1)``
+    #: from the tier's seeded RNG, decorrelating retry storms.
+    jitter: float = 0.5
+    #: Seed for the tier's retry RNG (deterministic backoff sequences).
+    seed: int = 0
+
+    def backoff_seconds(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based), in seconds."""
+        delay_ms = min(self.max_delay_ms, self.base_delay_ms * (2 ** (attempt - 1)))
+        return delay_ms * (1.0 + self.jitter * rng.random()) / 1000.0
+
+
+class CircuitBreaker:
+    """A respawn-rate circuit breaker over a sliding window.
+
+    States: ``closed`` (normal) → ``open`` (``failure_threshold`` worker
+    failures inside ``window_seconds``; the serving layer stops sending
+    work to the tier) → ``half_open`` (after ``cooldown_seconds`` one
+    probe request is let through) → ``closed`` on probe success, back to
+    ``open`` on probe failure.  ``clock`` is injectable so tests can walk
+    the window and cooldown without sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 4,
+        window_seconds: float = 30.0,
+        cooldown_seconds: float = 5.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.window_seconds = window_seconds
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures: deque[float] = deque()
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.trips = 0
+
+    def record_failure(self) -> bool:
+        """Record one worker failure; returns True when this one trips open."""
+        with self._lock:
+            if self._state == "open":
+                return False
+            now = self._clock()
+            if self._state == "half_open":
+                # A non-probe failure while probing is still bad news.
+                self._trip(now)
+                return True
+            self._failures.append(now)
+            self._prune(now)
+            if len(self._failures) >= self.failure_threshold:
+                self._trip(now)
+                return True
+            return False
+
+    def acquire(self) -> str:
+        """Admission verdict for one request: ``closed``/``probe``/``rejected``.
+
+        ``closed`` — use the tier normally.  ``probe`` — the breaker is
+        half-open and this caller carries the recovery probe: it must report
+        back via :meth:`record_success` or :meth:`record_probe_failure`.
+        ``rejected`` — the tier is open (or a probe is already in flight);
+        the caller must degrade.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return "closed"
+            now = self._clock()
+            if self._state == "open":
+                if now - self._opened_at < self.cooldown_seconds:
+                    return "rejected"
+                self._state = "half_open"
+                self._probe_inflight = False
+            if self._probe_inflight:
+                return "rejected"
+            self._probe_inflight = True
+            return "probe"
+
+    def record_success(self) -> None:
+        """A probe came back healthy: close the breaker."""
+        with self._lock:
+            if self._state == "half_open":
+                self._state = "closed"
+                self._probe_inflight = False
+                self._failures.clear()
+
+    def record_probe_failure(self) -> None:
+        """The probe failed: reopen and restart the cooldown."""
+        with self._lock:
+            if self._state == "half_open":
+                self._trip(self._clock())
+
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def _trip(self, now: float) -> None:
+        """Transition to open (lock held)."""
+        self._state = "open"
+        self._opened_at = now
+        self._probe_inflight = False
+        self._failures.clear()
+        self.trips += 1
+
+    def _prune(self, now: float) -> None:
+        while self._failures and self._failures[0] <= now - self.window_seconds:
+            self._failures.popleft()
 
 
 @dataclass
@@ -257,9 +433,13 @@ class TierStats:
 
     tasks_dispatched: int = 0
     tasks_failed: int = 0
+    tasks_expired: int = 0
+    tasks_retried: int = 0
     snapshot_ships: int = 0
+    ship_integrity_retries: int = 0
     worker_snapshot_cache_hits: int = 0
     workers_respawned: int = 0
+    respawn_escalations: int = 0
     queue_waits: deque = field(
         default_factory=lambda: deque(maxlen=QUEUE_WAIT_SAMPLE_CAPACITY)
     )
@@ -312,6 +492,14 @@ class ProcessExecutionTier:
             ``fork`` starts faster but must only be used when no other
             threads can hold locks at tier construction time.
         snapshot_cache_capacity: Per-worker snapshot LRU size.
+        retry_policy: Backoff policy for tasks whose worker died mid-flight
+            (default :class:`RetryPolicy`); ``None`` disables retries.
+        breaker: Optional :class:`CircuitBreaker` fed a failure per worker
+            death.  The tier only *feeds* it; enforcement (degrading to
+            in-frontend execution) is the serving layer's job.
+        faults: Optional :class:`~repro.serving.faults.FaultInjector`
+            whose hooks fire on dispatch and ship.  ``None`` (the default)
+            keeps every fault site a no-op.
     """
 
     def __init__(
@@ -319,6 +507,9 @@ class ProcessExecutionTier:
         processes: int | None = None,
         start_method: str = "spawn",
         snapshot_cache_capacity: int = SNAPSHOT_CACHE_CAPACITY,
+        retry_policy: RetryPolicy | None = RetryPolicy(),
+        breaker: CircuitBreaker | None = None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         processes = default_worker_processes(processes)
         if processes <= 0:
@@ -343,7 +534,11 @@ class ProcessExecutionTier:
         self._task_ids = iter(range(1, 2**62))
         self._closed = False
         self._lock = threading.Lock()
-        self._payloads: OrderedDict[tuple, bytes] = OrderedDict()
+        self._payloads: OrderedDict[tuple, tuple[bytes, int]] = OrderedDict()
+        self.retry_policy = retry_policy
+        self._retry_rng = random.Random(retry_policy.seed if retry_policy else 0)
+        self.breaker = breaker
+        self._faults = faults
         self.stats = TierStats()
         self._handles: list[_WorkerHandle] = [
             self._spawn_worker(index) for index in range(processes)
@@ -366,12 +561,21 @@ class ProcessExecutionTier:
     # ------------------------------------------------------------------ #
 
     def submit_execute(
-        self, snapshot: CatalogSnapshot, sql: str, use_cache: bool = True
+        self,
+        snapshot: CatalogSnapshot,
+        sql: str,
+        use_cache: bool = True,
+        deadline: float | None = None,
     ) -> _Future:
         """Run one SQL query against the snapshot, on some worker process."""
-        return self._submit("execute", snapshot, (sql, use_cache))
+        return self._submit("execute", snapshot, (sql, use_cache), deadline)
 
-    def submit_profile(self, snapshot: CatalogSnapshot, sqls: Sequence[str]) -> _Future:
+    def submit_profile(
+        self,
+        snapshot: CatalogSnapshot,
+        sqls: Sequence[str],
+        deadline: float | None = None,
+    ) -> _Future:
         """Execute per-tree default-instantiation queries; resolves to row counts.
 
         This is the picklable form of the search layer's per-tree profile
@@ -379,10 +583,14 @@ class ProcessExecutionTier:
         binding to canonical SQL (cheap AST work) and ships only the SQL —
         the CPU-heavy execution happens GIL-free in the worker.
         """
-        return self._submit("profile", snapshot, (list(sqls),))
+        return self._submit("profile", snapshot, (list(sqls),), deadline)
 
     def submit_generate(
-        self, snapshot: CatalogSnapshot, queries: Sequence[str], config
+        self,
+        snapshot: CatalogSnapshot,
+        queries: Sequence[str],
+        config,
+        deadline: float | None = None,
     ) -> _Future:
         """Run a whole interface generation against the snapshot on a worker.
 
@@ -393,12 +601,18 @@ class ProcessExecutionTier:
         unaffected — the pipeline is a pure function of (snapshot, queries,
         config), proven by ``Interface.fingerprint()`` equality.
         """
-        return self._submit("generate", snapshot, (list(queries), config))
+        return self._submit("generate", snapshot, (list(queries), config), deadline)
 
     def execute(self, snapshot: CatalogSnapshot, sql: str, use_cache: bool = True):
         return self.submit_execute(snapshot, sql, use_cache).result()
 
-    def _submit(self, kind: str, snapshot: CatalogSnapshot, body: tuple) -> _Future:
+    def _submit(
+        self,
+        kind: str,
+        snapshot: CatalogSnapshot,
+        body: tuple,
+        deadline: float | None = None,
+    ) -> _Future:
         with self._lock:
             if self._closed:
                 raise WorkerError("ProcessExecutionTier is shut down")
@@ -410,6 +624,7 @@ class ProcessExecutionTier:
             snapshot=snapshot,
             future=_Future(),
             submitted_at=time.perf_counter(),
+            deadline=deadline,
         )
         with self._dispatch_cond:
             self._place(task).queue.append(task)
@@ -471,32 +686,43 @@ class ProcessExecutionTier:
         need no locking yet.
         """
         for handle in self._handles:
-            handle.conn.send(("task", 0, "ping", None, (), None))
+            handle.conn.send(("task", 0, "ping", None, (), None, None))
         for handle in self._handles:
             reply = handle.conn.recv()
             if reply[1] != "ok":  # pragma: no cover - defensive
                 raise WorkerError(f"Worker {handle.index} failed its warm-up ping")
 
-    def _payload_for(self, task: _Task) -> bytes:
+    def _payload_for(self, task: _Task) -> tuple[bytes, int]:
+        """The ``(pickled_bytes, crc32)`` wire payload for a task's snapshot.
+
+        The CRC is computed once at pickle time and memoized with the
+        bytes, so ship-integrity checking adds nothing to the per-ship hot
+        path beyond the worker-side verify.
+        """
         with self._lock:
             payload = self._payloads.get(task.key)
             if payload is not None:
                 self._payloads.move_to_end(task.key)
                 return payload
         data = pickle.dumps(task.snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = (data, zlib.crc32(data))
         with self._lock:
-            self._payloads[task.key] = data
+            self._payloads[task.key] = payload
             self._payloads.move_to_end(task.key)
             while len(self._payloads) > PAYLOAD_MEMO_CAPACITY:
                 self._payloads.popitem(last=False)
-        return data
+        return payload
 
     def _next_task(self, index: int) -> _Task | None:
         """Pop the next task from worker ``index``'s queue (None = shut down)."""
-        handle = self._handles[index]
         with self._dispatch_cond:
-            handle.busy = False
+            self._handles[index].busy = False
             while True:
+                # Re-read the handle every pass: a respawn initiated outside
+                # this dispatcher (e.g. an operator escalation) swaps
+                # ``self._handles[index]`` while this thread waits, and new
+                # tasks land on the replacement's queue.
+                handle = self._handles[index]
                 if handle.queue:
                     handle.busy = True
                     return handle.queue.popleft()
@@ -510,17 +736,43 @@ class ProcessExecutionTier:
             if task is None:
                 return
             handle = self._handles[index]
+            if task.deadline is not None and time.monotonic() >= task.deadline:
+                # Past-deadline work is dropped before it wastes a worker:
+                # the caller stopped waiting, so executing it helps no one.
+                with self._lock:
+                    self.stats.tasks_expired += 1
+                task.future.set_exception(
+                    DeadlineExceededError(
+                        "Task deadline elapsed while queued; dropped before dispatch"
+                    )
+                )
+                continue
             with self._lock:
                 self.stats.queue_waits.append(time.perf_counter() - task.submitted_at)
+            if self._faults is not None:
+                self._faults.before_dispatch(handle.index, handle.process)
             try:
                 result, hit = self._round_trip(handle, task)
+            except _TaskError as exc:
+                # The task failed *inside* a healthy worker (bad SQL, type
+                # error, ...): deterministic, so no respawn, no retry, no
+                # breaker strike.
+                with self._lock:
+                    self.stats.tasks_failed += 1
+                task.future.set_exception(exc)
+                continue
             except WorkerError as exc:
+                # Transport-level: the worker process died mid-task.
                 with self._lock:
                     self.stats.tasks_failed += 1
                     closed = self._closed
-                task.future.set_exception(exc)
                 if not closed:
                     handle = self._respawn(index)
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                    if self._maybe_retry(task):
+                        continue
+                task.future.set_exception(self._final_failure(task, exc))
                 continue
             except Exception as exc:  # noqa: BLE001 - never kill the dispatcher
                 with self._lock:
@@ -533,6 +785,45 @@ class ProcessExecutionTier:
                     self.stats.worker_snapshot_cache_hits += 1
             task.future.set_result(result)
 
+    def _maybe_retry(self, task: _Task) -> bool:
+        """Requeue a task whose worker died, if policy and deadline allow.
+
+        Tasks are idempotent (read-only over immutable snapshots), so the
+        only questions are attempt budget and whether the jittered backoff
+        still fits inside the task's remaining deadline.  The backoff sleep
+        runs on this dispatcher thread — its worker was just respawned and
+        has no other task to run anyway.
+        """
+        policy = self.retry_policy
+        if policy is None:
+            return False
+        task.attempts += 1
+        if task.attempts >= policy.max_attempts:
+            return False
+        with self._lock:
+            backoff = policy.backoff_seconds(task.attempts, self._retry_rng)
+        if task.deadline is not None and time.monotonic() + backoff >= task.deadline:
+            return False
+        time.sleep(backoff)
+        with self._lock:
+            self.stats.tasks_retried += 1
+        with self._dispatch_cond:
+            if self._stop_dispatch:
+                return False
+            self._place(task).queue.append(task)
+            self._dispatch_cond.notify_all()
+        return True
+
+    def _final_failure(self, task: _Task, exc: WorkerError) -> Exception:
+        """The exception a task surfaces once its retries are exhausted."""
+        if task.deadline is not None and time.monotonic() >= task.deadline:
+            failure = DeadlineExceededError(
+                f"Task deadline elapsed after {task.attempts} worker failure(s)"
+            )
+            failure.__cause__ = exc
+            return failure
+        return exc
+
     def _round_trip(self, handle: _WorkerHandle, task: _Task) -> tuple[Any, bool]:
         """One send/recv exchange, shipping the snapshot payload when needed."""
         task_id = next(self._task_ids)
@@ -540,18 +831,28 @@ class ProcessExecutionTier:
             payload = None
             if task.key is not None and task.key not in handle.shipped:
                 payload = self._payload_for(task)
-            reply = self._exchange(handle, (task_id, task, payload))
+            reply = self._exchange(handle, (task_id, task, self._shipped_form(payload)))
             if reply[1] == "need_snapshot":
-                # The shipped-set mirror drifted (e.g. across a respawn the
-                # caller raced); re-send with the payload.
+                # Either the shipped-set mirror drifted (e.g. across a
+                # respawn the caller raced) or the payload failed its CRC
+                # check in the worker; both recover by re-sending a fresh
+                # payload.
+                if payload is not None:
+                    with self._lock:
+                        self.stats.ship_integrity_retries += 1
                 payload = self._payload_for(task)
-                reply = self._exchange(handle, (task_id, task, payload))
+                reply = self._exchange(handle, (task_id, task, self._shipped_form(payload)))
+                if reply[1] == "need_snapshot":
+                    raise _TaskError(
+                        f"Worker {handle.index} rejected the snapshot payload twice "
+                        "(persistent ship corruption)"
+                    )
             if payload is not None and task.key is not None:
                 with self._lock:
                     self.stats.snapshot_ships += 1
         if reply[1] == "error":
             _, _, exc_type, message = reply
-            raise _TaskError(f"{exc_type}: {message}")
+            raise _map_worker_error(exc_type, message)
         shipped = payload is not None
         if task.key is not None:
             if shipped:
@@ -560,10 +861,18 @@ class ProcessExecutionTier:
                 handle.note_used(task.key)
         return reply[2], reply[3] and not shipped
 
+    def _shipped_form(self, payload: tuple[bytes, int] | None):
+        """The payload as it goes on the wire (fault hook applied, if any)."""
+        if payload is not None and self._faults is not None:
+            return self._faults.on_ship(payload)
+        return payload
+
     def _exchange(self, handle: _WorkerHandle, envelope: tuple) -> tuple:
         task_id, task, payload = envelope
         try:
-            handle.conn.send(("task", task_id, task.kind, task.key, task.body, payload))
+            handle.conn.send(
+                ("task", task_id, task.kind, task.key, task.body, payload, task.deadline)
+            )
             while True:
                 reply = handle.conn.recv()
                 if reply[0] == task_id:
@@ -583,6 +892,14 @@ class ProcessExecutionTier:
         if old.process.is_alive():
             old.process.terminate()
         old.process.join(timeout=5)
+        if old.process.is_alive():
+            # SIGTERM was ignored or the join timed out: escalate to
+            # SIGKILL and re-join so the dead worker can never linger as a
+            # zombie holding memory and a pipe end.
+            old.process.kill()
+            old.process.join(timeout=5)
+            with self._lock:
+                self.stats.respawn_escalations += 1
         handle = self._spawn_worker(index)
         with self._dispatch_cond:
             # Queued tasks survive the respawn; the shipped-key mirror does
@@ -638,11 +955,18 @@ class ProcessExecutionTier:
             data = {
                 "tasks_dispatched": self.stats.tasks_dispatched,
                 "tasks_failed": self.stats.tasks_failed,
+                "tasks_expired": self.stats.tasks_expired,
+                "tasks_retried": self.stats.tasks_retried,
                 "snapshot_ships": self.stats.snapshot_ships,
+                "ship_integrity_retries": self.stats.ship_integrity_retries,
                 "worker_snapshot_cache_hits": self.stats.worker_snapshot_cache_hits,
                 "workers_respawned": self.stats.workers_respawned,
+                "respawn_escalations": self.stats.respawn_escalations,
                 "workers": len(self._handles),
             }
+        if self.breaker is not None:
+            data["breaker_state"] = self.breaker.state()
+            data["breaker_trips"] = self.breaker.trips
         data.update(self.queue_wait_percentiles())
         return data
 
@@ -697,3 +1021,18 @@ class ProcessExecutionTier:
 
 class _TaskError(WorkerError):
     """A task failed inside the worker (the original exception's text survives)."""
+
+
+def _map_worker_error(exc_type: str, message: str) -> Exception:
+    """Rehydrate a worker-side error reply into the right frontend type.
+
+    Deadline outcomes must survive the process boundary typed — a caller
+    distinguishing "my query timed out" from "the tier is broken" cannot do
+    it from a string.  Everything else stays a :class:`_TaskError` carrying
+    the original type name and text.
+    """
+    if exc_type == "QueryTimeoutError":
+        return QueryTimeoutError(message)
+    if exc_type == "DeadlineExceededError":
+        return DeadlineExceededError(message)
+    return _TaskError(f"{exc_type}: {message}")
