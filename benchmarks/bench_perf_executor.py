@@ -26,6 +26,13 @@ from conftest import calibration_ops_per_sec, print_table
 from repro.datasets import load_covid_catalog, load_sdss_catalog
 from repro.datasets.sdss import SdssConfig, generate_photo_obj
 from repro.engine.catalog import Catalog
+from repro.engine.options import ExecOptions
+
+#: Shared execution-knob bundles for timed passes: benchmarks always bypass
+#: the result cache, and the optimizer comparison additionally disables
+#: rewrites.
+NO_CACHE = ExecOptions(use_cache=False)
+NO_CACHE_NO_OPT = ExecOptions(use_cache=False, optimize=False)
 
 #: Gateable metrics accumulated across this module's tests; every update
 #: rewrites the JSON file (when requested) so a partial run still uploads a
@@ -51,14 +58,14 @@ def _measure(catalog_loader, queries, repeats=5):
     started = time.perf_counter()
     cold_rows = 0
     for sql in queries:
-        cold_rows += catalog.execute(sql, use_cache=False).row_count
+        cold_rows += catalog.execute(sql, NO_CACHE).row_count
     cold = time.perf_counter() - started
 
     # Plans are now compiled and hot; results still recomputed every time.
     started = time.perf_counter()
     for _ in range(repeats):
         for sql in queries:
-            catalog.execute(sql, use_cache=False).row_count
+            catalog.execute(sql, NO_CACHE).row_count
     plan_warm = (time.perf_counter() - started) / repeats
 
     # Result cache: first pass stores, subsequent passes hit.
@@ -156,18 +163,18 @@ def _measure_optimizer(repeats: int = 3):
     results = []
     for label, sql in OPTIMIZER_WORKLOAD:
         # Warm both compiled-plan cache entries so only execution is timed.
-        rows_on = catalog.execute(sql, use_cache=False).row_count
-        rows_off = catalog.execute(sql, use_cache=False, optimize=False).row_count
+        rows_on = catalog.execute(sql, NO_CACHE).row_count
+        rows_off = catalog.execute(sql, NO_CACHE_NO_OPT).row_count
         assert rows_on == rows_off
 
         started = time.perf_counter()
         for _ in range(repeats):
-            catalog.execute(sql, use_cache=False, optimize=False)
+            catalog.execute(sql, NO_CACHE_NO_OPT)
         unoptimized = (time.perf_counter() - started) / repeats
 
         started = time.perf_counter()
         for _ in range(repeats):
-            catalog.execute(sql, use_cache=False)
+            catalog.execute(sql, NO_CACHE)
         optimized = (time.perf_counter() - started) / repeats
 
         results.append(
@@ -266,7 +273,7 @@ def _measure_scan(repeats: int = 5, attempts: int = 3):
     table = generate_photo_obj(SdssConfig(object_count=SCAN_TABLE_ROWS))
     catalog.register(table)
     for sql in SCAN_WORKLOAD:
-        catalog.execute(sql, use_cache=False)  # warm the compiled-plan cache
+        catalog.execute(sql, NO_CACHE)  # warm the compiled-plan cache
     # Best of several repeat-averaged attempts: this number is gated in CI,
     # so it must not wobble with scheduler noise.
     elapsed = float("inf")
@@ -274,7 +281,7 @@ def _measure_scan(repeats: int = 5, attempts: int = 3):
         started = time.perf_counter()
         for _ in range(repeats):
             for sql in SCAN_WORKLOAD:
-                catalog.execute(sql, use_cache=False)
+                catalog.execute(sql, NO_CACHE)
         elapsed = min(elapsed, (time.perf_counter() - started) / repeats)
     rows_scanned = SCAN_TABLE_ROWS * len(SCAN_WORKLOAD)
     return {
@@ -343,12 +350,12 @@ def _index_bench_catalog(indexed: bool) -> Catalog:
 def _time_workload(catalog: Catalog, queries: list[str], attempts: int = 3) -> float:
     """Best-of-attempts seconds for one pass over ``queries`` (plans warm)."""
     for sql in queries:
-        catalog.execute(sql, use_cache=False)
+        catalog.execute(sql, NO_CACHE)
     elapsed = float("inf")
     for _attempt in range(attempts):
         started = time.perf_counter()
         for sql in queries:
-            catalog.execute(sql, use_cache=False)
+            catalog.execute(sql, NO_CACHE)
         elapsed = min(elapsed, time.perf_counter() - started)
     return elapsed
 
@@ -372,8 +379,8 @@ def _measure_index_access():
     # Sanity: both access paths agree before anything is timed.
     for sql in point_queries[:3] + range_queries[:2]:
         assert (
-            indexed.execute(sql, use_cache=False).rows
-            == full_scan.execute(sql, use_cache=False).rows
+            indexed.execute(sql, NO_CACHE).rows
+            == full_scan.execute(sql, NO_CACHE).rows
         ), f"index/scan divergence on {sql}"
 
     point_indexed = _time_workload(indexed, point_queries)
@@ -436,3 +443,106 @@ def test_perf_executor_index_access_paths(benchmark):
         f"{INDEX_TABLE_ROWS} rows; got {measurement['point_speedup']:.1f}x"
     )
     assert measurement["range_speedup"] > 1.0
+
+# --------------------------------------------------------------------------- #
+# Window-function workloads (partitioned analytics, running frames)
+# --------------------------------------------------------------------------- #
+
+#: Row count of the synthetic trades table the window workloads run over.
+WINDOW_TABLE_ROWS = 20_000
+
+#: Distinct partition keys (symbols) — enough partitions that the per-spec
+#: sort and the per-partition accumulator loops both matter.
+WINDOW_SYMBOLS = 40
+
+#: Partitioned window queries: ranking, running aggregates, lag deltas, and a
+#: bounded physical frame.  The two ``ORDER BY ts, id`` running-sum/row_number
+#: queries share one window spec, so the executor sorts once for both.
+WINDOW_WORKLOAD = [
+    "SELECT id, row_number() OVER (PARTITION BY sym ORDER BY ts, id) AS rn, "
+    "sum(qty) OVER (PARTITION BY sym ORDER BY ts, id) AS running FROM trades",
+    "SELECT id, rank() OVER (PARTITION BY sym ORDER BY px DESC, id) AS pos FROM trades",
+    "SELECT id, px - lag(px, 1, px) OVER (PARTITION BY sym ORDER BY ts, id) AS dpx "
+    "FROM trades",
+    "SELECT id, avg(px) OVER (PARTITION BY sym ORDER BY ts, id "
+    "ROWS BETWEEN 5 PRECEDING AND CURRENT ROW) AS sma FROM trades",
+    "SELECT sym, count(*) AS n, max(qty) AS peak FROM trades GROUP BY sym",
+]
+
+#: Single-column ascending window order — the shape the optimizer can serve
+#: from an ordered secondary index instead of sorting.
+WINDOW_ELISION_QUERY = "SELECT id, sum(qty) OVER (ORDER BY ts) AS running FROM trades"
+
+
+def _window_catalog(indexed: bool = False) -> Catalog:
+    rng = random.Random(0x5EED)
+    catalog = Catalog()
+    catalog.create_table(
+        "trades",
+        ["id", "sym", "ts", "px", "qty"],
+        [
+            [
+                i,
+                f"s{rng.randrange(WINDOW_SYMBOLS)}",
+                rng.randrange(1_000_000),
+                round(rng.uniform(1.0, 500.0), 2),
+                rng.randrange(1, 1_000),
+            ]
+            for i in range(WINDOW_TABLE_ROWS)
+        ],
+    )
+    if indexed:
+        catalog.create_index("trades", "ts", "ordered")
+    return catalog
+
+
+def _measure_windows():
+    catalog = _window_catalog()
+    elapsed = _time_workload(catalog, WINDOW_WORKLOAD)
+    rows_windowed = WINDOW_TABLE_ROWS * (len(WINDOW_WORKLOAD) - 1)  # GROUP BY query aside
+
+    # Sort-elision lever: the same single-column ascending window order, with
+    # and without an ordered secondary index to serve it.
+    plain = _window_catalog(indexed=False)
+    indexed = _window_catalog(indexed=True)
+    assert (
+        plain.execute(WINDOW_ELISION_QUERY, NO_CACHE).rows
+        == indexed.execute(WINDOW_ELISION_QUERY, NO_CACHE).rows
+    ), "window sort elision changed results"
+    sorted_seconds = _time_workload(plain, [WINDOW_ELISION_QUERY])
+    elided_seconds = _time_workload(indexed, [WINDOW_ELISION_QUERY])
+    return {
+        "queries": len(WINDOW_WORKLOAD),
+        "table_rows": WINDOW_TABLE_ROWS,
+        "seconds_per_pass": elapsed,
+        "window_rows_per_sec": rows_windowed / elapsed if elapsed else 0.0,
+        "elision_sorted_seconds": sorted_seconds,
+        "elision_elided_seconds": elided_seconds,
+        "sort_elision_speedup": (
+            sorted_seconds / elided_seconds if elided_seconds else 0.0
+        ),
+    }
+
+
+def test_perf_executor_window_functions(benchmark):
+    """Plan-warm throughput of the partitioned window workload."""
+    measurement = benchmark.pedantic(_measure_windows, rounds=1, iterations=1)
+    print_table(
+        "Perf P9: window functions (partitioned analytics)",
+        ["Queries", "Table rows", "Per pass", "Windowed rows/sec", "Elision speedup"],
+        [
+            [
+                measurement["queries"],
+                measurement["table_rows"],
+                f"{measurement['seconds_per_pass'] * 1000:.1f} ms",
+                f"{measurement['window_rows_per_sec']:,.0f}",
+                f"{measurement['sort_elision_speedup']:.2f}x",
+            ]
+        ],
+    )
+    print(json.dumps({"benchmark": "perf_window", **measurement}))
+    _record_metrics(
+        window_rows_per_sec=measurement["window_rows_per_sec"],
+        window_sort_elision_speedup=measurement["sort_elision_speedup"],
+    )
+    assert measurement["window_rows_per_sec"] > 0

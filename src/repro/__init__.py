@@ -31,6 +31,8 @@ Quickstart::
 from repro.cost.model import CostBreakdown, CostModel, CostWeights
 from repro.difftree.builder import DifftreeForest, build_forest
 from repro.engine.catalog import Catalog, CatalogSnapshot
+from repro.engine.explain import ExplainReport
+from repro.engine.options import ExecOptions
 from repro.engine.table import QueryResult, Table
 from repro.errors import ReproError
 from repro.interface.interface import Interface
@@ -42,6 +44,8 @@ from repro.pipeline import (
     generate_interface,
     map_queries_statically,
 )
+from repro.serving.service import InterfaceService, ServiceConfig
+from repro.serving.session import Session
 
 __version__ = "1.0.0"
 
@@ -53,9 +57,14 @@ __all__ = [
     "build_forest",
     "Catalog",
     "CatalogSnapshot",
+    "ExecOptions",
+    "ExplainReport",
     "QueryResult",
     "Table",
     "ReproError",
+    "InterfaceService",
+    "ServiceConfig",
+    "Session",
     "Interface",
     "LARGE_SCREEN",
     "MEDIUM_SCREEN",

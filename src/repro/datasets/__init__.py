@@ -24,6 +24,7 @@ from repro.datasets.sp500 import (
     generate_prices,
     generate_sectors,
     sp500_query_log,
+    sp500_window_query_log,
 )
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "generate_prices",
     "generate_sectors",
     "sp500_query_log",
+    "sp500_window_query_log",
     "demo_scenarios",
     "load_covid_catalog",
     "load_sdss_catalog",

@@ -129,3 +129,37 @@ def sp500_query_log() -> list[str]:
         "GROUP BY p.date, s.sector ORDER BY p.date"
     )
     return [q1, q2, q3, q4]
+
+
+def sp500_window_query_log() -> list[str]:
+    """An analytic S&P 500 session built on window functions.
+
+    The templates cover the three analytic families window functions unlock
+    for interface generation — top-N per group (daily leaders by close),
+    running values (smoothed per-ticker averages over a trailing frame), and
+    period-over-period deltas (``lag`` against the prior trading day) — as
+    variants over the shared ``prices`` scan so the Difftree builder merges
+    them into one tree with window-expression choice nodes.
+    """
+    q1 = (
+        "SELECT date, ticker, close, "
+        "row_number() OVER (PARTITION BY date ORDER BY close DESC) AS pos "
+        "FROM prices"
+    )
+    q2 = (
+        "SELECT date, ticker, close, "
+        "rank() OVER (PARTITION BY date ORDER BY volume DESC) AS pos "
+        "FROM prices"
+    )
+    q3 = (
+        "SELECT date, ticker, close, "
+        "avg(close) OVER (PARTITION BY ticker ORDER BY date "
+        "ROWS BETWEEN 6 PRECEDING AND CURRENT ROW) AS sma7 "
+        "FROM prices"
+    )
+    q4 = (
+        "SELECT date, ticker, close, "
+        "close - lag(close, 1, close) OVER (PARTITION BY ticker ORDER BY date) AS delta "
+        "FROM prices"
+    )
+    return [q1, q2, q3, q4]

@@ -38,6 +38,8 @@ import threading
 from typing import Any, Iterable, Sequence
 
 from repro.errors import CatalogError
+from repro.engine.explain import ExplainReport
+from repro.engine.options import ExecOptions, coerce_options
 from repro.engine.query_cache import QueryCache, cache_key
 from repro.engine.table import QueryResult, Table
 from repro.sql.ast_nodes import Select, SetOperation, SqlNode
@@ -294,26 +296,26 @@ class Catalog:
     def execute(
         self,
         query: str | SqlNode,
-        use_cache: bool = True,
-        optimize: bool = True,
+        options: ExecOptions | bool | None = None,
+        *,
+        use_cache: bool | None = None,
+        optimize: bool | None = None,
         deadline: float | None = None,
     ) -> QueryResult:
         """Execute a SQL string or parsed AST and return its result.
 
+        ``options`` carries every execution knob (see :class:`ExecOptions`):
+        result-cache participation, the optimizer on/off escape hatch, and
+        the cooperative-cancellation deadline.  The legacy ``use_cache=``/
+        ``optimize=``/``deadline=`` keywords are still accepted with
+        identical behaviour but emit a :class:`DeprecationWarning`.
+
         Results are served from the canonical-query cache when an equivalent
         query (same canonical SQL) has already run against the current data
-        version; pass ``use_cache=False`` to force execution.
-
-        ``deadline`` (an absolute ``time.monotonic()`` instant) arms the
-        executor's cooperative cancellation checkpoints: past it, execution
-        raises :class:`~repro.errors.QueryTimeoutError` instead of running
-        to completion.
-
-        ``optimize=False`` lowers the logical plan verbatim (no rewrite
-        rules) — the escape hatch the differential test harness uses to
-        compare optimized against unoptimized execution.  Unoptimized runs
-        never consult or populate the result cache: cached results must
-        always correspond to the default compile path.
+        version.  ``ExecOptions(optimize=False)`` lowers the logical plan
+        verbatim (no rewrite rules) — the escape hatch the differential test
+        harness uses to compare optimized against unoptimized execution;
+        unoptimized runs never consult or populate the result cache.
 
         Execution runs against an atomically pinned snapshot: the data
         version the cache key embeds, the tables the executor scans and the
@@ -321,37 +323,53 @@ class Catalog:
         so a concurrent writer swap can neither serve a stale hit nor poison
         the cache with a result computed from newer data.
         """
-        return self.snapshot(freeze=False).execute(
-            query, use_cache=use_cache, optimize=optimize, deadline=deadline
+        resolved = coerce_options(
+            options,
+            "Catalog.execute",
+            use_cache=use_cache,
+            optimize=optimize,
+            deadline=deadline,
         )
+        return self.snapshot(freeze=False).execute(query, resolved)
 
     def explain(
         self,
         query: str | SqlNode,
         physical: bool = False,
-        optimize: bool = True,
-    ) -> str:
-        """Return a textual plan for the query (for debugging/tests).
+        optimize: bool | None = None,
+        options: ExecOptions | None = None,
+    ) -> "ExplainReport":
+        """Return the query's plan as an :class:`ExplainReport`.
+
+        The report is a ``str`` subclass rendering exactly the classic text,
+        with the individual sections (``logical``, ``trace``, ``optimized``,
+        ``physical``) and the optimizer's ``access_paths`` decisions attached
+        as data.
 
         ``physical=False`` renders the logical plan the planner produces.
         ``physical=True`` renders the full compile pipeline: the pre-rewrite
         logical plan, the optimizer's per-rule trace, the optimized logical
-        plan and the executable physical plan.  With ``optimize=False`` only
-        the verbatim physical lowering is rendered (the pre-optimizer
-        behaviour, still used by lowering-specific tests).
+        plan and the executable physical plan.  With optimization disabled
+        (``options=ExecOptions(optimize=False)``, or the deprecated
+        ``optimize=False`` keyword) only the verbatim physical lowering is
+        rendered (the pre-optimizer behaviour, still used by
+        lowering-specific tests).
         """
         from repro.engine.executor import lower_plan
         from repro.engine.optimizer import optimize_plan
         from repro.engine.planner import Planner
 
+        resolved = coerce_options(options, "Catalog.explain", optimize=optimize)
         node = self._parse(query) if isinstance(query, str) else query
         if not isinstance(node, (Select, SetOperation)):
             raise CatalogError(f"Only SELECT queries can be planned, got {type(node).__name__}")
         if not physical:
-            return Planner(self.schemas()).plan(node).pretty()
+            text = Planner(self.schemas()).plan(node).pretty()
+            return ExplainReport(text, logical=text)
         logical = Planner().plan(node)
-        if not optimize:
-            return lower_plan(logical, self, {}).pretty()
+        if not resolved.optimize:
+            text = lower_plan(logical, self, {}).pretty()
+            return ExplainReport(text, logical=logical.pretty(), physical=text)
         optimized, trace = optimize_plan(logical, self)
         physical_plan = lower_plan(optimized, self, {})
         trace_lines = trace.lines() or ["(no rewrites applied)"]
@@ -365,7 +383,14 @@ class Catalog:
             "== Physical plan ==",
             physical_plan.pretty(),
         ]
-        return "\n".join(sections)
+        return ExplainReport(
+            "\n".join(sections),
+            logical=logical.pretty(),
+            trace=tuple(trace.events),
+            optimized=optimized.pretty(),
+            physical=physical_plan.pretty(),
+            access_paths=tuple(trace.access_decisions),
+        )
 
     # ------------------------------------------------------------------ #
     # Caches
@@ -538,41 +563,56 @@ class CatalogSnapshot:
     def execute(
         self,
         query: str | SqlNode,
-        use_cache: bool = True,
-        optimize: bool = True,
+        options: ExecOptions | bool | None = None,
+        *,
+        use_cache: bool | None = None,
+        optimize: bool | None = None,
         deadline: float | None = None,
     ) -> QueryResult:
         """Execute a query against the pinned table versions.
 
         Semantics match :meth:`Catalog.execute`, with every read — cache key,
         scans, optimizer statistics — anchored to the snapshot's version.  A
-        timed-out execution (``deadline`` elapsed mid-run) raises before the
+        timed-out execution (deadline elapsed mid-run) raises before the
         store, so partial work can never poison the result cache.
         """
         # Imported here to avoid a circular import: the executor needs the
         # catalog types for scans.
         from repro.engine.executor import Executor
 
+        resolved = coerce_options(
+            options,
+            "CatalogSnapshot.execute",
+            use_cache=use_cache,
+            optimize=optimize,
+            deadline=deadline,
+        )
+        run_deadline = resolved.resolved_deadline()
+
         node = self._parse(query) if isinstance(query, str) else query
         if not isinstance(node, (Select, SetOperation)):
             raise CatalogError(f"Only SELECT queries can be executed, got {type(node).__name__}")
 
-        if not optimize:
-            if use_cache:
+        if not resolved.optimize:
+            if resolved.use_cache:
                 self._query_cache.note_bypass()
             return Executor(
-                self, plan_cache=self._plan_cache, optimize=False, deadline=deadline
+                self, plan_cache=self._plan_cache, optimize=False, deadline=run_deadline
             ).execute(node)
 
-        key = cache_key(node, self._version) if use_cache else None
+        key = cache_key(node, self._version) if resolved.use_cache else None
         if key is None:
-            if use_cache:
+            if resolved.use_cache:
                 self._query_cache.note_bypass()
-            return Executor(self, plan_cache=self._plan_cache, deadline=deadline).execute(node)
+            return Executor(
+                self, plan_cache=self._plan_cache, deadline=run_deadline
+            ).execute(node)
         cached = self._query_cache.lookup(key)
         if cached is not None:
             return cached
-        result = Executor(self, plan_cache=self._plan_cache, deadline=deadline).execute(node)
+        result = Executor(
+            self, plan_cache=self._plan_cache, deadline=run_deadline
+        ).execute(node)
         self._query_cache.store(key, result)
         return result
 

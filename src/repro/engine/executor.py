@@ -52,6 +52,8 @@ from repro.engine.plan_nodes import (
     SetOpNode,
     SortExec,
     SortNode,
+    WindowExec,
+    WindowNode,
     hashable,
 )
 from repro.engine.optimizer import optimize_plan, plan_binding_infos, plan_output_names
@@ -247,9 +249,20 @@ class _Lowerer:
                 aggregates=list(plan.aggregates),  # type: ignore[arg-type]
                 input=self.lower(plan.input),
             )
+        if isinstance(plan, WindowNode):
+            return WindowExec(
+                windows=list(plan.windows),
+                input=self.lower(plan.input),
+                index_orders=dict(plan.index_orders),
+                scan_table=(
+                    plan.input.table_name
+                    if isinstance(plan.input, ScanNode)
+                    else None
+                ),
+            )
         if isinstance(plan, ProjectNode):
             below = plan.input
-            while isinstance(below, FilterNode):
+            while isinstance(below, (FilterNode, WindowNode)):
                 below = below.input
             return ProjectExec(
                 items=list(plan.items),

@@ -73,7 +73,9 @@ from repro.engine.plan_nodes import (
     ScanNode,
     SetOpNode,
     SortNode,
+    WindowNode,
     dedupe_names,
+    window_sort_key,
 )
 from repro.sql.ast_nodes import (
     BetweenOp,
@@ -90,6 +92,7 @@ from repro.sql.ast_nodes import (
     SqlNode,
     Star,
     UnaryOp,
+    WindowCall,
 )
 from repro.sql.printer import to_sql
 from repro.sql.schema import DataType
@@ -123,9 +126,16 @@ class OptimizerTrace:
     """Ordered record of every rule application during one optimization."""
 
     events: list[tuple[str, str]] = field(default_factory=list)
+    #: Access-path decisions as data (mirrors the ``access_path`` events):
+    #: index choices, refusals and window sort elisions, for consumers that
+    #: want decisions instead of prose (see ``ExplainReport.access_paths``).
+    access_decisions: list[dict[str, Any]] = field(default_factory=list)
 
     def record(self, rule: str, detail: str) -> None:
         self.events.append((rule, detail))
+
+    def record_access(self, **decision: Any) -> None:
+        self.access_decisions.append(decision)
 
     def lines(self) -> list[str]:
         return [f"{rule}: {detail}" for rule, detail in self.events]
@@ -269,7 +279,7 @@ def plan_output_types(
     if not isinstance(node, ProjectNode):
         return None
     below = node.input
-    while isinstance(below, FilterNode):
+    while isinstance(below, (FilterNode, WindowNode)):
         below = below.input
     if isinstance(below, AggregateNode):
         below = below.input
@@ -616,6 +626,11 @@ class _Optimizer:
             return DistinctNode(input=self.rewrite(plan.input))
         if isinstance(plan, ProjectNode):
             return self._rewrite_project(plan)
+        if isinstance(plan, WindowNode):
+            # Defensive: the planner always places a Project above a Window.
+            return self._attach_window(
+                plan, self._rewrite_project_input(plan.input, star_in_scope=True)
+            )
         # A bare FROM subtree (defensive: the planner always adds a Project).
         return self._rewrite_from(plan, [], star_in_scope=True)
 
@@ -647,6 +662,18 @@ class _Optimizer:
         )
         below = project.input
 
+        window: WindowNode | None = None
+        if isinstance(below, WindowNode):
+            window = below
+            below = below.input
+
+        inner = self._rewrite_project_input(below, star_in_scope)
+        if window is not None:
+            inner = self._attach_window(window, inner)
+        return ProjectNode(input=inner, items=list(project.items))
+
+    def _rewrite_project_input(self, below: PlanNode, star_in_scope: bool) -> PlanNode:
+        """Rewrite everything between a Project (or Window) and the FROM tree."""
         having: FilterNode | None = None
         if (
             isinstance(below, FilterNode)
@@ -670,7 +697,7 @@ class _Optimizer:
             )
             if kept_having is not None:
                 rebuilt = FilterNode(input=rebuilt, predicate=kept_having, phase="having")
-            return ProjectNode(input=rebuilt, items=list(project.items))
+            return rebuilt
 
         if isinstance(below, FilterNode) and below.phase == "having":
             # HAVING without aggregation: keep it in place, rewrite below.
@@ -678,13 +705,9 @@ class _Optimizer:
             inner = self.rewrite(below.input) if isinstance(
                 below.input, (ProjectNode, SetOpNode, CteNode)
             ) else self._rewrite_from_below(below.input, star_in_scope)
-            return ProjectNode(
-                input=FilterNode(input=inner, predicate=folded, phase="having"),
-                items=list(project.items),
-            )
+            return FilterNode(input=inner, predicate=folded, phase="having")
 
-        new_from = self._rewrite_from_below(below, star_in_scope)
-        return ProjectNode(input=new_from, items=list(project.items))
+        return self._rewrite_from_below(below, star_in_scope)
 
     def _rewrite_from_below(self, below: PlanNode, star_in_scope: bool) -> PlanNode:
         pool, source = self._collect_where_pool(below)
@@ -778,6 +801,22 @@ class _Optimizer:
             return self._wrap_filter(rewritten, remaining)
         if isinstance(plan, ScanNode):
             return self._wrap_filter(plan, conjuncts)
+        if isinstance(plan, WindowNode):
+            # A window boundary (reached when conjuncts are pushed through a
+            # derived table whose scope computes windows).  Only conjuncts
+            # over the partition keys of *every* window may cross: they keep
+            # or drop whole partitions, so surviving partitions' window
+            # values are untouched.  Everything else filters above.
+            pushable, kept = self._split_window_conjuncts(plan, conjuncts)
+            below = plan.input
+            if pushable:
+                below = self._push_into(below, pushable)
+            rebuilt = WindowNode(
+                input=below,
+                windows=list(plan.windows),
+                index_orders=dict(plan.index_orders),
+            )
+            return self._wrap_filter(rebuilt, kept)
         return self._wrap_filter(self.rewrite(plan), conjuncts)
 
     @staticmethod
@@ -786,6 +825,157 @@ class _Optimizer:
         if predicate is None:
             return plan
         return FilterNode(input=plan, predicate=predicate, phase="where")
+
+    # -- window boundaries ----------------------------------------------- #
+
+    def _split_window_conjuncts(
+        self, window: WindowNode, conjuncts: list[SqlNode]
+    ) -> tuple[list[SqlNode], list[SqlNode]]:
+        """(below-window, above-window) split of conjuncts at a window boundary.
+
+        A conjunct may cross below the window only when every column it
+        references is a bare-ColumnRef partition key of *every* window the
+        node computes (so it is constant within each partition and removes
+        whole partitions) and it is total below the window.  Every decision
+        is traced so EXPLAIN shows why pushdown stopped at the boundary.
+        """
+        if not conjuncts:
+            return [], []
+        below = window.input
+        # Only FROM-like inputs accept pushed conjuncts; an Aggregate (or its
+        # HAVING filter) below the window keeps its own pushdown discipline.
+        from_like = isinstance(
+            below, (ScanNode, IndexScanNode, DerivedScanNode, JoinNode)
+        ) or (isinstance(below, FilterNode) and below.phase == "where")
+        scope = self._scope_of(below) if from_like else None
+        key_sets = self._window_partition_keys(window)
+        pushable: list[SqlNode] = []
+        kept: list[SqlNode] = []
+        for conjunct in conjuncts:
+            reason: str | None = None
+            if key_sets is None or not self._refs_only_partition_keys(
+                conjunct, key_sets
+            ):
+                reason = "references non-partition column(s)"
+            elif not from_like or not expression_type_and_totality(conjunct, scope)[1]:
+                reason = "conjunct is not provably total below the window"
+            if reason is None:
+                pushable.append(conjunct)
+                self._trace.record(
+                    "predicate_pushdown",
+                    f"pushed {to_sql(conjunct)} below window boundary "
+                    f"(partition keys only)",
+                )
+            else:
+                kept.append(conjunct)
+                self._trace.record(
+                    "predicate_pushdown",
+                    f"kept {to_sql(conjunct)} above window boundary: {reason}",
+                )
+        return pushable, kept
+
+    @staticmethod
+    def _window_partition_keys(window: WindowNode) -> list[list[ColumnRef]] | None:
+        """Per-window bare-ColumnRef partition keys, or None when some window
+        has none (nothing can then legally cross the boundary)."""
+        key_sets: list[list[ColumnRef]] = []
+        for call in window.windows:
+            keys = [
+                expr for expr in call.spec.partition_by if isinstance(expr, ColumnRef)
+            ]
+            if not keys:
+                return None
+            key_sets.append(keys)
+        return key_sets
+
+    @staticmethod
+    def _refs_only_partition_keys(
+        conjunct: SqlNode, key_sets: list[list[ColumnRef]]
+    ) -> bool:
+        refs = [node for node in conjunct.walk() if isinstance(node, ColumnRef)]
+        if not refs:
+            return False
+        for ref in refs:
+            for keys in key_sets:
+                if not any(
+                    ref.name == key.name
+                    and (
+                        ref.table is None
+                        or key.table is None
+                        or ref.table == key.table
+                    )
+                    for key in keys
+                ):
+                    return False
+        return True
+
+    def _attach_window(self, window: WindowNode, inner: PlanNode) -> WindowNode:
+        """Re-wrap a rewritten input in the WindowNode, choosing index orders.
+
+        When the input is a plain base-table scan and a window's single
+        ascending ORDER BY key has an ordered secondary index whose statistics
+        prove the column self-comparable, the sort for that window spec can be
+        served by the index (the executor re-verifies coverage and NULL-
+        freeness at run time and falls back to sorting otherwise).
+        """
+        index_orders = dict(window.index_orders)
+        if (
+            self._catalog is not None
+            and isinstance(inner, ScanNode)
+            and inner.table_name != "<dual>"
+            and inner.table_name.lower() not in self._cte_types
+            and self._catalog.has_table(inner.table_name)
+        ):
+            table = self._catalog.table(inner.table_name)
+            for call in window.windows:
+                key = window_sort_key(call.spec)
+                if key in index_orders:
+                    continue
+                order = self._window_index_order(call.spec, inner, table)
+                if order is not None:
+                    index_orders[key] = order
+                    self._trace.record(
+                        "access_path",
+                        f"window ORDER BY {order[1]} served by ordered index on "
+                        f"{order[0]}.{order[1]} (sort elided)",
+                    )
+                    self._trace.record_access(
+                        decision="window_sort_elision",
+                        table=order[0],
+                        column=order[1],
+                        kind="ordered",
+                        op="window_order",
+                        chosen=True,
+                    )
+        return WindowNode(
+            input=inner, windows=list(window.windows), index_orders=index_orders
+        )
+
+    def _window_index_order(
+        self, spec, scan: ScanNode, table
+    ) -> tuple[str, str] | None:
+        if len(spec.order_by) != 1:
+            return None
+        item = spec.order_by[0]
+        if item.descending:
+            # Reversing index order would flip tie order relative to the
+            # stable sort path; refuse rather than diverge.
+            return None
+        ref = item.expr
+        if not isinstance(ref, ColumnRef):
+            return None
+        if not self._ref_binds_to_scan(ref, scan, table):
+            return None
+        index = table.column_index(ref.name, "ordered")
+        if index is None or index.poisoned:
+            return None
+        try:
+            column_type = table.value_type(ref.name)
+        except Exception:  # noqa: BLE001 - stats are best effort
+            return None
+        if column_type is None or not _comparable(column_type, column_type):
+            return None
+        return (scan.table_name, ref.name)
 
     def _scope_of(self, plan: PlanNode) -> dict[str, BindingInfo] | None:
         return plan_binding_infos(plan, self._catalog, self._cte_types)
@@ -998,6 +1188,14 @@ class _Optimizer:
                 and node.name in mapping
                 else None,
             )
+            if any(isinstance(node, WindowCall) for node in substituted.walk()):
+                remaining.append(conjunct)
+                self._trace.record(
+                    "predicate_pushdown",
+                    f"kept {to_sql(conjunct)} above window boundary: "
+                    f"references window function output",
+                )
+                continue
             if not expression_type_and_totality(substituted, inner_scope)[1]:
                 remaining.append(conjunct)
                 continue
@@ -1026,7 +1224,7 @@ class _Optimizer:
 
     def _inner_scope_of(self, below_project: PlanNode) -> dict[str, BindingInfo] | None:
         node = below_project
-        while isinstance(node, FilterNode):
+        while isinstance(node, (FilterNode, WindowNode)):
             node = node.input
         if isinstance(node, AggregateNode):
             node = node.input
@@ -1242,7 +1440,7 @@ class _Optimizer:
             return max(base * selectivity, 1.0)
         if isinstance(plan, DerivedScanNode):
             return self._estimate_rows(plan.input)
-        if isinstance(plan, (ProjectNode, SortNode, DistinctNode, CteNode)):
+        if isinstance(plan, (ProjectNode, SortNode, DistinctNode, CteNode, WindowNode)):
             return self._estimate_rows(plan.input)
         if isinstance(plan, LimitNode):
             base = self._estimate_rows(plan.input)
@@ -1433,6 +1631,12 @@ class _Optimizer:
             return ProjectNode(
                 input=self._select_access(plan.input, shadowed), items=list(plan.items)
             )
+        if isinstance(plan, WindowNode):
+            return WindowNode(
+                input=self._select_access(plan.input, shadowed),
+                windows=list(plan.windows),
+                index_orders=dict(plan.index_orders),
+            )
         if isinstance(plan, DistinctNode):
             return DistinctNode(input=self._select_access(plan.input, shadowed))
         if isinstance(plan, SortNode):
@@ -1502,6 +1706,16 @@ class _Optimizer:
                 f"conjunct {to_sql(conjuncts[position])} too unselective "
                 f"(est. {selectivity:.4f})",
             )
+            self._trace.record_access(
+                decision="seq_scan",
+                table=scan.table_name,
+                column=access.column,
+                kind=access.kind,
+                op=access.op,
+                chosen=False,
+                reason="too unselective",
+                estimated_selectivity=selectivity,
+            )
             return None
         residual = [c for index, c in enumerate(conjuncts) if index != position]
         index_scan = IndexScanNode(
@@ -1518,6 +1732,16 @@ class _Optimizer:
         if residual:
             detail += f"; residual filter keeps {len(residual)} conjunct(s)"
         self._trace.record("access_path", detail)
+        self._trace.record_access(
+            decision="index_scan",
+            table=scan.table_name,
+            column=access.column,
+            kind=access.kind,
+            op=access.op,
+            chosen=True,
+            estimated_selectivity=selectivity,
+            residual_conjuncts=len(residual),
+        )
         return self._wrap_filter(index_scan, residual)
 
     def _indexable_access(
@@ -1660,6 +1884,12 @@ class _Optimizer:
             return ProjectNode(
                 input=self._apply_pruning(plan.input, demands), items=list(plan.items)
             )
+        if isinstance(plan, WindowNode):
+            return WindowNode(
+                input=self._apply_pruning(plan.input, demands),
+                windows=list(plan.windows),
+                index_orders=dict(plan.index_orders),
+            )
         if isinstance(plan, DistinctNode):
             return DistinctNode(input=self._apply_pruning(plan.input, demands))
         if isinstance(plan, SortNode):
@@ -1790,6 +2020,9 @@ def _collect_demands(plan: PlanNode, demands: _ColumnDemands) -> None:
         elif isinstance(node, AggregateNode):
             for expr in list(node.group_by) + list(node.aggregates):
                 _collect_expr_demands(expr, demands)
+        elif isinstance(node, WindowNode):
+            for call in node.windows:
+                _collect_expr_demands(call, demands)
         elif isinstance(node, ProjectNode):
             for item in node.items:
                 _collect_expr_demands(item.expr, demands)

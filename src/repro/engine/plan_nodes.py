@@ -187,6 +187,53 @@ class AggregateNode(PlanNode):
         return f"Aggregate(group_by=[{groups}], aggregates=[{aggs}])"
 
 
+def window_sort_key(spec) -> tuple:
+    """Hashable identity of a window spec's partition/order requirements.
+
+    Two specs with the same key can share one partition pass and one sort —
+    frames may still differ per call.  Canonical SQL text is the same dedup
+    currency the aggregate and cache layers use.
+    """
+    return (
+        tuple(to_sql(expr) for expr in spec.partition_by),
+        tuple(
+            (to_sql(item.expr), item.descending, item.nulls_last)
+            for item in spec.order_by
+        ),
+    )
+
+
+@dataclass
+class WindowNode(PlanNode):
+    """Window computation, sitting between HAVING and the SELECT projection.
+
+    ``windows`` holds the scope's distinct :class:`WindowCall` ASTs; the
+    physical operator publishes one result vector per call into the batch's
+    aggregate-substitution map keyed by canonical SQL (the same mechanism
+    GROUP BY results ride).  ``index_orders`` is the optimizer's sort-elision
+    hint: spec sort key -> ``(table, column)`` whose ordered secondary index
+    provably yields the spec's sort order (ascending, NULL-free by stats).
+    """
+
+    input: PlanNode
+    windows: list[SqlNode] = field(default_factory=list)
+    index_orders: dict = field(default_factory=dict)
+
+    def children(self) -> list[PlanNode]:
+        return [self.input]
+
+    def description(self) -> str:
+        calls = ", ".join(to_sql(window) for window in self.windows)
+        hint = ""
+        if self.index_orders:
+            columns = ", ".join(
+                f"{table}.{column}"
+                for table, column in sorted(set(self.index_orders.values()))
+            )
+            hint = f", index_order=[{columns}]"
+        return f"Window({calls}{hint})"
+
+
 @dataclass
 class ProjectNode(PlanNode):
     """SELECT-list projection."""
@@ -837,6 +884,45 @@ class DistinctExec(PhysicalNode):
         return batch.take(indices)
 
 
+def stable_sort_indices(
+    indices: list[int],
+    keyed_orders: list[tuple[list[Any], bool, bool]],
+) -> list[int]:
+    """Stable multi-key index sort with the engine's ORDER BY semantics.
+
+    ``keyed_orders`` is ``[(key_vector, descending, nulls_last), ...]`` in
+    clause order; keys are applied last-first so earlier keys dominate.
+    ``indices`` selects the rows to permute — the key vectors are full-length
+    and indexed by row position, so the same vectors serve every partition of
+    a window sort.  Null-free keys sort un-wrapped at C speed (a scratch list
+    protects against mixed-type TypeError); the fallback provides the total
+    order via :class:`Orderable` with explicit NULL placement.
+    """
+    for keys, descending, nulls_last in reversed(keyed_orders):
+        if None not in keys:
+            trial = indices[:]
+            try:
+                trial.sort(key=keys.__getitem__, reverse=descending)
+            except TypeError:
+                pass
+            else:
+                indices = trial
+                continue
+
+        def sort_key(index: int, keys=keys, nulls_last=nulls_last):
+            value = keys[index]
+            is_null = value is None
+            return (is_null if nulls_last else not is_null, Orderable(value))
+
+        indices.sort(key=sort_key, reverse=descending)
+        # Re-sort so NULL placement is unaffected by reverse.
+        if descending:
+            nulls = [index for index in indices if keys[index] is None]
+            non_nulls = [index for index in indices if keys[index] is not None]
+            indices = non_nulls + nulls if nulls_last else nulls + non_nulls
+    return indices
+
+
 @dataclass
 class SortExec(PhysicalNode):
     """ORDER BY with vectorized key computation and stable index sorting.
@@ -887,38 +973,325 @@ class SortExec(PhysicalNode):
         ctx.checkpoint()
         if batch.length == 0:
             return batch
-        indices = list(range(batch.length))
-        for item in reversed(self.order_by):
-            keys = self._key_vector(ctx, batch, item.expr)
-            nulls_last = item.nulls_last
-
-            if None not in keys:
-                # Null-free key: try the direct (un-wrapped) comparison, which
-                # sorts at C speed.  A mixed-type key raises TypeError, in
-                # which case the Orderable fallback below provides the total
-                # order.  Sort a scratch list so a failed attempt cannot leave
-                # ``indices`` half-permuted.
-                trial = indices[:]
-                try:
-                    trial.sort(key=keys.__getitem__, reverse=item.descending)
-                except TypeError:
-                    pass
-                else:
-                    indices = trial
-                    continue
-
-            def sort_key(index: int, keys=keys, nulls_last=nulls_last):
-                value = keys[index]
-                is_null = value is None
-                return (is_null if nulls_last else not is_null, Orderable(value))
-
-            indices.sort(key=sort_key, reverse=item.descending)
-            # Re-sort so NULL placement is unaffected by reverse.
-            if item.descending:
-                nulls = [index for index in indices if keys[index] is None]
-                non_nulls = [index for index in indices if keys[index] is not None]
-                indices = non_nulls + nulls if item.nulls_last else nulls + non_nulls
+        keyed = [
+            (self._key_vector(ctx, batch, item.expr), item.descending, item.nulls_last)
+            for item in self.order_by
+        ]
+        indices = stable_sort_indices(list(range(batch.length)), keyed)
         return batch.take(indices)
+
+
+@dataclass
+class WindowExec(PhysicalNode):
+    """Vectorized window computation over the post-HAVING batch.
+
+    Windows are grouped by :func:`window_sort_key`, so every call sharing a
+    partition/order clause rides **one** partition pass and **one** sort; only
+    the per-call frame walk differs.  Result vectors land in the batch's
+    ``aggregates`` substitution map keyed by the call's canonical SQL — the
+    projection, ORDER BY and later operators then resolve window references
+    through the exact mechanism GROUP BY results already use, and
+    ``Batch.take``/``filter``/``slice`` keep the vectors row-aligned.
+
+    Frame semantics match sqlite3 (the differential oracle):
+
+    * ``ORDER BY`` without an explicit frame: the default RANGE frame — a
+      running value extended to *peers* (rows tying on all order keys share
+      the value of their last peer);
+    * no ``ORDER BY``: the whole partition;
+    * explicit ``ROWS`` frames: physical row offsets, with an incremental
+      accumulator fast path for frames growing from the partition start.
+
+    ``index_orders``/``scan_table`` carry the optimizer's sort-elision hint;
+    the operator re-verifies every precondition at run time (identity scan,
+    NULL-free covered ordered index) and silently falls back to sorting, so a
+    stale hint can never produce wrong answers.
+    """
+
+    windows: list[SqlNode]
+    input: PhysicalNode
+    index_orders: dict = field(default_factory=dict)
+    scan_table: str | None = None
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.input]
+
+    def description(self) -> str:
+        calls = ", ".join(to_sql(window) for window in self.windows)
+        hint = ""
+        if self.index_orders:
+            columns = ", ".join(
+                f"{table}.{column}"
+                for table, column in sorted(set(self.index_orders.values()))
+            )
+            hint = f", index_order=[{columns}]"
+        return f"Window({calls}{hint})"
+
+    def execute(self, ctx) -> Batch:
+        batch = self.input.execute(ctx)
+        ctx.checkpoint()
+        evaluator = VectorEvaluator(ctx)
+
+        spec_groups: dict[tuple, list[Any]] = {}
+        for window in self.windows:
+            spec_groups.setdefault(window_sort_key(window.spec), []).append(window)
+
+        results: dict[str, list[Any]] = {}
+        for spec_key, calls in spec_groups.items():
+            ctx.checkpoint()
+            if batch.length == 0:
+                for window in calls:
+                    results[to_sql(window)] = []
+                continue
+            spec = calls[0].spec
+            order_vectors = [evaluator.eval(item.expr, batch) for item in spec.order_by]
+            partitions = self._partitions(evaluator, batch, spec)
+            ordered = self._order_partitions(
+                ctx, batch, spec, spec_key, partitions, order_vectors
+            )
+            for window in calls:
+                out: list[Any] = [None] * batch.length
+                self._compute(ctx, evaluator, batch, window, ordered, order_vectors, out)
+                results[to_sql(window)] = out
+
+        merged = dict(batch.aggregates)
+        merged.update(results)
+        return Batch(
+            slots=batch.slots,
+            columns=batch.columns,
+            length=batch.length,
+            aliases=batch.aliases,
+            aggregates=merged,
+        )
+
+    # -- partitioning and ordering ---------------------------------------- #
+
+    def _partitions(self, evaluator, batch: Batch, spec) -> list[list[int]]:
+        if not spec.partition_by:
+            return [list(range(batch.length))]
+        key_columns = [evaluator.eval(expr, batch) for expr in spec.partition_by]
+        grouped, order = HashAggregateExec._partition(key_columns, batch.length)
+        # Members are appended in row order, so each partition list is already
+        # ascending — the unsorted (no ORDER BY) case needs no further work.
+        return [grouped[key] for key in order]
+
+    def _order_partitions(
+        self,
+        ctx,
+        batch: Batch,
+        spec,
+        spec_key: tuple,
+        partitions: list[list[int]],
+        order_vectors: list[list[Any]],
+    ) -> list[list[int]]:
+        if not spec.order_by:
+            return partitions
+        global_order = self._index_order(ctx, batch, spec_key)
+        if global_order is not None:
+            if len(partitions) == 1:
+                return [global_order]
+            # Rank rows by the global value order, then sort each partition's
+            # (small) member list by rank — still no value comparisons.
+            rank = [0] * batch.length
+            for position, row in enumerate(global_order):
+                rank[row] = position
+            return [sorted(members, key=rank.__getitem__) for members in partitions]
+        keyed = [
+            (vector, item.descending, item.nulls_last)
+            for vector, item in zip(order_vectors, spec.order_by)
+        ]
+        return [
+            stable_sort_indices(list(members), keyed) if len(members) > 1 else list(members)
+            for members in partitions
+        ]
+
+    def _index_order(self, ctx, batch: Batch, spec_key: tuple) -> list[int] | None:
+        """Row positions in spec order via the ordered index, or None.
+
+        Every precondition the optimizer proved from statistics is
+        re-verified against the live table, so the hint degrades to the sort
+        path instead of ever producing a wrong order.
+        """
+        target = self.index_orders.get(spec_key)
+        if target is None or self.scan_table is None:
+            return None
+        table_name, column = target
+        if table_name.lower() in ctx.ctes:
+            return None
+        try:
+            table = ctx.catalog.table(table_name)
+        except Exception:
+            return None
+        if batch.length != table.row_count:
+            return None
+        try:
+            store = table.column_store(column)
+        except Exception:
+            return None
+        index = store.index("ordered")
+        if index is None or index.poisoned or index.covered != len(store.values):
+            return None
+        if store.null_count:
+            return None
+        order = index.ordered_positions()
+        if order is None or len(order) != batch.length:
+            return None
+        return order
+
+    # -- per-call computation ---------------------------------------------- #
+
+    def _compute(
+        self,
+        ctx,
+        evaluator,
+        batch: Batch,
+        window,
+        partitions: list[list[int]],
+        order_vectors: list[list[Any]],
+        out: list[Any],
+    ) -> None:
+        call = window.call
+        name = call.lower_name
+
+        if name == "row_number":
+            for members in partitions:
+                for position, row in enumerate(members):
+                    out[row] = position + 1
+            return
+
+        if name in ("rank", "dense_rank"):
+            dense = name == "dense_rank"
+            for members in partitions:
+                previous: Any = None
+                rank = dense_rank = 0
+                for position, row in enumerate(members):
+                    key = tuple(vector[row] for vector in order_vectors)
+                    if position == 0 or key != previous:
+                        rank = position + 1
+                        dense_rank += 1
+                        previous = key
+                    out[row] = dense_rank if dense else rank
+            return
+
+        if name in ("lag", "lead"):
+            argument = evaluator.eval(call.args[0], batch)
+            offset = call.args[1].value if len(call.args) >= 2 else 1
+            default = (
+                evaluator.eval(call.args[2], batch) if len(call.args) >= 3 else None
+            )
+            step = -offset if name == "lag" else offset
+            for members in partitions:
+                count = len(members)
+                for position, row in enumerate(members):
+                    source = position + step
+                    if 0 <= source < count:
+                        out[row] = argument[members[source]]
+                    elif default is not None:
+                        out[row] = default[row]
+            return
+
+        # Windowed aggregate: running (peer-extended), whole-partition, or an
+        # explicit ROWS frame.
+        is_star = (bool(call.args) and isinstance(call.args[0], Star)) or not call.args
+        argument = None if is_star else evaluator.eval(call.args[0], batch)
+        spec = window.spec
+        frame = spec.frame
+
+        def fresh():
+            return make_accumulator(call.name, is_star=is_star, distinct=False)
+
+        def feed(accumulator, rows) -> None:
+            if accumulator.counts_rows:
+                accumulator.add_many(rows)
+            else:
+                accumulator.add_many([argument[row] for row in rows])
+
+        if frame is None and not spec.order_by:
+            for members in partitions:
+                ctx.checkpoint()
+                accumulator = fresh()
+                feed(accumulator, members)
+                value = accumulator.result()
+                for row in members:
+                    out[row] = value
+            return
+
+        if frame is None:
+            # Default frame with ORDER BY: RANGE BETWEEN UNBOUNDED PRECEDING
+            # AND CURRENT ROW — peers (order-key ties) share the running value
+            # of their last member, matching sqlite.
+            for members in partitions:
+                ctx.checkpoint()
+                accumulator = fresh()
+                count = len(members)
+                position = 0
+                while position < count:
+                    end = position + 1
+                    key = tuple(vector[members[position]] for vector in order_vectors)
+                    while end < count and (
+                        tuple(vector[members[end]] for vector in order_vectors) == key
+                    ):
+                        end += 1
+                    peers = members[position:end]
+                    feed(accumulator, peers)
+                    value = accumulator.result()
+                    for row in peers:
+                        out[row] = value
+                    position = end
+            return
+
+        grows_from_start = frame.start_kind == "UNBOUNDED_PRECEDING" and frame.end_kind in (
+            "CURRENT_ROW",
+            "FOLLOWING",
+        )
+        for members in partitions:
+            ctx.checkpoint()
+            count = len(members)
+            if grows_from_start:
+                # The frame end only moves forward: one accumulator per
+                # partition, fed incrementally (result() is non-destructive
+                # for every engine accumulator).
+                accumulator = fresh()
+                fed = 0
+                extra = frame.end_offset or 0 if frame.end_kind == "FOLLOWING" else 0
+                for position in range(count):
+                    high = min(position + extra, count - 1)
+                    while fed <= high:
+                        feed(accumulator, members[fed : fed + 1])
+                        fed += 1
+                    out[members[position]] = accumulator.result()
+                continue
+            for position in range(count):
+                low, high = _frame_bounds(frame, position, count)
+                accumulator = fresh()
+                if low <= high:
+                    feed(accumulator, members[low : high + 1])
+                out[members[position]] = accumulator.result()
+
+
+def _frame_bounds(frame, position: int, count: int) -> tuple[int, int]:
+    """Clamped [low, high] member offsets of one ROWS frame at ``position``."""
+    if frame.start_kind == "UNBOUNDED_PRECEDING":
+        low = 0
+    elif frame.start_kind == "PRECEDING":
+        low = position - (frame.start_offset or 0)
+    elif frame.start_kind == "CURRENT_ROW":
+        low = position
+    elif frame.start_kind == "FOLLOWING":
+        low = position + (frame.start_offset or 0)
+    else:  # UNBOUNDED_FOLLOWING start: degenerate single-row-at-end frame
+        low = count - 1
+    if frame.end_kind == "UNBOUNDED_FOLLOWING":
+        high = count - 1
+    elif frame.end_kind == "FOLLOWING":
+        high = position + (frame.end_offset or 0)
+    elif frame.end_kind == "CURRENT_ROW":
+        high = position
+    elif frame.end_kind == "PRECEDING":
+        high = position - (frame.end_offset or 0)
+    else:  # UNBOUNDED_PRECEDING end: degenerate single-row-at-start frame
+        high = 0
+    return max(low, 0), min(high, count - 1)
 
 
 @dataclass

@@ -28,15 +28,21 @@ from repro.engine.plan_nodes import (
     ScanNode,
     SetOpNode,
     SortNode,
+    WindowNode,
 )
+from repro.sql.analyzer import check_window_placement
 from repro.sql.ast_nodes import (
+    AGGREGATE_FUNCTIONS,
+    WINDOW_FUNCTIONS,
     FunctionCall,
     Join,
+    Literal,
     Select,
     SetOperation,
     SqlNode,
     SubqueryRef,
     TableRef,
+    WindowCall,
 )
 from repro.sql.printer import to_sql
 from repro.sql.schema import TableSchema
@@ -72,7 +78,7 @@ def collect_aggregate_calls(query: Select, include_order_by: bool = False) -> li
     if include_order_by:
         nodes.extend(item.expr for item in query.order_by)
     for node in nodes:
-        for descendant in walk_same_scope(node):
+        for descendant in _walk_outside_windows(node):
             if (
                 isinstance(descendant, FunctionCall)
                 and is_aggregate_function(descendant.name)
@@ -80,6 +86,68 @@ def collect_aggregate_calls(query: Select, include_order_by: bool = False) -> li
             ):
                 calls.setdefault(to_sql(descendant), descendant)
     return list(calls.values())
+
+
+def _walk_outside_windows(node: SqlNode):
+    """Same-scope walk that does not treat a windowed call as a group aggregate.
+
+    ``sum(x) OVER (...)`` is computed by the window operator, not by GROUP BY,
+    so the wrapped :class:`FunctionCall` is skipped — but its argument and
+    specification expressions are still walked (``sum(count(*)) OVER (...)``
+    legitimately feeds an inner group aggregate into the window).
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Select):
+            continue
+        if isinstance(current, WindowCall):
+            stack.extend(current.call.args)
+            stack.extend(current.spec.partition_by)
+            stack.extend(item.expr for item in current.spec.order_by)
+            continue
+        yield current
+        stack.extend(current.children())
+
+
+def collect_window_calls(query: Select) -> list[WindowCall]:
+    """The distinct window calls of the query's own scope, in appearance order.
+
+    Windows may appear in the SELECT list and in ORDER BY (scope rules are
+    enforced separately); duplicates — the same canonical SQL text — are
+    computed once and shared.
+    """
+    calls: dict[str, WindowCall] = {}
+    nodes: list[SqlNode] = [item.expr for item in query.select_items]
+    nodes.extend(item.expr for item in query.order_by)
+    for node in nodes:
+        for descendant in walk_same_scope(node):
+            if isinstance(descendant, WindowCall):
+                calls.setdefault(to_sql(descendant), descendant)
+    return list(calls.values())
+
+
+def validate_window_call(window: WindowCall) -> None:
+    """Reject malformed window calls with a planning-time error."""
+    call = window.call
+    name = call.lower_name
+    if name not in WINDOW_FUNCTIONS and name not in AGGREGATE_FUNCTIONS:
+        raise EngineError(f"{call.name!r} is not a window function")
+    if call.distinct:
+        raise EngineError(f"DISTINCT is not supported in window function {call.name}()")
+    if name in ("row_number", "rank", "dense_rank") and call.args:
+        raise EngineError(f"{name}() takes no arguments")
+    if name in ("lag", "lead"):
+        if not 1 <= len(call.args) <= 3:
+            raise EngineError(f"{name}() takes between 1 and 3 arguments")
+        if len(call.args) >= 2:
+            offset = call.args[1]
+            if not (isinstance(offset, Literal) and isinstance(offset.value, int)):
+                raise EngineError(f"{name}() offset must be an integer literal")
+            if offset.value < 0:
+                raise EngineError(f"{name}() offset must be non-negative")
+    if name in ("rank", "dense_rank") and not window.spec.order_by:
+        raise EngineError(f"{name}() requires an ORDER BY in its OVER clause")
 
 
 class Planner:
@@ -101,6 +169,10 @@ class Planner:
         raise EngineError(f"Cannot plan node of type {type(node).__name__}")
 
     def _plan_select(self, query: Select) -> PlanNode:
+        violation = check_window_placement(query)
+        if violation is not None:
+            raise EngineError(violation)
+
         plan = self._plan_from(query.from_clause)
 
         if query.where is not None:
@@ -114,6 +186,12 @@ class Planner:
 
         if query.having is not None:
             plan = FilterNode(input=plan, predicate=query.having, phase="having")
+
+        windows = collect_window_calls(query)
+        if windows:
+            for window in windows:
+                validate_window_call(window)
+            plan = WindowNode(input=plan, windows=windows)
 
         plan = ProjectNode(input=plan, items=list(query.select_items))
 

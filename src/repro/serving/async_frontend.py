@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.engine.catalog import Catalog
+from repro.engine.options import ExecOptions, coerce_options
 from repro.engine.table import QueryResult
 from repro.errors import AdmissionError
 from repro.pipeline import GenerationResult, PipelineConfig
@@ -144,12 +145,18 @@ class AsyncInterfaceService:
         self,
         handle: AsyncSession,
         query: str,
-        use_cache: bool = True,
+        options: ExecOptions | bool | None = None,
+        *,
+        use_cache: bool | None = None,
         deadline_ms: float | None = None,
     ) -> QueryResult:
-        future = self._service(handle).submit_execute(
-            handle.session_id, query, use_cache=use_cache, deadline_ms=deadline_ms
+        resolved = coerce_options(
+            options,
+            "AsyncFrontend.execute",
+            use_cache=use_cache,
+            deadline_ms=deadline_ms,
         )
+        future = self._service(handle).submit_execute(handle.session_id, query, resolved)
         return await asyncio.wrap_future(future)
 
     async def generate(

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.engine.catalog import Catalog
+from repro.engine.options import ExecOptions, coerce_options
 from repro.engine.table import QueryResult
 from repro.errors import (
     AdmissionError,
@@ -297,7 +298,9 @@ class InterfaceService:
         self,
         session_id: str,
         query: str,
-        use_cache: bool = True,
+        options: ExecOptions | bool | None = None,
+        *,
+        use_cache: bool | None = None,
         deadline_ms: float | None = None,
     ) -> "Future[QueryResult]":
         """Run one SQL query on the session's pinned snapshot.
@@ -308,20 +311,29 @@ class InterfaceService:
         worker has never seen this fingerprint) and blocks GIL-free on the
         pipe, so concurrent queries execute truly in parallel.
 
-        ``deadline_ms`` overrides ``ServiceConfig.default_deadline_ms`` for
-        this request; past the resulting absolute deadline the request
-        resolves to a typed error (:class:`~repro.errors.QueryTimeoutError`
-        if cancelled mid-execution,
+        ``options`` carries the execution knobs (:class:`ExecOptions`); the
+        legacy ``use_cache=``/``deadline_ms=`` keywords still work but emit
+        a :class:`DeprecationWarning`.  A relative ``deadline_ms`` budget
+        (or, absent one, ``ServiceConfig.default_deadline_ms``) is resolved
+        to an absolute deadline at submission; past it the request resolves
+        to a typed error (:class:`~repro.errors.QueryTimeoutError` if
+        cancelled mid-execution,
         :class:`~repro.errors.DeadlineExceededError` if dropped in a queue).
         """
+        resolved = coerce_options(
+            options,
+            "InterfaceService.submit_execute",
+            use_cache=use_cache,
+            deadline_ms=deadline_ms,
+        )
+        if resolved.deadline is None and resolved.deadline_ms is None:
+            resolved = resolved.replace(deadline=self._deadline_from(None))
+        resolved = resolved.pinned()
         session = self.session(session_id)
         runner = self._tier_runner()
-        deadline = self._deadline_from(deadline_ms)
         return self._submit(
-            lambda: session.execute(
-                query, use_cache=use_cache, runner=runner, deadline=deadline
-            ),
-            deadline=deadline,
+            lambda: session.execute(query, resolved, runner=runner),
+            deadline=resolved.deadline,
         )
 
     def _deadline_from(self, deadline_ms: float | None) -> float | None:
@@ -337,22 +349,22 @@ class InterfaceService:
         if tier is None:
             return None
 
-        def run(snapshot, query, use_cache, deadline):
+        def run(snapshot, query, options):
             # Read fast path: hot queries are served from the frontend's
             # shared result cache at thread-tier cost; only misses pay the
             # worker round-trip, and their answers are published back so
             # every session pinned at this version hits next time.
-            if use_cache:
+            if options.use_cache:
                 cached = snapshot.cached_result(query)
                 if cached is not None:
                     return cached
             result = self._tier_call(
                 tier,
-                lambda: tier.submit_execute(snapshot, query, use_cache, deadline=deadline),
-                lambda: snapshot.execute(query, use_cache=use_cache, deadline=deadline),
-                deadline,
+                lambda: tier.submit_execute(snapshot, query, options),
+                lambda: snapshot.execute(query, options),
+                options.resolved_deadline(),
             )
-            if use_cache:
+            if options.use_cache:
                 snapshot.store_result(query, result)
             return result
 
@@ -396,12 +408,18 @@ class InterfaceService:
         self,
         session_id: str,
         query: str,
-        use_cache: bool = True,
+        options: ExecOptions | bool | None = None,
+        *,
+        use_cache: bool | None = None,
         deadline_ms: float | None = None,
     ) -> QueryResult:
-        return self.submit_execute(
-            session_id, query, use_cache=use_cache, deadline_ms=deadline_ms
-        ).result()
+        resolved = coerce_options(
+            options,
+            "InterfaceService.execute",
+            use_cache=use_cache,
+            deadline_ms=deadline_ms,
+        )
+        return self.submit_execute(session_id, query, resolved).result()
 
     def submit_generate(
         self,

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.engine.catalog import Catalog, CatalogSnapshot
+from repro.engine.options import ExecOptions, coerce_options
 from repro.engine.table import QueryResult
 from repro.errors import SessionError
 from repro.interface.state import EventRecord, InterfaceState
@@ -111,27 +112,32 @@ class Session:
     def execute(
         self,
         query: str,
-        use_cache: bool = True,
+        options: ExecOptions | bool | None = None,
         runner=None,
+        *,
+        use_cache: bool | None = None,
         deadline: float | None = None,
     ) -> QueryResult:
         """Run one SQL query against the pinned snapshot.
 
-        ``runner`` overrides *where* the query executes without changing what
-        it reads: a ``(snapshot, query, use_cache, deadline) -> QueryResult``
-        callable (the process execution tier passes one that ships the work
-        to a worker process).  Isolation is unchanged either way — the pinned
-        snapshot is the single source of truth.  ``deadline`` is an absolute
-        ``time.monotonic()`` instant arming the executor's cooperative
-        cancellation (:class:`~repro.errors.QueryTimeoutError` past it).
+        ``options`` carries the execution knobs (:class:`ExecOptions`); the
+        legacy ``use_cache=``/``deadline=`` keywords still work but emit a
+        :class:`DeprecationWarning`.  ``runner`` overrides *where* the query
+        executes without changing what it reads: a ``(snapshot, query,
+        options) -> QueryResult`` callable (the process execution tier passes
+        one that ships the work to a worker process).  Isolation is unchanged
+        either way — the pinned snapshot is the single source of truth.
         """
+        resolved = coerce_options(
+            options, "Session.execute", use_cache=use_cache, deadline=deadline
+        ).pinned()
         snapshot = self.snapshot
         started = time.perf_counter()
         try:
             if runner is None:
-                result = snapshot.execute(query, use_cache=use_cache, deadline=deadline)
+                result = snapshot.execute(query, resolved)
             else:
-                result = runner(snapshot, query, use_cache, deadline)
+                result = runner(snapshot, query, resolved)
         except Exception:
             self._note(started, "failures")
             raise

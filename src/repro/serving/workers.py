@@ -63,6 +63,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 import multiprocessing
 
 from repro.engine.catalog import CatalogSnapshot, DetachedParser
+from repro.engine.options import ExecOptions, coerce_options
 from repro.engine.query_cache import QueryCache
 from repro.errors import DeadlineExceededError, QueryTimeoutError, WorkerError
 
@@ -124,14 +125,19 @@ def _run_task(
     checkpoints — refuses to start past it.
     """
     if kind == "execute":
-        sql, use_cache = body
-        return snapshot.execute(sql, use_cache=use_cache, deadline=deadline)
+        sql, options = body
+        if not isinstance(options, ExecOptions):
+            # Legacy transport body shape: (sql, use_cache flag).
+            options = ExecOptions(use_cache=bool(options))
+        if options.deadline is None and deadline is not None:
+            options = options.replace(deadline=deadline)
+        return snapshot.execute(sql, options)
     if kind == "profile":
         sqls = body[0]
         counts: list[int] = []
         for sql in sqls:
             try:
-                counts.append(snapshot.execute(sql, deadline=deadline).row_count)
+                counts.append(snapshot.execute(sql, ExecOptions(deadline=deadline)).row_count)
             except QueryTimeoutError:
                 # A timeout is the caller's deadline, not an odd
                 # instantiation — surface it instead of scoring -1.
@@ -564,11 +570,26 @@ class ProcessExecutionTier:
         self,
         snapshot: CatalogSnapshot,
         sql: str,
-        use_cache: bool = True,
+        options: ExecOptions | bool | None = None,
+        *,
+        use_cache: bool | None = None,
         deadline: float | None = None,
     ) -> _Future:
-        """Run one SQL query against the snapshot, on some worker process."""
-        return self._submit("execute", snapshot, (sql, use_cache), deadline)
+        """Run one SQL query against the snapshot, on some worker process.
+
+        ``options`` (an :class:`ExecOptions`) crosses the pipe with the task
+        body; the legacy ``use_cache=``/``deadline=`` keywords still work but
+        emit a :class:`DeprecationWarning`.  The deadline additionally rides
+        outside the body so the dispatch loop can drop queued tasks and cap
+        retry backoff without unpickling the options.
+        """
+        resolved = coerce_options(
+            options,
+            "ProcessExecutionTier.submit_execute",
+            use_cache=use_cache,
+            deadline=deadline,
+        ).pinned()
+        return self._submit("execute", snapshot, (sql, resolved), resolved.deadline)
 
     def submit_profile(
         self,
@@ -603,8 +624,13 @@ class ProcessExecutionTier:
         """
         return self._submit("generate", snapshot, (list(queries), config), deadline)
 
-    def execute(self, snapshot: CatalogSnapshot, sql: str, use_cache: bool = True):
-        return self.submit_execute(snapshot, sql, use_cache).result()
+    def execute(
+        self,
+        snapshot: CatalogSnapshot,
+        sql: str,
+        options: ExecOptions | bool | None = None,
+    ):
+        return self.submit_execute(snapshot, sql, options).result()
 
     def _submit(
         self,

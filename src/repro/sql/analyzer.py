@@ -30,6 +30,7 @@ from repro.sql.ast_nodes import (
     Star,
     SubqueryRef,
     TableRef,
+    WindowCall,
     contains_aggregate,
 )
 from repro.sql.schema import AttributeRole, ColumnSchema, DataType, ResultSchema, TableSchema
@@ -147,6 +148,53 @@ def references_outer_names(query, table_columns) -> bool:
     return False
 
 
+def _walk_same_scope(node: SqlNode):
+    """Walk ``node``'s subtree without descending into nested SELECTs."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in current.children():
+            if not isinstance(child, Select):
+                stack.append(child)
+
+
+def check_window_placement(query: Select) -> str | None:
+    """Validate where window functions appear in one query scope.
+
+    Windows are legal in the SELECT list and in ORDER BY only, and must not
+    nest.  Returns a human-readable violation message, or ``None`` when the
+    query is well-formed.  Nested SELECTs are *not* descended into — each
+    scope is checked when it is itself analyzed/planned.
+    """
+    clauses: list[tuple[SqlNode, str]] = []
+    if query.where is not None:
+        clauses.append((query.where, "WHERE"))
+    if query.having is not None:
+        clauses.append((query.having, "HAVING"))
+    clauses.extend((expr, "GROUP BY") for expr in query.group_by)
+    for clause, label in clauses:
+        for node in _walk_same_scope(clause):
+            if isinstance(node, WindowCall):
+                return (
+                    f"window function {node.lower_name}() is not allowed in {label} "
+                    "(windows may appear in the SELECT list and ORDER BY only)"
+                )
+    roots = [item.expr for item in query.select_items]
+    roots.extend(item.expr for item in query.order_by)
+    for root in roots:
+        for node in _walk_same_scope(root):
+            if not isinstance(node, WindowCall):
+                continue
+            inner = list(node.call.args) + list(node.spec.partition_by)
+            inner.extend(item.expr for item in node.spec.order_by)
+            for branch in inner:
+                for descendant in _walk_same_scope(branch):
+                    if isinstance(descendant, WindowCall):
+                        return "window functions cannot be nested"
+    return None
+
+
 class Analyzer:
     """Performs name resolution and result-schema inference for SELECTs."""
 
@@ -159,6 +207,9 @@ class Analyzer:
 
     def analyze(self, query: Select) -> QueryProfile:
         """Analyze a SELECT statement against the catalog."""
+        violation = check_window_placement(query)
+        if violation is not None:
+            raise SqlAnalysisError(violation)
         scope = self._build_scope(query, parent=None)
         result_schema = self._infer_result_schema(query, scope)
 
@@ -325,6 +376,15 @@ class Analyzer:
             return data_type, AttributeRole.from_data_type(data_type)
         if isinstance(expr, FunctionCall):
             return self._infer_function_type(expr, scope)
+        if isinstance(expr, WindowCall):
+            name = expr.lower_name
+            if name in ("row_number", "rank", "dense_rank"):
+                return DataType.INTEGER, AttributeRole.QUANTITATIVE
+            if name in ("lag", "lead"):
+                if expr.call.args and not isinstance(expr.call.args[0], Star):
+                    return self._infer_expression_type(expr.call.args[0], scope)
+                return DataType.FLOAT, AttributeRole.QUANTITATIVE
+            return self._infer_function_type(expr.call, scope)
         if isinstance(expr, BinaryOp):
             if expr.op in ("=", "<>", "<", "<=", ">", ">=", "AND", "OR", "LIKE"):
                 return DataType.BOOLEAN, AttributeRole.NOMINAL

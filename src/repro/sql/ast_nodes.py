@@ -291,6 +291,8 @@ class SelectItem(SqlNode):
             return "*"
         if isinstance(self.expr, FunctionCall):
             return self.expr.lower_name
+        if isinstance(self.expr, WindowCall):
+            return self.expr.lower_name
         return "expr"
 
 
@@ -339,6 +341,51 @@ class OrderItem(SqlNode):
 
 
 @dataclass(frozen=True)
+class WindowFrame(SqlNode):
+    """A ``ROWS`` frame clause of a window specification.
+
+    ``start_kind``/``end_kind`` take the values ``"UNBOUNDED_PRECEDING"``,
+    ``"PRECEDING"``, ``"CURRENT_ROW"``, ``"FOLLOWING"`` and
+    ``"UNBOUNDED_FOLLOWING"``; the offset fields carry the integer operand of
+    ``N PRECEDING`` / ``N FOLLOWING`` bounds and are ``None`` otherwise.  All
+    slots are scalars, so frames participate in :meth:`SqlNode.label` and two
+    structurally identical frames compare equal for Difftree merging.
+    """
+
+    start_kind: str
+    end_kind: str
+    start_offset: int | None = None
+    end_offset: int | None = None
+
+
+@dataclass(frozen=True)
+class WindowSpec(SqlNode):
+    """The ``OVER (...)`` specification: partitioning, ordering and frame."""
+
+    partition_by: list[SqlNode] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    frame: WindowFrame | None = None
+
+
+@dataclass(frozen=True)
+class WindowCall(SqlNode):
+    """A window function application: ``fn(args) OVER (spec)``.
+
+    The wrapped :class:`FunctionCall` is kept verbatim so ranking functions
+    (``row_number`` …) and windowed aggregates (``sum(x) OVER (...)``) share
+    one node shape; the call is *not* a group aggregate — see
+    :func:`contains_aggregate`.
+    """
+
+    call: FunctionCall
+    spec: WindowSpec
+
+    @property
+    def lower_name(self) -> str:
+        return self.call.lower_name
+
+
+@dataclass(frozen=True)
 class CommonTableExpr(SqlNode):
     """One CTE of a WITH clause."""
 
@@ -383,11 +430,45 @@ AGGREGATE_FUNCTIONS: frozenset[str] = frozenset(
 )
 
 
+#: Ranking/navigation functions that are only valid with an ``OVER`` clause.
+#: Windowed aggregates (``sum(x) OVER (...)``) reuse AGGREGATE_FUNCTIONS.
+WINDOW_FUNCTIONS: frozenset[str] = frozenset(
+    {"row_number", "rank", "dense_rank", "lag", "lead"}
+)
+
+
 def is_aggregate_call(node: SqlNode) -> bool:
     """Return True when ``node`` is a call to an aggregate function."""
     return isinstance(node, FunctionCall) and node.lower_name in AGGREGATE_FUNCTIONS
 
 
+def is_window_call(node: SqlNode) -> bool:
+    """Return True when ``node`` is a window function application."""
+    return isinstance(node, WindowCall)
+
+
+def contains_window(node: SqlNode) -> bool:
+    """Return True when any descendant of ``node`` is a window call."""
+    return any(isinstance(descendant, WindowCall) for descendant in node.walk())
+
+
 def contains_aggregate(node: SqlNode) -> bool:
-    """Return True when any descendant of ``node`` is an aggregate call."""
-    return any(is_aggregate_call(descendant) for descendant in node.walk())
+    """Return True when any descendant of ``node`` is a *group* aggregate call.
+
+    A windowed aggregate (``sum(x) OVER (...)``) is not a group aggregate —
+    the wrapped call is skipped — but its argument and specification
+    expressions are still searched, so ``sum(count(*)) OVER (...)`` correctly
+    reports the inner ``count(*)``.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, WindowCall):
+            stack.extend(current.call.args)
+            stack.extend(current.spec.partition_by)
+            stack.extend(item.expr for item in current.spec.order_by)
+            continue
+        if is_aggregate_call(current):
+            return True
+        stack.extend(current.children())
+    return False

@@ -39,6 +39,9 @@ from repro.sql.ast_nodes import (
     SubqueryRef,
     TableRef,
     UnaryOp,
+    WindowCall,
+    WindowFrame,
+    WindowSpec,
 )
 from repro.sql.lexer import tokenize
 from repro.sql.tokens import Token, TokenType
@@ -250,19 +253,28 @@ class Parser:
             alias = self._advance().value
         return SelectItem(expr=expr, alias=alias)
 
-    def _parse_order_item(self) -> OrderItem:
+    def _parse_order_item(self, nulls_smallest: bool = False) -> OrderItem:
+        """Parse one ORDER BY item.
+
+        ``nulls_smallest`` selects the default NULL placement when no NULLS
+        clause is given: window specifications follow SQL's (and SQLite's)
+        NULLs-sort-smallest convention — first ascending, last descending —
+        because window *values* depend on it; a query-level ORDER BY keeps
+        the engine's historical NULLS LAST default.
+        """
         expr = self._parse_expression()
         descending = False
         if self._accept_keyword("DESC"):
             descending = True
         else:
             self._accept_keyword("ASC")
-        nulls_last = True
+        nulls_last = descending if nulls_smallest else True
         if self._accept_keyword("NULLS"):
             if self._accept_keyword("FIRST"):
                 nulls_last = False
             else:
                 self._expect_keyword("LAST")
+                nulls_last = True
         return OrderItem(expr=expr, descending=descending, nulls_last=nulls_last)
 
     def _parse_identifier(self, context: str) -> str:
@@ -514,7 +526,7 @@ class Parser:
         args: list[SqlNode] = []
         if self._peek().type is TokenType.RPAREN:
             self._advance()
-            return FunctionCall(name=name, args=args, distinct=distinct)
+            return self._parse_over(FunctionCall(name=name, args=args, distinct=distinct))
         if self._accept_keyword("DISTINCT"):
             distinct = True
         if self._peek().is_operator("*"):
@@ -525,7 +537,64 @@ class Parser:
             while self._accept(TokenType.COMMA):
                 args.append(self._parse_expression())
         self._expect(TokenType.RPAREN)
-        return FunctionCall(name=name, args=args, distinct=distinct)
+        return self._parse_over(FunctionCall(name=name, args=args, distinct=distinct))
+
+    def _parse_over(self, call: FunctionCall) -> SqlNode:
+        """Wrap ``call`` into a :class:`WindowCall` when an OVER clause follows."""
+        if not self._accept_keyword("OVER"):
+            return call
+        self._expect(TokenType.LPAREN)
+        partition_by: list[SqlNode] = []
+        if self._accept_keyword("PARTITION"):
+            self._expect_keyword("BY")
+            partition_by.append(self._parse_expression())
+            while self._accept(TokenType.COMMA):
+                partition_by.append(self._parse_expression())
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._parse_order_item(nulls_smallest=True))
+            while self._accept(TokenType.COMMA):
+                order_by.append(self._parse_order_item(nulls_smallest=True))
+        frame: WindowFrame | None = None
+        if self._accept_keyword("ROWS"):
+            frame = self._parse_frame()
+        self._expect(TokenType.RPAREN)
+        return WindowCall(
+            call=call,
+            spec=WindowSpec(partition_by=partition_by, order_by=order_by, frame=frame),
+        )
+
+    def _parse_frame(self) -> WindowFrame:
+        if self._accept_keyword("BETWEEN"):
+            start_kind, start_offset = self._parse_frame_bound()
+            self._expect_keyword("AND")
+            end_kind, end_offset = self._parse_frame_bound()
+        else:
+            # "ROWS <bound>" is shorthand for "ROWS BETWEEN <bound> AND CURRENT ROW".
+            start_kind, start_offset = self._parse_frame_bound()
+            end_kind, end_offset = "CURRENT_ROW", None
+        return WindowFrame(
+            start_kind=start_kind,
+            end_kind=end_kind,
+            start_offset=start_offset,
+            end_offset=end_offset,
+        )
+
+    def _parse_frame_bound(self) -> tuple[str, int | None]:
+        if self._accept_keyword("UNBOUNDED"):
+            if self._accept_keyword("PRECEDING"):
+                return "UNBOUNDED_PRECEDING", None
+            self._expect_keyword("FOLLOWING")
+            return "UNBOUNDED_FOLLOWING", None
+        if self._accept_keyword("CURRENT"):
+            self._expect_keyword("ROW")
+            return "CURRENT_ROW", None
+        offset = self._parse_int_literal("frame bound")
+        if self._accept_keyword("PRECEDING"):
+            return "PRECEDING", offset
+        self._expect_keyword("FOLLOWING")
+        return "FOLLOWING", offset
 
     def _parse_case(self) -> SqlNode:
         self._expect_keyword("CASE")

@@ -36,6 +36,8 @@ from repro.sql.ast_nodes import (
     SubqueryRef,
     TableRef,
     UnaryOp,
+    WindowCall,
+    WindowFrame,
 )
 
 #: Binary operators that need surrounding spaces but no special casing.
@@ -231,6 +233,35 @@ class _Renderer:
         distinct = "DISTINCT " if node.distinct else ""
         args = ", ".join(self.render(arg, depth) for arg in node.args)
         return f"{node.name}({distinct}{args})"
+
+    def _render_windowcall(self, node: "WindowCall", depth: int) -> str:
+        call = self._render_functioncall(node.call, depth)
+        spec = node.spec
+        parts: list[str] = []
+        if spec.partition_by:
+            keys = ", ".join(self.render(expr, depth) for expr in spec.partition_by)
+            parts.append(f"PARTITION BY {keys}")
+        if spec.order_by:
+            order = ", ".join(self._render_orderitem(item, depth) for item in spec.order_by)
+            parts.append(f"ORDER BY {order}")
+        if spec.frame is not None:
+            parts.append(self._render_frame(spec.frame))
+        return f"{call} OVER ({' '.join(parts)})"
+
+    @staticmethod
+    def _render_frame(frame: "WindowFrame") -> str:
+        def bound(kind: str, offset: int | None) -> str:
+            if kind == "UNBOUNDED_PRECEDING":
+                return "UNBOUNDED PRECEDING"
+            if kind == "UNBOUNDED_FOLLOWING":
+                return "UNBOUNDED FOLLOWING"
+            if kind == "CURRENT_ROW":
+                return "CURRENT ROW"
+            return f"{offset} {'PRECEDING' if kind == 'PRECEDING' else 'FOLLOWING'}"
+
+        start = bound(frame.start_kind, frame.start_offset)
+        end = bound(frame.end_kind, frame.end_offset)
+        return f"ROWS BETWEEN {start} AND {end}"
 
     def _render_cast(self, node: Cast, depth: int) -> str:
         return f"CAST({self.render(node.expr, depth)} AS {node.target_type})"

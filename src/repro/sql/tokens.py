@@ -83,6 +83,14 @@ KEYWORDS: frozenset[str] = frozenset(
         "NULLS",
         "FIRST",
         "LAST",
+        "OVER",
+        "PARTITION",
+        "ROWS",
+        "ROW",
+        "UNBOUNDED",
+        "PRECEDING",
+        "FOLLOWING",
+        "CURRENT",
     }
 )
 

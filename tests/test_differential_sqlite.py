@@ -44,6 +44,7 @@ from typing import Any, Callable, Iterator
 import pytest
 
 from repro.engine.catalog import Catalog
+from repro.engine.options import ExecOptions
 from repro.sql.ast_nodes import Join, Select, SetOperation, SqlNode
 from repro.sql.parser import parse
 from repro.sql.printer import to_sql
@@ -163,7 +164,7 @@ def normalize_rows(rows: list[tuple[Any, ...]]) -> list[tuple[Any, ...]]:
 
 
 def run_engine(catalog: Catalog, sql: str, optimize: bool) -> list[tuple[Any, ...]]:
-    return catalog.execute(sql, use_cache=False, optimize=optimize).rows
+    return catalog.execute(sql, ExecOptions(use_cache=False, optimize=optimize)).rows
 
 
 def run_sqlite(connection: sqlite3.Connection, sql: str) -> list[tuple[Any, ...]]:
@@ -222,13 +223,16 @@ class QueryGenerator:
     ALL (unsupported by sqlite), and mixed-type comparisons.
     """
 
-    def __init__(self, seed: int, index_bias: float = 0.0) -> None:
+    def __init__(self, seed: int, index_bias: float = 0.0, window_bias: float = 0.0) -> None:
         self.rng = random.Random(seed)
         #: Probability that a generated predicate is a point-equality /
         #: range / IN / BETWEEN probe on an *indexed* column (see
         #: INDEXED_COLUMNS), steering the fuzz mass onto the access-path
         #: selection and IndexScan execution code.
         self.index_bias = index_bias
+        #: Probability that a generated query is a window-function query
+        #: (ranking, lag/lead, running aggregates over OVER clauses).
+        self.window_bias = window_bias
 
     # -- helpers --------------------------------------------------------- #
 
@@ -523,7 +527,107 @@ class QueryGenerator:
             f"WHERE t0.val > (SELECT {aggregate} FROM t) - {self.rng.randrange(0, 60)}"
         )
 
+    # -- window queries ---------------------------------------------------- #
+
+    #: Per-table column pools for the window generator.  Window *values*
+    #: depend on intra-partition order, so every shape whose output is
+    #: order-sensitive (row_number, lag/lead, physical ROWS frames) appends
+    #: the table's unique key to the OVER's ORDER BY, making the order total
+    #: and the result deterministic on both substrates.
+    WINDOW_UNIQUE = {"t": "id", "s": "sid"}
+    WINDOW_NUM_COLS = {"t": ["val", "score", "id"], "s": ["amount", "sid"]}
+    WINDOW_PART_COLS = {"t": ["grp", "tag"], "s": ["cat"]}
+
+    def _window_over(self, alias: str, table: str, *, total: bool, frame: bool) -> str:
+        """An OVER (...) clause; ``total`` forces a deterministic total order."""
+        parts: list[str] = []
+        if self.maybe(0.6):
+            part_col = self.choice(self.WINDOW_PART_COLS[table])
+            parts.append(f"PARTITION BY {alias}.{part_col}")
+        order_col = self.choice(self.WINDOW_NUM_COLS[table])
+        direction = " DESC" if self.maybe(0.3) else ""
+        order = f"{alias}.{order_col}{direction}"
+        unique = self.WINDOW_UNIQUE[table]
+        if total and order_col != unique:
+            order += f", {alias}.{unique}"
+        parts.append(f"ORDER BY {order}")
+        clause = " ".join(parts)
+        if frame:
+            low = self.rng.randrange(0, 4)
+            kind = self.rng.randrange(3)
+            if kind == 0:
+                clause += f" ROWS BETWEEN {low} PRECEDING AND CURRENT ROW"
+            elif kind == 1:
+                clause += f" ROWS BETWEEN UNBOUNDED PRECEDING AND {low} FOLLOWING"
+            else:
+                high = self.rng.randrange(0, 3)
+                clause += f" ROWS BETWEEN {low} PRECEDING AND {high} FOLLOWING"
+        return f"OVER ({clause})"
+
+    def window_item(self, alias: str, table: str, index: int) -> str:
+        """One windowed SELECT item, deterministic under bag comparison."""
+        col = self.choice([c for c in self.WINDOW_NUM_COLS[table] if c != self.WINDOW_UNIQUE[table]]
+                          or self.WINDOW_NUM_COLS[table])
+        roll = self.rng.random()
+        if roll < 0.25:
+            func = self.choice(["row_number()"])
+            over = self._window_over(alias, table, total=True, frame=False)
+        elif roll < 0.45:
+            func = self.choice(["rank()", "dense_rank()"])
+            over = self._window_over(alias, table, total=False, frame=False)
+        elif roll < 0.65:
+            offset = self.rng.randrange(0, 3)
+            name = self.choice(["lag", "lead"])
+            if self.maybe(0.5):
+                func = f"{name}({alias}.{col}, {offset}, {self.rng.randrange(0, 9)})"
+            else:
+                func = f"{name}({alias}.{col}, {offset})"
+            over = self._window_over(alias, table, total=True, frame=False)
+        else:
+            agg = self.choice(["sum", "avg", "min", "max", "count"])
+            func = f"{agg}({alias}.{col})"
+            use_frame = self.maybe(0.45)
+            # Default frames are peer-extended (ties share the running
+            # value), so ties are safe; physical frames need a total order.
+            over = self._window_over(alias, table, total=use_frame, frame=use_frame)
+        return f"{func} {over} AS w{index}"
+
+    def window_select(self) -> str:
+        table = self.choice(["t", "s"])
+        alias = table + "0"
+        unique = self.WINDOW_UNIQUE[table]
+        roll = self.rng.random()
+        if roll < 0.15:
+            # Window over a derived table: the classic top-N-per-group shell,
+            # plus an outer predicate that must stop at the window boundary.
+            inner_items = ", ".join(
+                [f"{alias}.{unique} AS k0", f"{alias}.{self.choice(self.WINDOW_PART_COLS[table])} AS g0",
+                 self.window_item(alias, table, 1)]
+            )
+            inner = f"SELECT {inner_items} FROM {table} {alias}"
+            outer_pred = self.choice(
+                [f"d.w1 <= {self.rng.randrange(1, 8)}", "d.g0 IS NOT NULL",
+                 f"d.k0 < {self.rng.randrange(20, 70)}"]
+            )
+            return f"SELECT d.k0, d.w1 FROM ({inner}) d WHERE {outer_pred}"
+        if roll < 0.25:
+            # Window over GROUP BY output: ranking groups by an aggregate.
+            return (
+                "SELECT grp, count(*) AS n, "
+                "rank() OVER (ORDER BY count(*) DESC, grp) AS pos "
+                "FROM t GROUP BY grp"
+            )
+        items = [f"{alias}.{unique} AS k0"]
+        for index in range(1, self.rng.randrange(2, 4)):
+            items.append(self.window_item(alias, table, index))
+        sql = f"SELECT {', '.join(items)} FROM {table} {alias}"
+        if self.maybe(0.5):
+            sql += f" WHERE {self.predicate([(alias, table)])}"
+        return sql
+
     def generate(self) -> str:
+        if self.window_bias and self.rng.random() < self.window_bias:
+            return self.window_select()
         roll = self.rng.random()
         if roll < 0.3:
             return self.simple_select()
@@ -704,6 +808,87 @@ def test_generated_queries_differential_indexed(oracle_pair, indexed_catalog):
     assert not failures, (
         f"{len(failures)} indexed differential failure(s):\n" + "\n".join(failures)
     )
+
+
+def test_generated_queries_differential_windows(oracle_pair):
+    """Window-biased fuzzing: OVER clauses vs sqlite, optimizer on and off.
+
+    Every window query runs three ways (engine optimized, engine verbatim,
+    sqlite) and must be bag-equal — gating the window compile path, the
+    shared-spec sort, frame evaluation, and the window-boundary pushdown
+    legality rules from day one.  Order-sensitive shapes embed a unique key
+    in the OVER's ORDER BY so results are deterministic on both substrates.
+    """
+    catalog, connection = oracle_pair
+    generator = QueryGenerator(SEED ^ 0x57D0, window_bias=0.7)
+    failures: list[str] = []
+    for index in range(QUERY_COUNT):
+        sql = generator.generate()
+        reason = check_query(catalog, connection, sql)
+        if reason is None:
+            continue
+        category = failure_category(reason)
+        shrunk = shrink_query(
+            sql,
+            lambda candidate: failure_category(check_query(catalog, connection, candidate))
+            == category,
+        )
+        shrunk_reason = check_query(catalog, connection, shrunk) or reason
+        path = _write_artifact(SEED, index, sql, shrunk, shrunk_reason)
+        failures.append(
+            f"window query #{index} (seed {SEED}):\n  shrunk: {shrunk}\n"
+            f"  reason: {shrunk_reason}\n  corpus: {path}"
+        )
+        if len(failures) >= 5:
+            break
+    assert not failures, (
+        f"{len(failures)} window differential failure(s):\n" + "\n".join(failures)
+    )
+
+
+def test_known_hard_window_queries_differential(oracle_pair):
+    """Hand-picked window shapes pinning the semantics corners to sqlite."""
+    catalog, connection = oracle_pair
+    queries = [
+        # Default frame with ORDER BY: peers share the running value.
+        "SELECT id, sum(val) OVER (ORDER BY grp, id) AS r FROM t",
+        "SELECT id, sum(val) OVER (ORDER BY val) AS r FROM t",
+        # No ORDER BY: the whole partition is the frame.
+        "SELECT id, count(val) OVER (PARTITION BY grp) AS n FROM t",
+        "SELECT id, sum(val) OVER () AS total FROM t",
+        # NULL order keys must sort exactly as sqlite sorts them.
+        "SELECT id, rank() OVER (ORDER BY val) AS r FROM t",
+        "SELECT id, dense_rank() OVER (ORDER BY score DESC) AS r FROM t",
+        "SELECT id, row_number() OVER (PARTITION BY tag ORDER BY val, id) AS r FROM t",
+        # lag/lead beyond partition bounds: NULL and explicit-default fill.
+        "SELECT id, lag(val, 2) OVER (PARTITION BY grp ORDER BY id) AS p FROM t",
+        "SELECT id, lead(val, 3, -1) OVER (PARTITION BY grp ORDER BY id) AS p FROM t",
+        "SELECT id, lag(val, 0) OVER (ORDER BY id) AS p FROM t",
+        # Physical frames, including shrinking and empty frames.
+        "SELECT id, avg(val) OVER (ORDER BY id ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) AS m FROM t",
+        "SELECT id, max(val) OVER (ORDER BY id ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS m FROM t",
+        "SELECT id, min(val) OVER (PARTITION BY grp ORDER BY id "
+        "ROWS BETWEEN UNBOUNDED PRECEDING AND 1 FOLLOWING) AS m FROM t",
+        # Two windows sharing one spec (single sort) plus a distinct spec.
+        "SELECT id, row_number() OVER (PARTITION BY grp ORDER BY val, id) AS r, "
+        "sum(val) OVER (PARTITION BY grp ORDER BY val, id) AS s, "
+        "count(*) OVER (PARTITION BY tag) AS n FROM t",
+        # Window over GROUP BY aggregates.
+        "SELECT grp, count(*) AS n, rank() OVER (ORDER BY count(*) DESC, grp) AS pos "
+        "FROM t GROUP BY grp",
+        # Window inside a derived table with boundary-crossing predicates.
+        "SELECT d.k, d.r FROM (SELECT id AS k, grp AS g, "
+        "row_number() OVER (PARTITION BY grp ORDER BY val, id) AS r FROM t) d "
+        "WHERE d.r <= 3 AND d.g = 'a'",
+        # Window referenced by the query-level ORDER BY.
+        "SELECT id, rank() OVER (ORDER BY val, id) AS r FROM t ORDER BY r, id",
+    ]
+    failures = []
+    for sql in queries:
+        reason = check_query(catalog, connection, sql)
+        if reason is not None:
+            failures.append(f"{sql}\n  -> {reason}")
+    assert not failures, "hard window-query differential failures:\n" + "\n\n".join(failures)
 
 
 def test_known_hard_queries_differential(oracle_pair):

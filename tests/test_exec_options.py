@@ -1,0 +1,211 @@
+"""The unified ExecOptions API: coercion, compat shims, ExplainReport,
+package exports, and the no-deprecated-callers lint.
+
+Covers the redesign contract end to end: one frozen options object accepted
+by every execute entry point (catalog, snapshot, session, service, process
+tier), legacy keywords still working behind a DeprecationWarning with
+identical behaviour, ``explain()`` returning structured data whose text is
+byte-identical to the classic rendering, and a source lint asserting no
+in-repo caller still uses the deprecated keyword form.
+"""
+
+from __future__ import annotations
+
+import pickle
+import re
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.engine.catalog import Catalog
+from repro.engine.explain import ExplainReport
+from repro.engine.options import DEFAULT_OPTIONS, ExecOptions, coerce_options
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_DIR = REPO_ROOT / "src"
+
+
+@pytest.fixture()
+def catalog() -> Catalog:
+    cat = Catalog()
+    cat.create_table(
+        "items",
+        ["id", "kind", "price"],
+        [[i, "ab"[i % 2], i * 3] for i in range(2000)],
+    )
+    cat.create_index("items", "id", "hash")
+    return cat
+
+
+class TestExecOptions:
+    def test_frozen_and_defaults(self):
+        options = ExecOptions()
+        assert options.use_cache and options.optimize
+        assert options.deadline is None and options.deadline_ms is None
+        with pytest.raises(Exception):
+            options.use_cache = False  # type: ignore[misc]
+
+    def test_picklable(self):
+        options = ExecOptions(use_cache=False, deadline=123.5)
+        assert pickle.loads(pickle.dumps(options)) == options
+
+    def test_pinned_resolves_relative_budget_once(self):
+        options = ExecOptions(deadline_ms=50.0)
+        pinned = options.pinned()
+        assert pinned.deadline is not None and pinned.deadline_ms is None
+        # Already-absolute options pin to themselves (no copy).
+        assert pinned.pinned() is pinned
+
+    def test_absolute_deadline_wins_over_relative(self):
+        options = ExecOptions(deadline=99.0, deadline_ms=1.0)
+        assert options.resolved_deadline() == 99.0
+
+
+class TestCoercion:
+    def test_exec_options_passes_through_unchanged(self):
+        options = ExecOptions(use_cache=False)
+        assert coerce_options(options, "here") is options
+
+    def test_none_yields_defaults(self):
+        assert coerce_options(None, "here") is DEFAULT_OPTIONS
+
+    def test_legacy_keywords_warn_and_fold(self):
+        with pytest.warns(DeprecationWarning, match="use_cache"):
+            options = coerce_options(None, "here", use_cache=False, optimize=None)
+        assert options == ExecOptions(use_cache=False)
+
+    def test_bare_bool_is_legacy_positional_use_cache(self):
+        with pytest.warns(DeprecationWarning):
+            options = coerce_options(False, "here")
+        assert options.use_cache is False
+
+    def test_mixing_options_and_legacy_raises(self):
+        with pytest.raises(TypeError, match="ExecOptions"):
+            coerce_options(ExecOptions(), "here", use_cache=False)
+
+    def test_non_options_object_raises(self):
+        with pytest.raises(TypeError):
+            coerce_options("nope", "here")  # type: ignore[arg-type]
+
+
+class TestEntryPoints:
+    SQL = "SELECT kind, count(*) AS n FROM items GROUP BY kind"
+
+    def test_catalog_execute_accepts_options(self, catalog):
+        result = catalog.execute(self.SQL, ExecOptions(use_cache=False))
+        assert result.row_count == 2
+
+    def test_legacy_kwargs_warn_but_behave_identically(self, catalog):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            modern = catalog.execute(self.SQL, ExecOptions(use_cache=False))
+        with pytest.warns(DeprecationWarning):
+            legacy = catalog.execute(self.SQL, use_cache=False)
+        assert modern.rows == legacy.rows
+
+    def test_snapshot_execute_accepts_options(self, catalog):
+        snapshot = catalog.snapshot()
+        result = snapshot.execute(self.SQL, ExecOptions(use_cache=False))
+        assert result.row_count == 2
+
+    def test_session_and_service_thread_tier(self, catalog):
+        from repro.serving import InterfaceService
+
+        with InterfaceService(catalog) as service:
+            session = service.create_session("opts")
+            result = service.execute(
+                session.session_id, self.SQL, ExecOptions(use_cache=False)
+            )
+            assert result.row_count == 2
+
+    def test_service_process_tier_end_to_end(self, catalog):
+        from repro.serving import InterfaceService, ServiceConfig
+
+        config = ServiceConfig(execution_tier="process", worker_processes=1)
+        with InterfaceService(catalog, config) as service:
+            session = service.create_session("opts-proc")
+            result = service.execute(
+                session.session_id, self.SQL, ExecOptions(use_cache=False)
+            )
+            assert sorted(result.rows) == [("a", 1000), ("b", 1000)]
+
+    def test_unoptimized_run_matches(self, catalog):
+        on = catalog.execute(self.SQL, ExecOptions(use_cache=False))
+        off = catalog.execute(self.SQL, ExecOptions(use_cache=False, optimize=False))
+        assert sorted(on.rows) == sorted(off.rows)
+
+
+class TestExplainReport:
+    def test_report_is_text_compatible(self, catalog):
+        report = catalog.explain("SELECT id FROM items WHERE id = 3", physical=True)
+        assert isinstance(report, ExplainReport)
+        assert isinstance(report, str)
+        assert str(report) == report
+        assert report.startswith("== Logical plan ==")
+
+    def test_sections_are_structured(self, catalog):
+        report = catalog.explain("SELECT id FROM items WHERE id = 3", physical=True)
+        assert report.logical and report.physical and report.optimized
+        assert all(isinstance(event, tuple) and len(event) == 2 for event in report.trace)
+        data = report.as_dict()
+        assert set(data) == {"logical", "trace", "optimized", "physical", "access_paths"}
+
+    def test_access_paths_capture_index_choice(self, catalog):
+        report = catalog.explain("SELECT id FROM items WHERE id = 3", physical=True)
+        chosen = [d for d in report.access_paths if d.get("chosen")]
+        assert any(d.get("decision") == "index_scan" for d in chosen)
+
+    def test_logical_only_report(self, catalog):
+        report = catalog.explain("SELECT id FROM items")
+        assert report.physical is None
+        assert report.logical == str(report)
+
+
+class TestPackageSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_serving_entry_points_exported(self):
+        for name in ("InterfaceService", "ServiceConfig", "Session", "ExecOptions",
+                     "ExplainReport"):
+            assert name in repro.__all__
+
+    def test_import_has_no_cycles(self):
+        """A cold ``import repro`` must succeed in a fresh interpreter."""
+        proc = subprocess.run(
+            [sys.executable, "-c", "import repro; print(len(repro.__all__))"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(SRC_DIR), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
+#: Call sites of the execute/explain family passing legacy keywords.  The
+#: options shim itself and ``def`` lines are exempt; ExecOptions constructor
+#: keywords don't match because the call must be a method on an object.
+_DEPRECATED_CALL = re.compile(
+    r"[\w\)\]]\.(execute|submit_execute|explain)\([^)\n]*"
+    r"(use_cache=|optimize=|deadline=|deadline_ms=)"
+)
+
+
+class TestNoDeprecatedCallers:
+    def test_src_and_benchmarks_use_exec_options(self):
+        offenders: list[str] = []
+        for root in (SRC_DIR / "repro", REPO_ROOT / "benchmarks"):
+            for path in sorted(root.rglob("*.py")):
+                for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                    if "ExecOptions(" in line:
+                        continue
+                    if _DEPRECATED_CALL.search(line):
+                        offenders.append(f"{path.relative_to(REPO_ROOT)}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "deprecated execute/explain keyword call sites (pass ExecOptions instead):\n"
+            + "\n".join(offenders)
+        )

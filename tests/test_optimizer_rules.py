@@ -523,3 +523,79 @@ class TestExplainRendering:
         assert "== " not in text
         assert text.startswith("Project(product)")
         assert "cols=" not in text
+
+
+# --------------------------------------------------------------------------- #
+# Rule: predicate pushdown at window boundaries
+# --------------------------------------------------------------------------- #
+
+
+class TestWindowBoundary:
+    SQL = (
+        "SELECT d.k, d.s FROM (SELECT region AS k, amount, "
+        "sum(amount) OVER (PARTITION BY region) AS s FROM sales) d "
+        "WHERE d.k = 'east' AND d.amount > 50 AND d.s > 100"
+    )
+
+    def test_partition_key_conjunct_pushes_below_window(self, catalog):
+        optimized, trace = rewrite(catalog, self.SQL)
+        text = optimized.pretty()
+        # The partition-key filter lands below the Window, on the scan side.
+        assert (
+            "Window(sum(amount) OVER (PARTITION BY region))\n"
+            "            Filter[where](region = 'east')" in text
+        )
+        assert any(
+            "pushed region = 'east' below window boundary (partition keys only)" in detail
+            for _, detail in trace.events
+        )
+
+    def test_non_partition_conjunct_stays_above_window(self, catalog):
+        optimized, trace = rewrite(catalog, self.SQL)
+        text = optimized.pretty()
+        # amount is not a partition key: its filter stays above the Window.
+        assert "Filter[where](amount > 50)\n          Window(" in text
+        assert any(
+            "kept amount > 50 above window boundary: references non-partition column(s)"
+            in detail
+            for _, detail in trace.events
+        )
+
+    def test_window_output_conjunct_stays_outside_derived_table(self, catalog):
+        optimized, trace = rewrite(catalog, self.SQL)
+        # The filter on the window's output never enters the derived table.
+        assert "Filter[where](d.s > 100)\n    DerivedScan(d)" in optimized.pretty()
+        assert any(
+            "kept d.s > 100 above window boundary: references window function output"
+            in detail
+            for _, detail in trace.events
+        )
+
+    def test_explain_shows_blocked_rewrites(self, catalog):
+        report = catalog.explain(self.SQL, physical=True)
+        trace_text = section(report, "Optimizer trace")
+        assert "below window boundary (partition keys only)" in trace_text
+        assert "above window boundary: references non-partition column(s)" in trace_text
+        assert "above window boundary: references window function output" in trace_text
+
+    def test_projection_pruning_keeps_window_inputs(self, catalog):
+        optimized, _ = rewrite(
+            catalog,
+            "SELECT region, rank() OVER (ORDER BY amount) AS r FROM sales",
+        )
+        # amount feeds only the window: pruning must still keep it in the scan.
+        assert "Scan(sales, cols=[region, amount])" in optimized.pretty()
+
+    def test_multi_window_requires_keys_of_every_window(self, catalog):
+        _, trace = rewrite(
+            catalog,
+            "SELECT d.k FROM (SELECT region AS k, "
+            "sum(amount) OVER (PARTITION BY region) AS s, "
+            "count(*) OVER (PARTITION BY product) AS n FROM sales) d "
+            "WHERE d.k = 'east'",
+        )
+        # region is a partition key of one window but not the other: blocked.
+        assert any(
+            "kept region = 'east' above window boundary" in detail
+            for _, detail in trace.events
+        )
