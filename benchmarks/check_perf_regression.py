@@ -14,7 +14,9 @@ Gated metrics come in two polarities:
 
 * **higher-is-better** — keys ending in ``_per_sec`` (throughput,
   machine-normalized by *dividing* by the calibration score when both files
-  carry one) and ``_speedup`` (ratios, compared raw);
+  carry one), ``_speedup`` (ratios, compared raw) and ``_hit_rate``
+  (cache-effectiveness fractions in [0, 1], compared raw — hit rates are a
+  property of the workload, not the machine);
 * **lower-is-better** — keys ending in ``_p95_ms`` (latency SLOs,
   machine-normalized by *multiplying* by the calibration score: latency
   scales inversely with machine speed, so ``ms x ops/sec`` is the
@@ -55,7 +57,7 @@ DEFAULT_TOLERANCE = 0.25
 DEFAULT_LATENCY_TOLERANCE = 1.0
 
 #: Suffixes of gated higher-is-better metric names.
-GATED_HIGHER_SUFFIXES = ("_per_sec", "_speedup")
+GATED_HIGHER_SUFFIXES = ("_per_sec", "_speedup", "_hit_rate")
 
 #: Suffixes of gated lower-is-better metric names (latency SLOs).
 GATED_LOWER_SUFFIXES = ("_p95_ms",)

@@ -224,6 +224,9 @@ class MedianAccumulator(Accumulator):
         if value is not None:
             self._values.append(value)
 
+    def add_many(self, values: Iterable[Any]) -> None:
+        self._values.extend(value for value in values if value is not None)
+
     def result(self) -> float | None:
         if not self._values:
             return None
@@ -250,6 +253,15 @@ class DistinctAccumulator(Accumulator):
             return
         self._seen.add(key)
         self._inner.add(value)
+
+    def add_many(self, values: Iterable[Any]) -> None:
+        seen = self._seen
+        inner_add = self._inner.add
+        for value in values:
+            if value is None or value in seen:
+                continue
+            seen.add(value)
+            inner_add(value)
 
     def result(self) -> Any:
         return self._inner.result()

@@ -39,8 +39,9 @@ from typing import Any, Iterable, Sequence
 
 from repro.errors import CatalogError
 from repro.engine.explain import ExplainReport
+from repro.engine.ivm import AppendDelta, VersionLog
 from repro.engine.options import ExecOptions, coerce_options
-from repro.engine.query_cache import QueryCache, cache_key
+from repro.engine.query_cache import QueryCache, cache_identity, versioned_key
 from repro.engine.table import QueryResult, Table
 from repro.sql.ast_nodes import Select, SetOperation, SqlNode
 from repro.sql.parser import parse
@@ -110,6 +111,10 @@ class Catalog:
         #: Always acquired *before* ``_lock`` — see the module docstring.
         self._write_lock = threading.RLock()
         self._snapshot_memo: CatalogSnapshot | None = None
+        #: Bounded log of per-table append ranges (the incremental-maintenance
+        #: plane's fold input).  Leaf-locked like the caches: recorded under
+        #: ``_write_lock`` but never under ``_lock``.
+        self._version_log = VersionLog()
 
     def _parse(self, text: str) -> SqlNode:
         """Parse SQL text with a bounded FIFO memo of the resulting AST."""
@@ -136,11 +141,18 @@ class Catalog:
     def register(self, table: Table, replace: bool = False) -> None:
         """Register a table under its own name (an atomic swap when replacing)."""
         key = table.name.lower()
-        with self._write_lock, self._lock:
-            if key in self._tables and not replace:
-                raise CatalogError(f"Table {table.name!r} already exists in the catalog")
-            self._tables[key] = table
-            self._bump_schema_version_locked()
+        with self._write_lock:
+            with self._lock:
+                if key in self._tables and not replace:
+                    raise CatalogError(
+                        f"Table {table.name!r} already exists in the catalog"
+                    )
+                self._tables[key] = table
+                self._bump_schema_version_locked()
+            # Registration/replacement breaks the append-only premise for this
+            # table: truncate every fold chain (full invalidation).  Cleared
+            # outside ``_lock`` per the lock hierarchy.
+            self._version_log.clear()
 
     def create_table(
         self,
@@ -156,11 +168,13 @@ class Catalog:
 
     def drop(self, name: str) -> None:
         key = name.lower()
-        with self._write_lock, self._lock:
-            if key not in self._tables:
-                raise CatalogError(f"Cannot drop unknown table {name!r}")
-            del self._tables[key]
-            self._bump_schema_version_locked()
+        with self._write_lock:
+            with self._lock:
+                if key not in self._tables:
+                    raise CatalogError(f"Cannot drop unknown table {name!r}")
+                del self._tables[key]
+                self._bump_schema_version_locked()
+            self._version_log.clear()
 
     def append_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
         """Append rows to a table via copy-on-write (the concurrent write path).
@@ -184,12 +198,27 @@ class Catalog:
                 current = self._tables.get(key)
                 if current is None:
                     raise CatalogError(f"Cannot append to unknown table {name!r}")
+                before = self._fingerprint_locked()
             clone = current.clone()
             clone.extend(rows)
             appended = clone.row_count - current.row_count
             with self._lock:
                 self._tables[key] = clone
                 self._snapshot_memo = None
+                after = self._fingerprint_locked()
+            if appended:
+                # Writers serialize on ``_write_lock``, so ``before`` is the
+                # fingerprint this append started from and the log forms an
+                # unbroken chain until the next schema change truncates it.
+                self._version_log.record(
+                    AppendDelta(
+                        table=key,
+                        start_row=current.row_count,
+                        end_row=clone.row_count,
+                        from_version=before,
+                        to_version=after,
+                    )
+                )
         return appended
 
     def create_index(self, name: str, column: str, kind: str = "hash") -> None:
@@ -283,6 +312,7 @@ class Catalog:
                     query_cache=self._query_cache,
                     parse=self._parse,
                     catalog_id=self.catalog_id,
+                    version_log=self._version_log,
                 )
                 self._snapshot_memo = snapshot
         if freeze:
@@ -372,7 +402,13 @@ class Catalog:
             return ExplainReport(text, logical=logical.pretty(), physical=text)
         optimized, trace = optimize_plan(logical, self)
         physical_plan = lower_plan(optimized, self, {})
-        trace_lines = trace.lines() or ["(no rewrites applied)"]
+        trace_lines = trace.lines()
+        # The ivm maintainability analysis always records one line; the "no
+        # rewrites" marker keys off actual rewrite rules only.
+        if not any(rule != "ivm" for rule, _ in trace.events):
+            trace_lines.append("(no rewrites applied)")
+        if not trace_lines:
+            trace_lines = ["(no rewrites applied)"]
         sections = [
             "== Logical plan ==",
             logical.pretty(),
@@ -449,6 +485,7 @@ class CatalogSnapshot:
         query_cache: QueryCache,
         parse,
         catalog_id: int = 0,
+        version_log: VersionLog | None = None,
     ) -> None:
         self._tables = tables
         self._version = version
@@ -456,6 +493,7 @@ class CatalogSnapshot:
         self._query_cache = query_cache
         self._parse = parse
         self.catalog_id = catalog_id
+        self._version_log = version_log
         self._schemas_memo: dict[str, TableSchema] | None = None
 
     # ------------------------------------------------------------------ #
@@ -494,6 +532,10 @@ class CatalogSnapshot:
         self._plan_cache = {}
         self._query_cache = QueryCache()
         self._parse = DetachedParser()
+        # No version log across the process boundary: a worker's first read
+        # at a version is a cold recompute, exactly matching what the fold
+        # path must be equivalent to.
+        self._version_log = None
         self._schemas_memo = None
 
     def attach_caches(
@@ -600,7 +642,9 @@ class CatalogSnapshot:
                 self, plan_cache=self._plan_cache, optimize=False, deadline=run_deadline
             ).execute(node)
 
-        key = cache_key(node, self._version) if resolved.use_cache else None
+        key = canonical = None
+        if resolved.use_cache:
+            key, canonical = cache_identity(node, self._version)
         if key is None:
             if resolved.use_cache:
                 self._query_cache.note_bypass()
@@ -610,11 +654,80 @@ class CatalogSnapshot:
         cached = self._query_cache.lookup(key)
         if cached is not None:
             return cached
+        folded = self._fold_probe(key, canonical)
+        if folded is not None:
+            return folded
         result = Executor(
             self, plan_cache=self._plan_cache, deadline=run_deadline
         ).execute(node)
         self._query_cache.store(key, result)
+        self._maybe_register_folder(node, canonical, result)
         return result
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance (see engine/ivm.py)
+    # ------------------------------------------------------------------ #
+
+    def _fold_probe(self, key: str, canonical: str) -> QueryResult | None:
+        """Answer a cache miss by folding appended deltas, when possible.
+
+        A successful fold stores the result under this version's key, so
+        every later probe at the same version is a plain cache hit.  A failed
+        fold counts a fallback; when the folder is off the append chain
+        entirely (truncated log, table replaced, in-place mutation) it is
+        also dropped, and the cold recompute that follows registers a fresh
+        one at the current version.
+        """
+        if self._version_log is None:
+            return None
+        folder = self._query_cache.folder(canonical)
+        if folder is None:
+            return None
+
+        def store_intermediate(version: tuple, result: QueryResult) -> None:
+            # Pre-populate entries for the versions a multi-append walk skips
+            # over: sessions pinned behind the write frontier then hit these
+            # instead of recomputing (folds cannot run backward).
+            self._query_cache.store(versioned_key(canonical, version), result)
+
+        result = folder.fold_to(self, self._version_log, store_intermediate)
+        if result is None:
+            self._query_cache.note_fallback()
+            # A probe from *behind* the folder (a session pinned at an older
+            # version whose entry was evicted) cannot fold backward, but the
+            # folder's advanced state is still the one serving live sessions
+            # — only drop it when it is off the chain entirely.
+            if not folder.connected(self._version, self._version_log):
+                self._query_cache.drop_folder(canonical, folder)
+            return None
+        self._query_cache.note_fold()
+        self._query_cache.store(key, result)
+        return result
+
+    def _maybe_register_folder(
+        self, node: SqlNode, canonical: str, result: QueryResult
+    ) -> None:
+        """Register a delta folder for a freshly computed maintainable result.
+
+        An existing folder on a live chain to (or from) this version is kept
+        — it already carries state that can fold forward; replacing it with a
+        colder one would only discard work.
+        """
+        if self._version_log is None:
+            return
+        from repro.engine import ivm
+
+        shape = ivm.analyze(node, canonical)
+        if shape is None:
+            return
+        existing = self._query_cache.folder(canonical)
+        if existing is not None and existing.connected(self._version, self._version_log):
+            return
+        try:
+            folder = ivm.make_folder(shape, node, self, result)
+        except Exception:  # noqa: BLE001 - registration must never break reads
+            return
+        self._query_cache.store_folder(canonical, folder)
 
     # ------------------------------------------------------------------ #
     # Result-cache probe (the process tier's read fast path)
@@ -631,10 +744,13 @@ class CatalogSnapshot:
         node = self._parse(query) if isinstance(query, str) else query
         if not isinstance(node, (Select, SetOperation)):
             return None
-        key = cache_key(node, self._version)
+        key, canonical = cache_identity(node, self._version)
         if key is None:
             return None
-        return self._query_cache.lookup(key)
+        cached = self._query_cache.lookup(key)
+        if cached is not None:
+            return cached
+        return self._fold_probe(key, canonical)
 
     def store_result(self, query: str | SqlNode, result: QueryResult) -> None:
         """Insert an externally computed result for ``query`` at this version.
@@ -646,9 +762,10 @@ class CatalogSnapshot:
         node = self._parse(query) if isinstance(query, str) else query
         if not isinstance(node, (Select, SetOperation)):
             return
-        key = cache_key(node, self._version)
+        key, canonical = cache_identity(node, self._version)
         if key is not None:
             self._query_cache.store(key, result)
+            self._maybe_register_folder(node, canonical, result)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CatalogSnapshot(tables={self.table_names()})"

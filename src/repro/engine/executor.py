@@ -616,28 +616,42 @@ class Executor:
     def _result_schema(
         self, query: Select, columns: list[str], column_vectors: list[list[Any]]
     ) -> ResultSchema:
-        try:
-            analyzer = Analyzer(self._catalog.schemas())
-            inferred = analyzer.result_schema(query)
-            if len(inferred.columns) == len(columns):
-                renamed = tuple(
-                    ColumnSchema(name=name, data_type=column.data_type, role=column.role)
-                    for name, column in zip(columns, inferred.columns)
-                )
-                return ResultSchema(columns=renamed)
-        except Exception:  # noqa: BLE001 - schema inference is best effort
-            pass
-        # Fall back to inferring types from the materialized column vectors.
-        schemas = []
-        for index, name in enumerate(columns):
-            values = column_vectors[index] if index < len(column_vectors) else []
-            data_type = DataType.NULL
-            for value in values:
-                data_type = DataType.unify(data_type, DataType.of_value(value))
-            non_null = [value for value in values if value is not None]
-            role = AttributeRole.from_data_type(data_type, len(set(map(hashable, non_null))))
-            schemas.append(ColumnSchema(name=name, data_type=data_type, role=role))
-        return ResultSchema(columns=tuple(schemas))
+        return infer_result_schema(self._catalog, query, columns, column_vectors)
+
+
+def infer_result_schema(
+    catalog, query: Select, columns: list[str], column_vectors: list[list[Any]]
+) -> ResultSchema:
+    """The output schema for one query's materialized columns.
+
+    Prefers the analyzer's static inference (renamed to the actual output
+    column names); falls back to value-based type/role inference from the
+    materialized vectors.  Shared by the executor and the incremental-
+    maintenance fold path (``engine/ivm.py``) so a folded result carries
+    exactly the schema a cold recompute would.
+    """
+    try:
+        analyzer = Analyzer(catalog.schemas())
+        inferred = analyzer.result_schema(query)
+        if len(inferred.columns) == len(columns):
+            renamed = tuple(
+                ColumnSchema(name=name, data_type=column.data_type, role=column.role)
+                for name, column in zip(columns, inferred.columns)
+            )
+            return ResultSchema(columns=renamed)
+    except Exception:  # noqa: BLE001 - schema inference is best effort
+        pass
+    # Fall back to inferring types from the materialized column vectors.
+    schemas = []
+    for index, name in enumerate(columns):
+        values = column_vectors[index] if index < len(column_vectors) else []
+        data_type = DataType.NULL
+        for value in values:
+            data_type = DataType.unify(data_type, DataType.of_value(value))
+        non_null = [value for value in values if value is not None]
+        role = AttributeRole.from_data_type(data_type, len(set(map(hashable, non_null))))
+        schemas.append(ColumnSchema(name=name, data_type=data_type, role=role))
+    return ResultSchema(columns=tuple(schemas))
 
 
 def _leftmost_select(node: SqlNode) -> Select:

@@ -556,6 +556,102 @@ def _is_constant(expr: SqlNode) -> bool:
 
 
 # --------------------------------------------------------------------------- #
+# Incremental-maintenance shape analysis
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class MaintainableShape:
+    """The pieces of a logical plan the delta-fold path re-executes.
+
+    A *maintainable* query (see :func:`maintainable_shape`) reads one base
+    table through at most a WHERE filter and an optional GROUP BY aggregation;
+    the folder in ``engine/ivm.py`` replays exactly these pieces over each
+    appended row range instead of recomputing the full query.
+    """
+
+    kind: str  # "splice" (scan/filter/project) or "aggregate" (+ GROUP BY)
+    table_name: str  # base table as written in the scan (catalog lookup key)
+    binding: str  # FROM-clause binding name the batch slots carry
+    items: list  # SELECT-list items (SelectItem)
+    predicate: SqlNode | None  # WHERE predicate, or None
+    group_by: list  # GROUP BY expressions (empty for splice / global agg)
+    aggregates: list  # aggregate FunctionCall ASTs (empty for splice)
+
+    def describe(self) -> str:
+        return f"{self.kind} over {self.table_name}"
+
+
+def maintainable_shape(plan: PlanNode) -> tuple[MaintainableShape | None, str]:
+    """Classify a *pre-rewrite* logical plan as IVM-maintainable or not.
+
+    Returns ``(shape, detail)`` — ``shape`` is None with a human-readable
+    refusal reason when the plan cannot be maintained incrementally.  v1
+    accepts exactly two shapes over a single base-table scan:
+
+    * ``Project(Filter[where]?(Scan))`` — appended rows are filtered,
+      projected and spliced onto the cached result;
+    * ``Project(Aggregate(Filter[where]?(Scan)))`` — appended rows fold into
+      per-group accumulator state.
+
+    Everything else — joins, windows, HAVING, DISTINCT, ORDER BY, LIMIT,
+    set operations, CTEs, derived tables, subqueries, parameters — falls back
+    to full recompute-on-miss.  The analysis runs on the planner's output
+    (before optimization), so the shape is a pure function of the query text.
+    """
+    node = plan
+    if not isinstance(node, ProjectNode):
+        return None, f"{type(node).__name__} above the projection"
+    items = node.items
+    below = node.input
+
+    aggregate: AggregateNode | None = None
+    if isinstance(below, FilterNode) and below.phase == "having":
+        return None, "HAVING filter"
+    if isinstance(below, AggregateNode):
+        aggregate = below
+        below = below.input
+
+    predicate: SqlNode | None = None
+    if isinstance(below, FilterNode):
+        if below.phase != "where":
+            return None, f"{below.phase} filter below the projection"
+        predicate = below.predicate
+        below = below.input
+
+    if not isinstance(below, ScanNode):
+        return None, f"{type(below).__name__} source"
+    if below.table_name == "<dual>":
+        return None, "FROM-less query"
+
+    expressions: list[SqlNode] = [item.expr for item in items]
+    if predicate is not None:
+        expressions.append(predicate)
+    if aggregate is not None:
+        expressions.extend(aggregate.group_by)
+        expressions.extend(aggregate.aggregates)
+    for expression in expressions:
+        for descendant in expression.walk():
+            if isinstance(descendant, Select):
+                return None, "subquery expression"
+            if isinstance(descendant, Parameter):
+                return None, "parameter reference"
+            if isinstance(descendant, WindowCall):
+                return None, "window call"
+
+    shape = MaintainableShape(
+        kind="aggregate" if aggregate is not None else "splice",
+        table_name=below.table_name,
+        binding=below.binding_name,
+        items=list(items),
+        predicate=predicate,
+        group_by=list(aggregate.group_by) if aggregate is not None else [],
+        aggregates=list(aggregate.aggregates) if aggregate is not None else [],
+    )
+    return shape, shape.describe()
+
+
+# --------------------------------------------------------------------------- #
 # The optimizer
 # --------------------------------------------------------------------------- #
 
@@ -577,6 +673,14 @@ def optimize_plan(
             stages agree on name resolution.
     """
     trace = OptimizerTrace()
+    # Maintainability is a property of the pre-rewrite plan (the fold path
+    # re-analyzes the same planner output), recorded first so EXPLAIN shows
+    # the ivm decision alongside the rewrite trace.
+    shape, detail = maintainable_shape(plan)
+    if shape is not None:
+        trace.record("ivm", f"maintainable ({detail})")
+    else:
+        trace.record("ivm", f"not maintainable ({detail})")
     cte_types: dict[str, dict[str, DataType | None] | None] = {}
     for name, columns in (cte_columns or {}).items():
         cte_types[name.lower()] = (

@@ -360,6 +360,25 @@ def hashable(value: Any) -> Any:
     return value
 
 
+def aggregate_call_specs(
+    calls: list, evaluator, batch: "Batch"
+) -> list[tuple[str, bool, list[Any] | None]]:
+    """Per-call ``(canonical key, star-ness, argument vector)`` triples.
+
+    Shared by the hash-aggregate operator and the incremental-maintenance
+    fold path (``engine/ivm.py``) so both feed accumulators from identical
+    argument vectors — any divergence here would show up as fold-vs-recompute
+    differential failures.
+    """
+    specs: list[tuple[str, bool, list[Any] | None]] = []
+    for call in calls:
+        key = to_sql(call)
+        is_star = (bool(call.args) and isinstance(call.args[0], Star)) or not call.args
+        argument = None if is_star else evaluator.eval(call.args[0], batch)
+        specs.append((key, is_star, argument))
+    return specs
+
+
 def dedupe_names(names: list[str]) -> list[str]:
     """Disambiguate duplicate output names (``col``, ``col_1``, ...)."""
     seen: dict[str, int] = {}
@@ -813,12 +832,7 @@ class HashAggregateExec(PhysicalNode):
 
         # Per-call specs (canonical key, star-ness, argument vector) computed
         # once; the group loop below must stay free of AST rendering.
-        specs: list[tuple[str, bool, list[Any] | None]] = []
-        for call in self.aggregates:
-            key = to_sql(call)
-            is_star = (bool(call.args) and isinstance(call.args[0], Star)) or not call.args
-            argument = None if is_star else evaluator.eval(call.args[0], batch)
-            specs.append((key, is_star, argument))
+        specs = aggregate_call_specs(self.aggregates, evaluator, batch)
         aggregate_columns: dict[str, list[Any]] = {key: [] for key, _, _ in specs}
 
         for group_key in order:

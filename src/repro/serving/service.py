@@ -644,6 +644,15 @@ class InterfaceService:
             data["snapshot_ships"] = 0
             data["worker_snapshot_cache_hits"] = 0
             data["worker_processes"] = None
+        # Incremental-maintenance counters from the catalog's result cache:
+        # folds answered a probe by applying appended deltas, fallbacks had
+        # to recompute cold.  The effective hit rate counts folds as hits —
+        # the number a refresh-heavy dashboard workload actually experiences.
+        cache_stats = self.catalog.cache_stats()
+        data["ivm_folds"] = cache_stats.get("ivm_folds", 0)
+        data["ivm_fallbacks"] = cache_stats.get("ivm_fallbacks", 0)
+        data["query_cache_hit_rate"] = cache_stats.get("hit_rate")
+        data["query_cache_effective_hit_rate"] = cache_stats.get("effective_hit_rate")
         return data
 
     # ------------------------------------------------------------------ #

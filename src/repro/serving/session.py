@@ -47,6 +47,7 @@ class SessionStats:
     queries: int = 0
     events: int = 0
     generations: int = 0
+    refreshes: int = 0
     failures: int = 0
     total_seconds: float = 0.0
     latencies: deque = field(default_factory=lambda: deque(maxlen=LATENCY_SAMPLE_CAPACITY))
@@ -94,10 +95,16 @@ class Session:
         carried over onto a fresh :class:`InterfaceState` against the new
         snapshot, so widgets keep their positions while the charts see the
         newly ingested data.
+
+        Refreshing is what makes the incremental-maintenance plane pay off:
+        the re-pinned snapshot's first read of a maintainable query folds the
+        rows appended since the previous pin forward (see ``engine/ivm.py``)
+        instead of recomputing, so the post-refresh re-render costs O(delta).
         """
         with self._lock:
             self._ensure_open()
             self._snapshot = self._catalog.snapshot()
+            self.stats.refreshes += 1
             if self._state is not None:
                 rebound = InterfaceState(self._state.interface, self._snapshot)
                 for tree_index, bindings in self._state.bindings.items():

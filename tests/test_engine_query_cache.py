@@ -171,6 +171,43 @@ class TestQueryCacheUnit:
     def test_hit_rate_with_no_traffic(self):
         assert QueryCache().stats.hit_rate == 0.0
 
+    def test_clear_resets_counters_and_counts_the_clear(self):
+        # Regression: clear() used to drop the entries but leave every
+        # counter, so hit_rate kept describing a population that no longer
+        # existed.
+        cache = QueryCache(capacity=1)
+        cache.store("k1", self._result([(1,)]))
+        cache.store("k2", self._result([(2,)]))  # evicts k1
+        cache.lookup("k2")
+        cache.lookup("gone")
+        cache.note_bypass()
+        cache.note_fold()
+        cache.note_fallback()
+        cache.clear()
+        stats = cache.snapshot()
+        for counter in ("hits", "misses", "stores", "evictions", "bypassed",
+                        "ivm_folds", "ivm_fallbacks"):
+            assert stats[counter] == 0, counter
+        assert stats["cleared"] == 1
+        assert stats["hit_rate"] == 0.0 and stats["effective_hit_rate"] == 0.0
+        assert stats["entries"] == 0 and stats["folders"] == 0
+        cache.clear()
+        assert cache.stats.cleared == 2  # cumulative across clears
+
+    def test_clear_drops_folders(self):
+        cache = QueryCache()
+        cache.store_folder("SELECT 1", object())
+        cache.clear()
+        assert cache.folder("SELECT 1") is None
+
+    def test_effective_hit_rate_counts_folds_as_hits(self):
+        cache = QueryCache()
+        cache.lookup("miss-1")
+        cache.lookup("miss-2")
+        cache.note_fold()
+        assert cache.stats.hit_rate == 0.0
+        assert cache.stats.effective_hit_rate == pytest.approx(0.5)
+
 
 class TestTableStatisticsMemoization:
     def test_distinct_count_memoized_and_invalidated(self, catalog):
